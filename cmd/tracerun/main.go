@@ -1,0 +1,130 @@
+// Command tracerun replays a recorded reference trace through one or more
+// cache-management schemes — the adoption path for running real traces
+// (converted from pin/ChampSim/Dinero tooling) instead of the synthetic
+// analogs.
+//
+// Usage:
+//
+//	tracerun -trace app.trc.gz                       # all six schemes
+//	tracerun -trace app.trc -schemes LRU,STEM
+//	tracerun -din app.din -line 64 -schemes STEM     # Dinero text input
+//	tracerun -record omnetpp -n 5000000 -trace out.trc.gz   # capture an analog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	stem "repro"
+	"repro/internal/tracefile"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "native trace file (.trc or .trc.gz)")
+		dinPath   = flag.String("din", "", "Dinero-style text trace")
+		line      = flag.Int("line", 64, "cache line size for -din address conversion")
+		schemes   = flag.String("schemes", strings.Join(stem.Schemes(), ","), "comma-separated schemes")
+		sets      = flag.Int("sets", stem.PaperGeometry.Sets, "cache sets")
+		ways      = flag.Int("ways", stem.PaperGeometry.Ways, "associativity")
+		warmFrac  = flag.Float64("warm", 0.25, "fraction of the trace used as warm-up")
+		seed      = flag.Uint64("seed", 0x57E4, "scheme seed")
+		record    = flag.String("record", "", "record this benchmark analog instead of replaying")
+		recordN   = flag.Int("n", 5_000_000, "references to record with -record")
+	)
+	flag.Parse()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "tracerun:", err)
+		os.Exit(1)
+	}
+
+	if *record != "" {
+		if *tracePath == "" {
+			fail(fmt.Errorf("-record needs -trace for the output path"))
+		}
+		b, err := stem.BenchmarkByName(*record)
+		if err != nil {
+			fail(err)
+		}
+		geom := stem.Geometry{Sets: *sets, Ways: *ways, LineSize: *line}
+		w, err := tracefile.Create(*tracePath, tracefile.Header{LineSize: uint32(*line)})
+		if err != nil {
+			fail(err)
+		}
+		if err := tracefile.Record(w, stem.NewGenerator(b.Workload, geom, *seed), *recordN); err != nil {
+			fail(err)
+		}
+		if err := w.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d references of %s to %s\n", *recordN, *record, *tracePath)
+		return
+	}
+
+	var refs []stem.Ref
+	switch {
+	case *tracePath != "":
+		r, err := tracefile.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		for {
+			ref, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fail(err)
+			}
+			refs = append(refs, ref)
+		}
+		r.Close()
+	case *dinPath != "":
+		f, err := os.Open(*dinPath)
+		if err != nil {
+			fail(err)
+		}
+		refs, err = tracefile.ParseDin(f, *line)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	default:
+		fail(fmt.Errorf("need -trace, -din or -record (see -help)"))
+	}
+	if len(refs) < 100 {
+		fail(fmt.Errorf("trace too short: %d references", len(refs)))
+	}
+
+	geom := stem.Geometry{Sets: *sets, Ways: *ways, LineSize: *line}
+	warm := int(float64(len(refs)) * *warmFrac)
+	timing := stem.DefaultTiming()
+
+	fmt.Printf("trace: %d references (%d warm-up), %d sets x %d ways\n\n",
+		len(refs), warm, *sets, *ways)
+	fmt.Println("scheme     miss-rate     MPKI     AMAT      CPI")
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		c, err := stem.NewScheme(name, geom, *seed)
+		if err != nil {
+			fail(err)
+		}
+		acct := stem.NewAccount(timing)
+		for i, r := range refs {
+			out := c.Access(stem.Access{Block: r.Block, Write: r.Write})
+			if i == warm {
+				c.ResetStats()
+				acct = stem.NewAccount(timing)
+			}
+			if i >= warm {
+				acct.Record(r.Instrs, out)
+			}
+		}
+		st := c.Stats()
+		fmt.Printf("%-8s   %9.4f  %7.3f  %7.2f  %7.3f\n",
+			name, st.MissRate(), acct.MPKI(), acct.AMAT(), acct.CPI())
+	}
+}

@@ -1,0 +1,87 @@
+package stem_test
+
+import (
+	"fmt"
+
+	stem "repro"
+)
+
+// Build the paper's STEM LLC and run it over a deterministic workload.
+func ExampleNew() {
+	geom := stem.Geometry{Sets: 2, Ways: 4, LineSize: 64}
+	cache := stem.New(geom, stem.Config{Seed: 7})
+	gen := stem.Figure2Workload(1) // the paper's Figure 2 example #1
+	for i := 0; i < 1200; i++ {
+		r := gen.Next()
+		cache.Access(stem.Access{Block: r.Block, Write: r.Write})
+	}
+	cache.ResetStats()
+	for i := 0; i < 1200; i++ {
+		r := gen.Next()
+		cache.Access(stem.Access{Block: r.Block, Write: r.Write})
+	}
+	fmt.Printf("steady-state miss rate: %.3f\n", cache.Stats().MissRate())
+	// Output:
+	// steady-state miss rate: 0.000
+}
+
+// Construct any evaluated scheme by name.
+func ExampleNewScheme() {
+	geom := stem.Geometry{Sets: 16, Ways: 4, LineSize: 64}
+	cache, err := stem.NewScheme("DIP", geom, 42)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cache.Name(), cache.Geometry().CapacityBytes(), "bytes")
+	// Output:
+	// DIP 4096 bytes
+}
+
+// The Table 3 storage analysis.
+func ExampleTable3() {
+	r := stem.Table3()
+	fmt.Printf("STEM storage overhead: %.2f%% (paper: 3.1%%)\n", 100*r.OverheadFraction)
+	// Output:
+	// STEM storage overhead: 3.16% (paper: 3.1%)
+}
+
+// Describe a workload by its set-level structure and measure it.
+func ExampleRunWorkload() {
+	w := stem.Workload{
+		Name: "demo", APKI: 20, WriteFrac: 0.25,
+		Groups: []stem.Group{
+			{Name: "givers", Frac: 0.5, Weight: 0.5, Pat: stem.Pattern{Kind: stem.Scan}},
+			{Name: "takers", Frac: 0.5, Weight: 1.0, Pat: stem.Pattern{Kind: stem.Cyclic, N: 12}},
+		},
+	}
+	cfg := stem.RunConfig{
+		Geom:    stem.Geometry{Sets: 64, Ways: 8, LineSize: 64},
+		Warmup:  50_000,
+		Measure: 100_000,
+	}
+	lru, _ := stem.RunWorkload(w, "LRU", cfg)
+	st, _ := stem.RunWorkload(w, "STEM", cfg)
+	fmt.Printf("STEM reduces the miss rate: %v\n", st.MissRate < lru.MissRate)
+	// Output:
+	// STEM reduces the miss rate: true
+}
+
+// Profile a workload's set-level capacity demands (paper §3.1).
+func ExampleNewDemandProfiler() {
+	geom := stem.Geometry{Sets: 4, Ways: 16, LineSize: 64}
+	p := stem.NewDemandProfiler(geom, 4000, 32)
+	// Set 0 cycles 8 blocks (demand 8); the rest stream (demand 0).
+	for i := 0; i < 4000; i++ {
+		if i%2 == 0 {
+			p.Feed(geom.BlockFor(uint64(i/2%8)+1, 0))
+		} else {
+			p.Feed(geom.BlockFor(uint64(i)+1, 1+i%3))
+		}
+	}
+	p.Flush()
+	last := p.Periods()[0]
+	fmt.Printf("sets with demand 7-8: %d, with demand 0: %d\n",
+		last.Counts[4], last.Counts[0])
+	// Output:
+	// sets with demand 7-8: 1, with demand 0: 3
+}

@@ -1,0 +1,189 @@
+// Package basecache implements the conventional set-associative cache of
+// paper §2.1: a fixed number of sets, each with a static associativity and
+// its own replacement policy. It is both the LRU baseline of the evaluation
+// and the building block the DIP scheme and the L1 models are assembled
+// from.
+//
+// The cache exposes observer hooks (miss, eviction) so higher-level schemes
+// and profilers can watch the reference and eviction streams without the
+// cache knowing about them.
+package basecache
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Hooks are optional observer callbacks. Nil members are skipped.
+type Hooks struct {
+	// OnMiss fires on every miss, before the fill, with the set index and
+	// the missing block address.
+	OnMiss func(set int, block uint64)
+	// OnEvict fires whenever a valid block is replaced, with the set index
+	// and the evicted block address.
+	OnEvict func(set int, block uint64)
+	// OnWriteback fires when the replaced block was dirty (after OnEvict);
+	// the next cache level uses it to absorb the write.
+	OnWriteback func(set int, block uint64)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+type cacheSet struct {
+	lines []line
+	pol   policy.Policy
+}
+
+// Cache is a conventional set-associative cache with pluggable per-set
+// replacement policies.
+type Cache struct {
+	name  string
+	geom  sim.Geometry
+	sets  []cacheSet
+	stats sim.Stats
+	hooks Hooks
+}
+
+// PolicyFactory builds the replacement policy for one set. The RNG passed in
+// is private to that set.
+type PolicyFactory func(set int, ways int, rng *sim.RNG) policy.Policy
+
+// New constructs a cache whose per-set policies come from factory. Each set
+// gets an RNG derived from seed and its index. It panics on invalid geometry
+// or a nil factory.
+func New(name string, geom sim.Geometry, seed uint64, factory PolicyFactory) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("basecache: %v", err))
+	}
+	if factory == nil {
+		panic("basecache: nil policy factory")
+	}
+	c := &Cache{name: name, geom: geom, sets: make([]cacheSet, geom.Sets)}
+	for i := range c.sets {
+		rng := sim.NewRNG(seed ^ uint64(i)*0x9e3779b97f4a7c15)
+		c.sets[i] = cacheSet{
+			lines: make([]line, geom.Ways),
+			pol:   factory(i, geom.Ways, rng),
+		}
+	}
+	return c
+}
+
+// NewStatic constructs a cache where every set runs the same policy kind.
+func NewStatic(name string, geom sim.Geometry, seed uint64, kind policy.Kind) *Cache {
+	return New(name, geom, seed, func(_ int, ways int, rng *sim.RNG) policy.Policy {
+		return policy.New(kind, ways, rng)
+	})
+}
+
+// NewLRU constructs the conventional LRU cache used as the paper's baseline.
+func NewLRU(geom sim.Geometry, seed uint64) *Cache {
+	return NewStatic("LRU", geom, seed, policy.LRU)
+}
+
+// SetHooks installs observer callbacks; pass the zero Hooks to clear.
+func (c *Cache) SetHooks(h Hooks) { c.hooks = h }
+
+// Name implements sim.Simulator.
+func (c *Cache) Name() string { return c.name }
+
+// Geometry implements sim.Simulator.
+func (c *Cache) Geometry() sim.Geometry { return c.geom }
+
+// Stats implements sim.Simulator.
+func (c *Cache) Stats() sim.Stats { return c.stats }
+
+// ResetStats implements sim.Simulator.
+func (c *Cache) ResetStats() { c.stats = sim.Stats{} }
+
+// Access implements sim.Simulator.
+func (c *Cache) Access(a sim.Access) sim.Outcome {
+	idx := c.geom.Index(a.Block)
+	tag := c.geom.Tag(a.Block)
+	s := &c.sets[idx]
+
+	var out sim.Outcome
+	if way := s.find(tag); way >= 0 {
+		out.Hit = true
+		s.pol.OnHit(way)
+		if a.Write {
+			s.lines[way].dirty = true
+		}
+		c.stats.Record(out)
+		return out
+	}
+
+	if c.hooks.OnMiss != nil {
+		c.hooks.OnMiss(idx, a.Block)
+	}
+	way := s.victimWay()
+	if s.lines[way].valid {
+		evicted := c.geom.BlockFor(s.lines[way].tag, idx)
+		if s.lines[way].dirty {
+			out.Writeback = true
+		}
+		if c.hooks.OnEvict != nil {
+			c.hooks.OnEvict(idx, evicted)
+		}
+		if s.lines[way].dirty && c.hooks.OnWriteback != nil {
+			c.hooks.OnWriteback(idx, evicted)
+		}
+	}
+	s.lines[way] = line{tag: tag, valid: true, dirty: a.Write}
+	s.pol.OnInsert(way)
+	c.stats.Record(out)
+	return out
+}
+
+// Contains reports whether block is currently cached (used by tests and the
+// inclusive-hierarchy checks in examples).
+func (c *Cache) Contains(block uint64) bool {
+	idx := c.geom.Index(block)
+	return c.sets[idx].find(c.geom.Tag(block)) >= 0
+}
+
+// Occupancy returns the number of valid lines in set idx.
+func (c *Cache) Occupancy(idx int) int {
+	n := 0
+	for _, l := range c.sets[idx].lines {
+		if l.valid {
+			n++
+		}
+	}
+	return n
+}
+
+// PolicyKind returns the replacement-policy kind of set idx.
+func (c *Cache) PolicyKind(idx int) policy.Kind { return c.sets[idx].pol.Kind() }
+
+// find returns the way holding tag, or -1.
+func (s *cacheSet) find(tag uint64) int {
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victimWay returns an invalid way if one exists, else the policy's victim.
+func (s *cacheSet) victimWay() int {
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			return w
+		}
+	}
+	v := s.pol.Victim()
+	if v < 0 {
+		// A full set whose policy lost track of its ways indicates a scheme
+		// bug; fail loudly rather than corrupt state.
+		panic("basecache: full set but policy reports no victim")
+	}
+	return v
+}

@@ -1,0 +1,423 @@
+// Package core implements STEM — SpatioTemporally Managed Last Level
+// Caches — the primary contribution of Zhan, Jiang and Seth (MICRO 2010).
+//
+// STEM manages LLC capacity in both dimensions at the set level:
+//
+//   - Temporal: each set duels LRU against BIP individually. A shadow set of
+//     hashed victim tags runs the opposite policy on the set's eviction
+//     stream; when the temporal saturating counter SC_T shows the shadow
+//     winning, the set swaps policies (paper §4.3-4.4).
+//
+//   - Spatial: the spatial saturating counter SC_S, driven by shadow hits
+//     against LLC hits, classifies sets as takers (saturated — doubling the
+//     set's capacity would pay) or givers (MSB clear — the set hits happily
+//     within its local capacity). A small hardware heap tracks the least
+//     saturated uncoupled givers; when an uncoupled taker must evict, it is
+//     coupled with the least-saturated giver through an association table,
+//     and from then on spills its victims into the giver instead of dropping
+//     them off-chip (paper §4.5).
+//
+// Unlike SBC, receiving is *conditional*: a giver accepts a foreign block
+// only while its own SC_S MSB stays clear, and the insertion position of a
+// received block follows the giver's currently winning policy (§4.6). A
+// taker whose MSB falls clear stops spilling. The pair dissolves once the
+// giver has evicted every cooperatively cached block (§4.7).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/selector"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a STEM cache. Defaults (applied by New) follow the
+// paper's Table 3.
+type Config struct {
+	// CounterBits is k, the width of the SC_S/SC_T saturating counters.
+	// Default: 4.
+	CounterBits int
+	// SpatialShift is n: SC_S is decremented once per 2^n LLC hits (in
+	// expectation, implemented probabilistically). Default: 3.
+	SpatialShift int
+	// SignatureBits is m, the shadow-tag width. Default: 10.
+	SignatureBits int
+	// SelectorSize is the giver-heap capacity. Default: 16.
+	SelectorSize int
+	// InitialPolicy is the replacement policy every set starts with.
+	// Default: LRU.
+	InitialPolicy policy.Kind
+	// Seed drives every probabilistic device in the cache.
+	Seed uint64
+
+	// Ablation switches (all false in the paper's design; used by the
+	// ablation experiments to isolate each mechanism's contribution).
+
+	// DisableCoupling turns off the spatial dimension entirely: no giver
+	// heap, no set pairs, no cooperative caching. What remains is a purely
+	// temporal, per-set LRU/BIP dueling cache.
+	DisableCoupling bool
+	// DisableSwap turns off the temporal dimension: SC_T never swaps a
+	// set's policy. What remains is a purely spatial cooperative cache with
+	// STEM's shadow-set demand metric.
+	DisableSwap bool
+	// UnconstrainedReceive removes the paper's §4.6 receiving constraint: a
+	// giver accepts foreign blocks regardless of its own spatial counter
+	// and a taker spills regardless of its role trend — the SBC behaviour
+	// the paper argues pollutes givers.
+	UnconstrainedReceive bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.CounterBits <= 0 {
+		c.CounterBits = 4
+	}
+	if c.SpatialShift <= 0 {
+		c.SpatialShift = 3
+	}
+	if c.SignatureBits <= 0 {
+		c.SignatureBits = 10
+	}
+	if c.SelectorSize <= 0 {
+		c.SelectorSize = 16
+	}
+	if c.InitialPolicy != policy.LRU && c.InitialPolicy != policy.BIP {
+		c.InitialPolicy = policy.LRU
+	}
+}
+
+// role of a set in an association.
+type role uint8
+
+const (
+	uncoupled role = iota
+	taker
+	giver
+)
+
+type line struct {
+	block uint64 // full block address (giver sets hold foreign blocks)
+	valid bool
+	dirty bool
+	cc    bool // the CC bit: cooperatively cached (foreign) block
+}
+
+type stemSet struct {
+	lines []line
+	pol   policy.Policy
+	mon   monitor
+	// partner is the coupled set's index, or the set's own index when
+	// uncoupled (the paper's association-table convention).
+	partner int
+	role    role
+	foreign int // valid CC lines resident here (givers only)
+}
+
+// Cache is a STEM-managed LLC implementing sim.Simulator.
+type Cache struct {
+	geom  sim.Geometry
+	cfg   Config
+	cgeom counterGeom
+	sets  []stemSet
+	hash  *hashfn.Hash
+	heap  *selector.Heap
+	rng   *sim.RNG // drives the 1/2^n spatial decrement
+	stats sim.Stats
+}
+
+// New constructs a STEM cache. It panics on invalid geometry.
+func New(geom sim.Geometry, cfg Config) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	cfg.applyDefaults()
+	c := &Cache{
+		geom:  geom,
+		cfg:   cfg,
+		cgeom: counterGeom{max: 1<<uint(cfg.CounterBits) - 1, msb: 1 << uint(cfg.CounterBits-1)},
+		sets:  make([]stemSet, geom.Sets),
+		hash:  hashfn.New(cfg.SignatureBits, cfg.Seed^0x5717),
+		heap:  selector.New(cfg.SelectorSize),
+		rng:   sim.NewRNG(cfg.Seed ^ 0xdecaf),
+	}
+	for i := range c.sets {
+		rng := sim.NewRNG(cfg.Seed ^ uint64(i)*0x9e3779b97f4a7c15)
+		c.sets[i] = stemSet{
+			lines:   make([]line, geom.Ways),
+			pol:     policy.New(cfg.InitialPolicy, geom.Ways, rng),
+			mon:     monitor{shadow: newShadowSet(geom.Ways, cfg.InitialPolicy, rng)},
+			partner: i,
+		}
+	}
+	return c
+}
+
+// Name implements sim.Simulator.
+func (c *Cache) Name() string { return "STEM" }
+
+// Geometry implements sim.Simulator.
+func (c *Cache) Geometry() sim.Geometry { return c.geom }
+
+// Stats implements sim.Simulator.
+func (c *Cache) Stats() sim.Stats { return c.stats }
+
+// ResetStats implements sim.Simulator.
+func (c *Cache) ResetStats() { c.stats = sim.Stats{} }
+
+// PolicyKind exposes set idx's current replacement policy (tests,
+// reporting).
+func (c *Cache) PolicyKind(idx int) policy.Kind { return c.sets[idx].pol.Kind() }
+
+// Partner exposes set idx's association; it equals idx when uncoupled.
+func (c *Cache) Partner(idx int) int { return c.sets[idx].partner }
+
+// Role exposes set idx's association role: "uncoupled", "taker" or "giver".
+func (c *Cache) Role(idx int) string {
+	switch c.sets[idx].role {
+	case taker:
+		return "taker"
+	case giver:
+		return "giver"
+	default:
+		return "uncoupled"
+	}
+}
+
+// Counters exposes set idx's (SC_S, SC_T) values (tests, reporting).
+func (c *Cache) Counters(idx int) (scS, scT int) {
+	return c.sets[idx].mon.scS, c.sets[idx].mon.scT
+}
+
+// Access implements sim.Simulator.
+func (c *Cache) Access(a sim.Access) sim.Outcome {
+	idx := c.geom.Index(a.Block)
+	s := &c.sets[idx]
+
+	var out sim.Outcome
+	// 1. Local lookup.
+	if w := s.find(a.Block); w >= 0 {
+		out.Hit = true
+		s.pol.OnHit(w)
+		if a.Write {
+			s.lines[w].dirty = true
+		}
+		c.onLocalHit(idx)
+		c.stats.Record(out)
+		return out
+	}
+
+	// 2. A coupled taker's blocks may be cooperatively cached in its giver.
+	if s.role == taker {
+		out.Secondary = true
+		p := &c.sets[s.partner]
+		if w := p.findCC(a.Block); w >= 0 {
+			out.Hit = true
+			out.SecondaryHit = true
+			p.pol.OnHit(w)
+			if a.Write {
+				p.lines[w].dirty = true
+			}
+			// Cooperative hits update neither set's counters: they are not
+			// local-capacity evidence for either working set (DESIGN.md §5).
+			c.stats.Record(out)
+			return out
+		}
+	}
+
+	// 3. True miss: consult the shadow set, then fill locally.
+	sg := sig(c.hash, c.geom.Tag(a.Block))
+	if s.mon.shadow.lookupInvalidate(sg) {
+		if s.mon.onShadowHit(c.cgeom) && !c.cfg.DisableSwap {
+			c.swapPolicies(idx)
+		}
+	}
+	c.reconsiderGiver(idx)
+
+	way := -1
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		// The set must evict. An uncoupled taker first requests a partner
+		// (paper §4.5: coupling is triggered by a taker's eviction).
+		if s.role == uncoupled && s.mon.isTaker(c.cgeom) && !c.cfg.DisableCoupling {
+			c.tryCouple(idx)
+		}
+		way = s.pol.Victim()
+		victim := s.lines[way]
+		c.routeVictim(idx, victim, &out)
+	}
+	s.lines[way] = line{block: a.Block, valid: true, dirty: a.Write}
+	s.pol.OnInsert(way)
+	c.stats.Record(out)
+	return out
+}
+
+// onLocalHit applies the hit-side counter rules and the follow-on role
+// bookkeeping for set idx.
+func (c *Cache) onLocalHit(idx int) {
+	s := &c.sets[idx]
+	decS := c.rng.OneIn(1 << uint(c.cfg.SpatialShift))
+	s.mon.onLLCHit(decS)
+	if decS {
+		c.reconsiderGiver(idx)
+	}
+}
+
+// reconsiderGiver keeps the giver heap consistent with set idx's current
+// counter state: uncoupled sets with a clear MSB are posted (or re-keyed);
+// everything else is withdrawn.
+func (c *Cache) reconsiderGiver(idx int) {
+	if c.cfg.DisableCoupling {
+		return
+	}
+	s := &c.sets[idx]
+	if s.role == uncoupled && s.mon.isGiver(c.cgeom) {
+		c.heap.Post(idx, s.mon.scS)
+		return
+	}
+	c.heap.Remove(idx)
+}
+
+// swapPolicies exchanges the LLC set's policy with its shadow's opposite
+// (paper §4.4) and resets SC_T. Rankings are preserved on both sides.
+func (c *Cache) swapPolicies(idx int) {
+	s := &c.sets[idx]
+	next := policy.Opposite(s.pol.Kind())
+	policy.SwapKind(s.pol, next)
+	policy.SwapKind(s.mon.shadow.pol, policy.Opposite(next))
+	s.mon.scT = 0
+	c.stats.PolicySwaps++
+}
+
+// tryCouple pairs taker set idx with the least-saturated live giver.
+func (c *Cache) tryCouple(idx int) {
+	for tries := 0; tries < c.cfg.SelectorSize; tries++ {
+		cand, _, ok := c.heap.PopMin()
+		if !ok {
+			return
+		}
+		if cand == idx {
+			continue
+		}
+		g := &c.sets[cand]
+		// Heap entries can be stale; re-validate against the live monitor.
+		if g.role != uncoupled || !g.mon.isGiver(c.cgeom) {
+			continue
+		}
+		s := &c.sets[idx]
+		s.partner, s.role = cand, taker
+		g.partner, g.role = idx, giver
+		c.heap.Remove(idx)
+		c.stats.Couplings++
+		return
+	}
+}
+
+// routeVictim decides what happens to a block evicted from set idx: foreign
+// blocks leave the chip and are credited to their owner's shadow set; local
+// victims of a spilling-eligible taker are cooperatively cached in the
+// giver; everything else leaves the chip into the local shadow set.
+func (c *Cache) routeVictim(idx int, v line, out *sim.Outcome) {
+	s := &c.sets[idx]
+	if v.cc {
+		// A giver evicted a cooperatively cached block: off-chip, credited
+		// to the owner set's shadow (it is the owner's working-set victim).
+		s.foreign--
+		c.evictOffChip(v, out)
+		if s.foreign == 0 && s.role == giver {
+			c.decouple(idx)
+		}
+		return
+	}
+	if s.role == taker && (c.cfg.UnconstrainedReceive || s.mon.scS >= c.cgeom.msb) {
+		// Spilling allowed only while the taker still demands capacity
+		// (§4.6/4.7: a role change stops spilling) ...
+		g := &c.sets[s.partner]
+		if c.cfg.UnconstrainedReceive || g.mon.isGiver(c.cgeom) {
+			// ... and only while the giver can still receive (§4.6).
+			c.receive(s.partner, v, out)
+			return
+		}
+	}
+	c.evictOffChip(v, out)
+}
+
+// receive inserts taker victim v into giver set gidx as a cooperatively
+// cached block, at the position the giver's current policy dictates.
+func (c *Cache) receive(gidx int, v line, out *sim.Outcome) {
+	g := &c.sets[gidx]
+	v.cc = true
+	way := -1
+	for w := range g.lines {
+		if !g.lines[w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = g.pol.Victim()
+		gv := g.lines[way]
+		if gv.cc {
+			g.foreign--
+		}
+		c.evictOffChip(gv, out)
+	}
+	g.lines[way] = v
+	g.pol.OnInsert(way)
+	g.foreign++
+	c.stats.Spills++
+	c.stats.Receives++
+}
+
+// evictOffChip handles a block truly leaving the LLC: writeback accounting
+// plus a signature insert into the *owner* set's shadow (for local victims
+// the owner is the evicting set; for CC victims it is the taker the block
+// belongs to).
+func (c *Cache) evictOffChip(v line, out *sim.Outcome) {
+	if v.dirty {
+		out.Writeback = true
+	}
+	owner := c.geom.Index(v.block)
+	c.sets[owner].mon.shadow.insert(sig(c.hash, c.geom.Tag(v.block)))
+}
+
+// decouple dissolves the association of giver set gidx with its taker
+// (paper §4.7), resetting both association-table entries to self.
+func (c *Cache) decouple(gidx int) {
+	g := &c.sets[gidx]
+	t := &c.sets[g.partner]
+	tIdx := g.partner
+	t.partner, t.role = tIdx, uncoupled
+	g.partner, g.role = gidx, uncoupled
+	c.stats.Decouplings++
+	// Both ends may immediately qualify as givers again.
+	c.reconsiderGiver(gidx)
+	c.reconsiderGiver(tIdx)
+}
+
+// find returns the way of set s holding block as a local line, or -1.
+func (s *stemSet) find(block uint64) int {
+	for w := range s.lines {
+		if s.lines[w].valid && !s.lines[w].cc && s.lines[w].block == block {
+			return w
+		}
+	}
+	return -1
+}
+
+// findCC returns the way holding block as a cooperatively cached line, or
+// -1.
+func (s *stemSet) findCC(block uint64) int {
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].cc && s.lines[w].block == block {
+			return w
+		}
+	}
+	return -1
+}

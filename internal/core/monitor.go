@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/hashfn"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// shadowSet is the m-bit-signature victim directory attached to each LLC set
+// (paper §4.3). It has the same associativity as the LLC set, stores hashed
+// tags of the set's victim blocks, and runs the replacement policy opposite
+// to the LLC set's so that the eviction stream exposes whichever temporal
+// behaviour the LLC set is currently missing. Entries are strictly exclusive
+// with the LLC set's resident blocks: an entry is invalidated the moment a
+// block with a matching signature is re-inserted into the LLC set.
+type shadowSet struct {
+	sigs  []uint32
+	valid []bool
+	pol   policy.Policy
+}
+
+func newShadowSet(ways int, llcKind policy.Kind, rng *sim.RNG) shadowSet {
+	return shadowSet{
+		sigs:  make([]uint32, ways),
+		valid: make([]bool, ways),
+		pol:   policy.New(policy.Opposite(llcKind), ways, rng),
+	}
+}
+
+// lookupInvalidate checks for sig and, on a match, invalidates the entry
+// (the block is about to re-enter the LLC set) and reports the hit.
+func (s *shadowSet) lookupInvalidate(sig uint32) bool {
+	for w := range s.sigs {
+		if s.valid[w] && s.sigs[w] == sig {
+			s.valid[w] = false
+			s.pol.OnInvalidate(w)
+			return true
+		}
+	}
+	return false
+}
+
+// insert records the signature of a block truly evicted from the owning LLC
+// set, replacing per the shadow's own (opposite) policy if full. Duplicate
+// signatures are refreshed in place to preserve entry uniqueness.
+func (s *shadowSet) insert(sig uint32) {
+	for w := range s.sigs {
+		if s.valid[w] && s.sigs[w] == sig {
+			s.pol.OnInsert(w) // refresh ranking; entry already present
+			return
+		}
+	}
+	way := -1
+	for w := range s.sigs {
+		if !s.valid[w] {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = s.pol.Victim()
+	}
+	s.sigs[way] = sig
+	s.valid[way] = true
+	s.pol.OnInsert(way)
+}
+
+// occupancy returns the number of valid shadow entries (tests only).
+func (s *shadowSet) occupancy() int {
+	n := 0
+	for _, v := range s.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// monitor is one set's slice of the Set-level Capacity Demand Monitor
+// (SCDM, paper §4.2-4.4): the shadow set plus the two k-bit saturating
+// counters.
+//
+//   - SC_S (spatial): incremented on every shadow hit, decremented with
+//     probability 1/2^n on every LLC-set hit. Saturated ⇒ the set is a
+//     *taker* (doubling its capacity would raise its hit rate by at least
+//     1/2^n); MSB clear ⇒ the set is a *giver*.
+//   - SC_T (temporal): incremented on every shadow hit, decremented on every
+//     LLC-set hit. Saturated ⇒ the shadow's (opposite) policy is measurably
+//     beating the set's current policy, so the two swap and SC_T resets.
+type monitor struct {
+	shadow shadowSet
+	scS    int
+	scT    int
+}
+
+// counterCeil and msbMask are derived from the configured k.
+type counterGeom struct {
+	max int // 2^k - 1
+	msb int // 2^(k-1)
+}
+
+// onShadowHit applies the shadow-hit counter rule and reports whether SC_T
+// saturated (the caller then swaps policies and resets SC_T).
+func (m *monitor) onShadowHit(g counterGeom) (swapNeeded bool) {
+	if m.scS < g.max {
+		m.scS++
+	}
+	if m.scT < g.max {
+		m.scT++
+	}
+	return m.scT == g.max
+}
+
+// onLLCHit applies the LLC-hit counter rule; decS tells whether the 1/2^n
+// probabilistic event fired for the spatial counter.
+func (m *monitor) onLLCHit(decS bool) {
+	if m.scT > 0 {
+		m.scT--
+	}
+	if decS && m.scS > 0 {
+		m.scS--
+	}
+}
+
+// isTaker reports whether the set's spatial counter marks it as demanding
+// extra capacity.
+func (m *monitor) isTaker(g counterGeom) bool { return m.scS == g.max }
+
+// isGiver reports whether the spatial counter's MSB is clear: the set hits
+// frequently within its local capacity and can contribute space.
+func (m *monitor) isGiver(g counterGeom) bool { return m.scS < g.msb }
+
+// sig computes the m-bit signature of a block's tag for the shadow sets.
+func sig(h *hashfn.Hash, tag uint64) uint32 { return h.Sum(tag) }

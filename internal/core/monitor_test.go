@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+func newShadow(t *testing.T, ways int) *shadowSet {
+	t.Helper()
+	s := newShadowSet(ways, policy.LRU, sim.NewRNG(1))
+	return &s
+}
+
+func TestShadowOppositePolicy(t *testing.T) {
+	s := newShadowSet(4, policy.LRU, sim.NewRNG(1))
+	if s.pol.Kind() != policy.BIP {
+		t.Fatalf("shadow of an LRU set runs %v, want BIP", s.pol.Kind())
+	}
+	s = newShadowSet(4, policy.BIP, sim.NewRNG(1))
+	if s.pol.Kind() != policy.LRU {
+		t.Fatalf("shadow of a BIP set runs %v, want LRU", s.pol.Kind())
+	}
+}
+
+func TestShadowInsertLookup(t *testing.T) {
+	s := newShadow(t, 4)
+	s.insert(0xAB)
+	if !s.lookupInvalidate(0xAB) {
+		t.Fatal("inserted signature not found")
+	}
+	if s.lookupInvalidate(0xAB) {
+		t.Fatal("signature survived its own lookup (must invalidate)")
+	}
+	if s.occupancy() != 0 {
+		t.Fatalf("occupancy %d after drain", s.occupancy())
+	}
+}
+
+func TestShadowDuplicateInsertRefreshes(t *testing.T) {
+	s := newShadow(t, 4)
+	s.insert(1)
+	s.insert(1)
+	if s.occupancy() != 1 {
+		t.Fatalf("duplicate insert created %d entries", s.occupancy())
+	}
+}
+
+func TestShadowReplacesWhenFull(t *testing.T) {
+	s := newShadow(t, 2)
+	s.insert(1)
+	s.insert(2)
+	s.insert(3) // evicts per the shadow's (BIP) policy
+	if s.occupancy() != 2 {
+		t.Fatalf("occupancy %d, want 2", s.occupancy())
+	}
+	found := 0
+	for _, sig := range []uint32{1, 2, 3} {
+		if s.lookupInvalidate(sig) {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("found %d of the 3 signatures, want exactly 2 resident", found)
+	}
+}
+
+func TestShadowQuickOccupancyBound(t *testing.T) {
+	f := func(sigs []uint16) bool {
+		s := newShadowSet(4, policy.LRU, sim.NewRNG(3))
+		for _, g := range sigs {
+			if g%3 == 0 {
+				s.lookupInvalidate(uint32(g % 64))
+			} else {
+				s.insert(uint32(g % 64))
+			}
+			if s.occupancy() > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorCounterRules(t *testing.T) {
+	g := counterGeom{max: 15, msb: 8}
+	var m monitor
+	// Shadow hits increment both counters, saturating.
+	for i := 0; i < 20; i++ {
+		m.onShadowHit(g)
+	}
+	if m.scS != 15 || m.scT != 15 {
+		t.Fatalf("counters (%d,%d), want saturation", m.scS, m.scT)
+	}
+	if !m.isTaker(g) || m.isGiver(g) {
+		t.Fatal("saturated counter must mark a taker, not a giver")
+	}
+	// LLC hits always decrement SC_T, SC_S only when the 1/2^n event fires.
+	m.onLLCHit(false)
+	if m.scT != 14 || m.scS != 15 {
+		t.Fatalf("counters (%d,%d) after plain hit", m.scS, m.scT)
+	}
+	m.onLLCHit(true)
+	if m.scT != 13 || m.scS != 14 {
+		t.Fatalf("counters (%d,%d) after decS hit", m.scS, m.scT)
+	}
+	// Floor at zero.
+	for i := 0; i < 40; i++ {
+		m.onLLCHit(true)
+	}
+	if m.scS != 0 || m.scT != 0 {
+		t.Fatalf("counters (%d,%d), want floor 0", m.scS, m.scT)
+	}
+	if !m.isGiver(g) || m.isTaker(g) {
+		t.Fatal("zero counter must mark a giver")
+	}
+}
+
+func TestMonitorSwapSignal(t *testing.T) {
+	g := counterGeom{max: 15, msb: 8}
+	var m monitor
+	swaps := 0
+	for i := 0; i < 15; i++ {
+		if m.onShadowHit(g) {
+			swaps++
+		}
+	}
+	if swaps != 1 {
+		t.Fatalf("swap signalled %d times over 15 shadow hits, want exactly once at saturation", swaps)
+	}
+}
+
+func TestMonitorMidRangeIsNeither(t *testing.T) {
+	g := counterGeom{max: 15, msb: 8}
+	m := monitor{scS: 10}
+	if m.isTaker(g) || m.isGiver(g) {
+		t.Fatal("SC_S=10 must be neither taker nor giver")
+	}
+}

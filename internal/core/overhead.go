@@ -1,0 +1,74 @@
+package core
+
+import "repro/internal/sim"
+
+// OverheadReport is the hardware storage analysis of paper Table 3: every
+// additional field STEM adds over a conventional LRU cache, and the
+// resulting relative storage overhead (the paper reports 3.1% for the 2MB /
+// 16-way / 44-bit-address configuration).
+type OverheadReport struct {
+	AddressBits int // effective physical address width
+	TagBits     int // tag field width
+	RankBits    int // replacement rank field per line
+
+	// Baseline (conventional LRU cache) storage in bits.
+	BaselineDataBits int
+	BaselineTagBits  int // tag store incl. valid/dirty/rank
+
+	// STEM additions in bits.
+	CCBits         int // 1 CC bit per line
+	ShadowBits     int // shadow sets: m-bit sig + valid + rank per entry
+	CounterBits    int // SC_S + SC_T per set
+	AssocTableBits int // one set-index-wide entry per set
+	HeapBits       int // selector heap: (index + saturation) per entry
+
+	// OverheadFraction is (STEM additions) / (baseline total).
+	OverheadFraction float64
+}
+
+// Overhead computes the Table 3 storage analysis for a STEM cache over the
+// given geometry and config, assuming addressBits of physical address (the
+// paper uses the Alpha 21264's 44). Defaults are applied to the config
+// first, and rank fields are log2(Ways) bits as in Table 3.
+func Overhead(geom sim.Geometry, cfg Config, addressBits int) OverheadReport {
+	cfg.applyDefaults()
+	indexBits := int(geom.IndexBits())
+	offsetBits := int(geom.OffsetBits())
+	rankBits := ceilLog2(geom.Ways)
+
+	r := OverheadReport{
+		AddressBits: addressBits,
+		TagBits:     addressBits - indexBits - offsetBits,
+		RankBits:    rankBits,
+	}
+	lines := geom.Sets * geom.Ways
+	r.BaselineDataBits = lines * geom.LineSize * 8
+	// Tag store per line: tag + valid + dirty + rank.
+	r.BaselineTagBits = lines * (r.TagBits + 1 + 1 + rankBits)
+
+	r.CCBits = lines // one CC bit per tag entry
+	// Shadow entry per line: m-bit signature + valid + rank.
+	r.ShadowBits = lines * (cfg.SignatureBits + 1 + rankBits)
+	r.CounterBits = geom.Sets * 2 * cfg.CounterBits
+	r.AssocTableBits = geom.Sets * indexBits
+	r.HeapBits = cfg.SelectorSize * (indexBits + cfg.CounterBits)
+
+	extra := r.CCBits + r.ShadowBits + r.CounterBits + r.AssocTableBits + r.HeapBits
+	base := r.BaselineDataBits + r.BaselineTagBits
+	r.OverheadFraction = float64(extra) / float64(base)
+	return r
+}
+
+// ExtraBits returns the total number of bits STEM adds.
+func (r OverheadReport) ExtraBits() int {
+	return r.CCBits + r.ShadowBits + r.CounterBits + r.AssocTableBits + r.HeapBits
+}
+
+func ceilLog2(v int) int {
+	n, p := 0, 1
+	for p < v {
+		p <<= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package dip
+
+import (
+	"testing"
+
+	"repro/internal/basecache"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+var geom = sim.Geometry{Sets: 64, Ways: 4, LineSize: 64}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad geometry":     func() { New(sim.Geometry{Sets: 5, Ways: 2, LineSize: 64}, Config{}) },
+		"too many leaders": func() { New(geom, Config{LeadersPerPolicy: 64}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestStartsUndecided(t *testing.T) {
+	c := New(geom, Config{Seed: 1})
+	if c.PSEL() != 512 {
+		t.Fatalf("initial PSEL = %d, want midpoint 512", c.PSEL())
+	}
+}
+
+// thrash drives every set with a cyclic working set of size ways+1, the
+// canonical LRU-killer.
+func thrash(c *Cache, rounds int) {
+	g := c.Geometry()
+	for r := 0; r < rounds; r++ {
+		for tag := uint64(1); tag <= uint64(g.Ways)+1; tag++ {
+			for set := 0; set < g.Sets; set++ {
+				c.Access(sim.Access{Block: g.BlockFor(tag, set)})
+			}
+		}
+	}
+}
+
+func TestDuelPicksBIPUnderThrash(t *testing.T) {
+	c := New(geom, Config{Seed: 1})
+	thrash(c, 30)
+	if c.Winner() != policy.BIP {
+		t.Fatalf("winner = %v after thrash, want BIP (PSEL=%d)", c.Winner(), c.PSEL())
+	}
+}
+
+func TestDuelPicksLRUUnderRecency(t *testing.T) {
+	c := New(geom, Config{Seed: 1})
+	g := c.Geometry()
+	// Interleaved pairs (reuse at stack distance 2): LRU-friendly,
+	// BIP-hostile — see basecache tests.
+	next := uint64(1)
+	for i := 0; i < 4000; i++ {
+		x, y := next, next+1
+		next += 2
+		for _, tag := range []uint64{x, y, x, y} {
+			for set := 0; set < g.Sets; set += 8 {
+				c.Access(sim.Access{Block: g.BlockFor(tag, set)})
+			}
+		}
+	}
+	if c.Winner() != policy.LRU {
+		t.Fatalf("winner = %v on recency stream, want LRU (PSEL=%d)", c.Winner(), c.PSEL())
+	}
+}
+
+func TestBeatsLRUOnThrash(t *testing.T) {
+	d := New(geom, Config{Seed: 1})
+	l := basecache.NewLRU(geom, 1)
+	warm := func(c sim.Simulator) {
+		g := c.Geometry()
+		for r := 0; r < 100; r++ {
+			for tag := uint64(1); tag <= uint64(g.Ways)+1; tag++ {
+				for set := 0; set < g.Sets; set++ {
+					c.Access(sim.Access{Block: g.BlockFor(tag, set)})
+				}
+			}
+			if r == 30 {
+				c.ResetStats()
+			}
+		}
+	}
+	warm(d)
+	warm(l)
+	if lr, dr := l.Stats().MissRate(), d.Stats().MissRate(); dr >= lr {
+		t.Fatalf("DIP miss rate %v not better than LRU %v on thrash", dr, lr)
+	}
+	if l.Stats().MissRate() < 0.99 {
+		t.Fatalf("LRU should thrash completely, got %v", l.Stats().MissRate())
+	}
+}
+
+func TestMatchesLRUOnFit(t *testing.T) {
+	// Working set fits: both DIP and LRU converge to ~zero misses.
+	d := New(geom, Config{Seed: 1})
+	g := d.Geometry()
+	for r := 0; r < 50; r++ {
+		for tag := uint64(1); tag <= uint64(g.Ways); tag++ {
+			for set := 0; set < g.Sets; set++ {
+				d.Access(sim.Access{Block: g.BlockFor(tag, set)})
+			}
+		}
+		if r == 10 {
+			d.ResetStats()
+		}
+	}
+	if mr := d.Stats().MissRate(); mr != 0 {
+		t.Fatalf("DIP misses on fitting working set: %v", mr)
+	}
+}
+
+func TestPSELBounds(t *testing.T) {
+	c := New(geom, Config{Seed: 1, PSELBits: 4})
+	thrash(c, 100) // drive PSEL hard toward one rail
+	if c.PSEL() < 0 || c.PSEL() > 15 {
+		t.Fatalf("PSEL = %d escaped [0,15]", c.PSEL())
+	}
+}
+
+func TestLeaderLayout(t *testing.T) {
+	c := New(geom, Config{Seed: 1, LeadersPerPolicy: 4})
+	var lru, bip int
+	for _, r := range c.roles {
+		switch r {
+		case leaderLRU:
+			lru++
+		case leaderBIP:
+			bip++
+		}
+	}
+	if lru != 4 || bip != 4 {
+		t.Fatalf("leader counts lru=%d bip=%d, want 4 and 4", lru, bip)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Stats {
+		c := New(geom, Config{Seed: 99})
+		rng := sim.NewRNG(5)
+		for i := 0; i < 20000; i++ {
+			c.Access(sim.Access{Block: uint64(rng.Intn(4096))})
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged")
+	}
+}

@@ -1,0 +1,125 @@
+// Package drrip implements Dynamic RRIP (Jaleel et al., ISCA 2010) — set
+// dueling between SRRIP and BRRIP, exactly mirroring DIP's structure with
+// the RRIP insertion flavours in place of LRU/BIP.
+//
+// DRRIP postdates the STEM paper and is not part of its evaluation; the
+// repository includes it as the extension baseline for the question the
+// paper leaves open: does set-level spatiotemporal management still pay
+// against the next generation of cache-level temporal policies? (See the
+// extension benchmarks and EXPERIMENTS.md.)
+package drrip
+
+import (
+	"fmt"
+
+	"repro/internal/basecache"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a DRRIP cache.
+type Config struct {
+	// LeadersPerPolicy is the number of dedicated leader sets per flavour.
+	// Default: Sets/64, at least 1.
+	LeadersPerPolicy int
+	// PSELBits is the width of the selector counter. Default: 10.
+	PSELBits int
+	// Seed drives BRRIP's insertion randomness.
+	Seed uint64
+}
+
+type role uint8
+
+const (
+	follower role = iota
+	leaderSRRIP
+	leaderBRRIP
+)
+
+// Cache is a DRRIP-managed cache implementing sim.Simulator.
+type Cache struct {
+	base    *basecache.Cache
+	roles   []role
+	psel    int
+	pselMax int
+}
+
+// New constructs a DRRIP cache. It panics on invalid geometry.
+func New(geom sim.Geometry, cfg Config) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("drrip: %v", err))
+	}
+	if cfg.LeadersPerPolicy <= 0 {
+		cfg.LeadersPerPolicy = geom.Sets / 64
+		if cfg.LeadersPerPolicy < 1 {
+			cfg.LeadersPerPolicy = 1
+		}
+	}
+	if 2*cfg.LeadersPerPolicy > geom.Sets {
+		panic("drrip: more leader sets than cache sets")
+	}
+	if cfg.PSELBits <= 0 {
+		cfg.PSELBits = 10
+	}
+	c := &Cache{
+		roles:   make([]role, geom.Sets),
+		pselMax: 1<<uint(cfg.PSELBits) - 1,
+	}
+	c.psel = (c.pselMax + 1) / 2
+	stride := geom.Sets / cfg.LeadersPerPolicy
+	for i := 0; i < cfg.LeadersPerPolicy; i++ {
+		c.roles[i*stride] = leaderSRRIP
+		c.roles[i*stride+stride/2] = leaderBRRIP
+	}
+	c.base = basecache.New("DRRIP", geom, cfg.Seed, func(set int, ways int, rng *sim.RNG) policy.Policy {
+		switch c.roles[set] {
+		case leaderSRRIP:
+			return policy.NewRRIP(policy.SRRIP, ways, rng)
+		case leaderBRRIP:
+			return policy.NewRRIP(policy.BRRIP, ways, rng)
+		default:
+			return policy.NewDualRRIP(ways, rng, c.winner)
+		}
+	})
+	c.base.SetHooks(basecache.Hooks{OnMiss: c.onMiss})
+	return c
+}
+
+// winner returns the flavour followers currently insert with.
+func (c *Cache) winner() policy.Kind {
+	if c.psel > c.pselMax/2 {
+		return policy.BRRIP
+	}
+	return policy.SRRIP
+}
+
+// Winner exposes the dueling decision (tests, reporting).
+func (c *Cache) Winner() policy.Kind { return c.winner() }
+
+func (c *Cache) onMiss(set int, _ uint64) {
+	switch c.roles[set] {
+	case leaderSRRIP:
+		if c.psel < c.pselMax {
+			c.psel++
+		}
+	case leaderBRRIP:
+		if c.psel > 0 {
+			c.psel--
+		}
+	}
+}
+
+// Name implements sim.Simulator.
+func (c *Cache) Name() string { return "DRRIP" }
+
+// Geometry implements sim.Simulator.
+func (c *Cache) Geometry() sim.Geometry { return c.base.Geometry() }
+
+// Access implements sim.Simulator.
+func (c *Cache) Access(a sim.Access) sim.Outcome { return c.base.Access(a) }
+
+// Stats implements sim.Simulator.
+func (c *Cache) Stats() sim.Stats { return c.base.Stats() }
+
+// ResetStats implements sim.Simulator.
+func (c *Cache) ResetStats() { c.base.ResetStats() }

@@ -1,0 +1,116 @@
+package drrip
+
+import (
+	"testing"
+
+	"repro/internal/basecache"
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+var geom = sim.Geometry{Sets: 64, Ways: 4, LineSize: 64}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad geometry":     func() { New(sim.Geometry{Sets: 5, Ways: 2, LineSize: 64}, Config{}) },
+		"too many leaders": func() { New(geom, Config{LeadersPerPolicy: 64}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(geom, Config{Seed: 1})
+	b := geom.BlockFor(3, 7)
+	if c.Access(sim.Access{Block: b}).Hit {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(sim.Access{Block: b}).Hit {
+		t.Fatal("warm miss")
+	}
+}
+
+func thrash(c sim.Simulator, rounds, ws int) {
+	g := c.Geometry()
+	for r := 0; r < rounds; r++ {
+		for tag := uint64(1); tag <= uint64(ws); tag++ {
+			for set := 0; set < g.Sets; set++ {
+				c.Access(sim.Access{Block: g.BlockFor(tag, set)})
+			}
+		}
+	}
+}
+
+func TestDuelPicksBRRIPUnderThrash(t *testing.T) {
+	c := New(geom, Config{Seed: 1})
+	thrash(c, 40, geom.Ways*3)
+	if c.Winner() != policy.BRRIP {
+		t.Fatalf("winner = %v under thrash, want BRRIP", c.Winner())
+	}
+}
+
+func TestBeatsLRUOnThrash(t *testing.T) {
+	d := New(geom, Config{Seed: 1})
+	l := basecache.NewLRU(geom, 1)
+	run := func(c sim.Simulator) float64 {
+		thrash(c, 30, geom.Ways+2)
+		c.ResetStats()
+		thrash(c, 60, geom.Ways+2)
+		return c.Stats().MissRate()
+	}
+	if dr, lr := run(d), run(l); dr >= lr {
+		t.Fatalf("DRRIP %v not better than LRU %v on thrash", dr, lr)
+	}
+}
+
+func TestNearLRUOnScans(t *testing.T) {
+	// SRRIP's scan resistance: a hot working set polluted by one-shot scan
+	// blocks. DRRIP must beat LRU here, which BIP-style schemes also do but
+	// plain LRU cannot.
+	run := func(c sim.Simulator) float64 {
+		g := c.Geometry()
+		rng := sim.NewRNG(3)
+		next := uint64(100)
+		drive := func(n int) {
+			for i := 0; i < n; i++ {
+				set := rng.Intn(g.Sets)
+				if rng.OneIn(3) {
+					next++
+					c.Access(sim.Access{Block: g.BlockFor(next, set)}) // scan
+				} else {
+					c.Access(sim.Access{Block: g.BlockFor(uint64(rng.Intn(g.Ways-1))+1, set)}) // hot
+				}
+			}
+		}
+		drive(40000)
+		c.ResetStats()
+		drive(80000)
+		return c.Stats().MissRate()
+	}
+	dr := run(New(geom, Config{Seed: 1}))
+	lr := run(basecache.NewLRU(geom, 1))
+	if dr >= lr {
+		t.Fatalf("DRRIP %v not better than LRU %v on scan pollution", dr, lr)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Stats {
+		c := New(geom, Config{Seed: 11})
+		rng := sim.NewRNG(5)
+		for i := 0; i < 30000; i++ {
+			c.Access(sim.Access{Block: uint64(rng.Intn(4096))})
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged")
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Ablations extend the paper's sensitivity study (§5.3): they isolate the
+// contribution of each STEM mechanism and sweep the hardware parameters of
+// Table 3. The paper motivates these design choices qualitatively; the
+// ablation harness measures them.
+
+// AblationVariant is one STEM configuration under study.
+type AblationVariant struct {
+	Name string
+	Cfg  core.Config
+}
+
+// ComponentVariants isolates STEM's mechanisms:
+//
+//	STEM            the full design
+//	spatial-only    policy swapping disabled (coupling + shadow metric only)
+//	temporal-only   coupling disabled (per-set LRU/BIP dueling only)
+//	sbc-receive     the §4.6 receiving constraint removed (SBC-style spill)
+func ComponentVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "STEM", Cfg: core.Config{}},
+		{Name: "spatial-only", Cfg: core.Config{DisableSwap: true}},
+		{Name: "temporal-only", Cfg: core.Config{DisableCoupling: true}},
+		{Name: "sbc-receive", Cfg: core.Config{UnconstrainedReceive: true}},
+	}
+}
+
+// ParameterVariants sweeps one Table 3 hardware parameter.
+func ParameterVariants(param string) ([]AblationVariant, error) {
+	switch param {
+	case "k": // counter bits
+		var vs []AblationVariant
+		for _, k := range []int{2, 3, 4, 5, 6} {
+			vs = append(vs, AblationVariant{
+				Name: fmt.Sprintf("k=%d", k), Cfg: core.Config{CounterBits: k}})
+		}
+		return vs, nil
+	case "n": // spatial decrement shift
+		var vs []AblationVariant
+		for _, n := range []int{1, 2, 3, 4, 5} {
+			vs = append(vs, AblationVariant{
+				Name: fmt.Sprintf("n=%d", n), Cfg: core.Config{SpatialShift: n}})
+		}
+		return vs, nil
+	case "m": // shadow signature bits
+		var vs []AblationVariant
+		for _, m := range []int{4, 6, 8, 10, 14} {
+			vs = append(vs, AblationVariant{
+				Name: fmt.Sprintf("m=%d", m), Cfg: core.Config{SignatureBits: m}})
+		}
+		return vs, nil
+	case "heap": // selector capacity
+		var vs []AblationVariant
+		for _, h := range []int{4, 8, 16, 32, 64} {
+			vs = append(vs, AblationVariant{
+				Name: fmt.Sprintf("heap=%d", h), Cfg: core.Config{SelectorSize: h}})
+		}
+		return vs, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation parameter %q (have k, n, m, heap)", param)
+	}
+}
+
+// Ablate runs the given STEM variants over the named analogs and returns a
+// table of MPKI normalized to the LRU baseline (rows: benchmarks + geomean;
+// columns: variants).
+func Ablate(variants []AblationVariant, benchNames []string, run RunConfig) (*stats.Table, error) {
+	run = run.withDefaults()
+	if len(benchNames) == 0 {
+		benchNames = []string{"ammp", "omnetpp", "cactusADM", "twolf"}
+	}
+	benches := make([]workloads.Benchmark, 0, len(benchNames))
+	for _, n := range benchNames {
+		b, err := workloads.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		benches = append(benches, b)
+	}
+
+	var jobs []job
+	for _, b := range benches {
+		b := b
+		jobs = append(jobs, job{
+			key: b.Name + "/LRU",
+			run: func() (RunResult, error) { return RunWorkload(b.Workload, "LRU", run) },
+		})
+		for _, v := range variants {
+			b, v := b, v
+			jobs = append(jobs, job{
+				key: b.Name + "/" + v.Name,
+				run: func() (RunResult, error) {
+					cfg := v.Cfg
+					cfg.Seed = run.Seed ^ 0xC0FFEE
+					c := core.New(run.Geom, cfg)
+					gen := trace.NewGen(b.Workload, run.Geom, run.Seed)
+					return Run(c, gen, run), nil
+				},
+			})
+		}
+	}
+	results, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	cols := make([]string, 0, len(variants))
+	for _, v := range variants {
+		cols = append(cols, v.Name)
+	}
+	t := stats.NewTable("STEM ablation: MPKI normalized to LRU", "bench", cols...)
+	for _, b := range benches {
+		base := results[b.Name+"/LRU"]
+		for _, v := range variants {
+			r := results[b.Name+"/"+v.Name]
+			t.Set(b.Name, v.Name, stats.Normalize(r.MPKI, base.MPKI))
+		}
+	}
+	t.AddGeomeanRow()
+	return t, nil
+}

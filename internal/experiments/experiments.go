@@ -1,0 +1,206 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation (§3 and §5). Each runner builds the workload, drives
+// the schemes under test, and returns the same rows/series the paper
+// reports. The cmd/paperrepro binary and the repository's benchmark suite
+// are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/basecache"
+	"repro/internal/core"
+	"repro/internal/dip"
+	"repro/internal/drrip"
+	"repro/internal/mem"
+	"repro/internal/pelifo"
+	"repro/internal/policy"
+	"repro/internal/sbc"
+	"repro/internal/sim"
+	"repro/internal/skew"
+	"repro/internal/trace"
+	"repro/internal/vway"
+)
+
+// SchemeNames lists the six schemes of the evaluation in presentation
+// order. LRU is the normalization baseline.
+var SchemeNames = []string{"LRU", "DIP", "PELIFO", "VWAY", "SBC", "STEM"}
+
+// ExtensionSchemeNames lists additional schemes available from NewScheme
+// that are not part of the paper's evaluation: the RRIP family (ISCA 2010),
+// which postdates the paper and serves as the extension baseline, and the
+// skewed-associative cache (ISCA 1993) the related work cites as the
+// earliest spatial approach.
+var ExtensionSchemeNames = []string{"SRRIP", "DRRIP", "SKEW"}
+
+// NewScheme constructs a scheme by name over the given geometry.
+func NewScheme(name string, geom sim.Geometry, seed uint64) (sim.Simulator, error) {
+	switch name {
+	case "LRU":
+		return basecache.NewLRU(geom, seed), nil
+	case "DIP":
+		return dip.New(geom, dip.Config{Seed: seed}), nil
+	case "PELIFO":
+		return pelifo.New(geom, pelifo.Config{Seed: seed}), nil
+	case "VWAY":
+		return vway.New(geom, vway.Config{Seed: seed}), nil
+	case "SBC":
+		return sbc.New(geom, sbc.Config{Seed: seed}), nil
+	case "STEM":
+		return core.New(geom, core.Config{Seed: seed}), nil
+	case "SRRIP":
+		return basecache.New("SRRIP", geom, seed, func(_ int, ways int, rng *sim.RNG) policy.Policy {
+			return policy.NewRRIP(policy.SRRIP, ways, rng)
+		}), nil
+	case "DRRIP":
+		return drrip.New(geom, drrip.Config{Seed: seed}), nil
+	case "SKEW":
+		return skew.New(geom, seed), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q (have %v and extensions %v)",
+			name, SchemeNames, ExtensionSchemeNames)
+	}
+}
+
+// PaperGeometry is the evaluation's standard LLC: 2MB, 16-way, 64B lines
+// (Table 1).
+var PaperGeometry = sim.Geometry{Sets: 2048, Ways: 16, LineSize: 64}
+
+// RunConfig controls one simulation run.
+type RunConfig struct {
+	// Geom is the LLC organization. Zero value → PaperGeometry.
+	Geom sim.Geometry
+	// Warmup is the number of accesses before measurement starts.
+	Warmup int
+	// Measure is the number of measured accesses.
+	Measure int
+	// Timing parameterizes AMAT/CPI. Zero value → mem.DefaultTiming().
+	Timing mem.Timing
+	// Seed drives the scheme and the workload generator.
+	Seed uint64
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Geom == (sim.Geometry{}) {
+		c.Geom = PaperGeometry
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 1_000_000
+	}
+	if c.Measure <= 0 {
+		c.Measure = 3_000_000
+	}
+	if c.Timing == (mem.Timing{}) {
+		c.Timing = mem.DefaultTiming()
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x57E4 // fixed default so every report is reproducible
+	}
+	return c
+}
+
+// RunResult summarizes one (workload, scheme) simulation.
+type RunResult struct {
+	Scheme   string
+	Stats    sim.Stats
+	MissRate float64
+	MPKI     float64
+	AMAT     float64
+	CPI      float64
+}
+
+// Run drives sim over gen: Warmup accesses unmeasured, then Measure
+// accesses through a timing account.
+func Run(s sim.Simulator, gen trace.Generator, cfg RunConfig) RunResult {
+	cfg = cfg.withDefaults()
+	for i := 0; i < cfg.Warmup; i++ {
+		r := gen.Next()
+		s.Access(sim.Access{Block: r.Block, Write: r.Write})
+	}
+	s.ResetStats()
+	acct := mem.NewAccount(cfg.Timing)
+	for i := 0; i < cfg.Measure; i++ {
+		r := gen.Next()
+		out := s.Access(sim.Access{Block: r.Block, Write: r.Write})
+		acct.Record(r.Instrs, out)
+	}
+	st := s.Stats()
+	return RunResult{
+		Scheme:   s.Name(),
+		Stats:    st,
+		MissRate: st.MissRate(),
+		MPKI:     acct.MPKI(),
+		AMAT:     acct.AMAT(),
+		CPI:      acct.CPI(),
+	}
+}
+
+// RunWorkload builds the named scheme and the workload generator, then
+// runs them. Scheme and generator seeds are decoupled so schemes see
+// identical reference streams.
+func RunWorkload(w trace.Workload, scheme string, cfg RunConfig) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	s, err := NewScheme(scheme, cfg.Geom, cfg.Seed^0xC0FFEE)
+	if err != nil {
+		return RunResult{}, err
+	}
+	gen := trace.NewGen(w, cfg.Geom, cfg.Seed)
+	return Run(s, gen, cfg), nil
+}
+
+// job/parallel helpers: the comparison matrices are embarrassingly
+// parallel, one simulator instance per goroutine.
+
+type job struct {
+	key string
+	run func() (RunResult, error)
+}
+
+// runAll executes jobs on up to GOMAXPROCS workers and collects results by
+// key; the first error aborts the collection.
+func runAll(jobs []job) (map[string]RunResult, error) {
+	type reply struct {
+		key string
+		res RunResult
+		err error
+	}
+	in := make(chan job)
+	out := make(chan reply, len(jobs))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range in {
+				res, err := j.run()
+				out <- reply{key: j.key, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+		wg.Wait()
+		close(out)
+	}()
+	results := make(map[string]RunResult, len(jobs))
+	var firstErr error
+	for r := range out {
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		results[r.key] = r.res
+	}
+	return results, firstErr
+}

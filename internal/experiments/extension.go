@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ExtensionComparison runs the extension experiment the paper leaves open:
+// STEM against the RRIP family (SRRIP/DRRIP, ISCA 2010), which appeared the
+// same year and became the dominant temporal baseline afterwards. The
+// question is whether set-level spatiotemporal management still pays when
+// the cache-level temporal baseline is stronger than DIP.
+//
+// Returns MPKI normalized to LRU over the full 15-analog suite with a
+// geomean row; columns are DIP (for reference), SRRIP, DRRIP, STEM.
+func ExtensionComparison(run RunConfig) (*stats.Table, error) {
+	run = run.withDefaults()
+	schemes := []string{"LRU", "DIP", "SRRIP", "DRRIP", "STEM"}
+	suite := workloads.Suite()
+
+	var jobs []job
+	for _, b := range suite {
+		for _, sc := range schemes {
+			b, sc := b, sc
+			jobs = append(jobs, job{
+				key: b.Name + "/" + sc,
+				run: func() (RunResult, error) { return RunWorkload(b.Workload, sc, run) },
+			})
+		}
+	}
+	results, err := runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Extension: MPKI normalized to LRU (RRIP family vs STEM)",
+		"bench", schemes[1:]...)
+	for _, b := range suite {
+		base := results[b.Name+"/LRU"]
+		for _, sc := range schemes[1:] {
+			t.Set(b.Name, sc, stats.Normalize(results[b.Name+"/"+sc].MPKI, base.MPKI))
+		}
+	}
+	t.AddGeomeanRow()
+	return t, nil
+}

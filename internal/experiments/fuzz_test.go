@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzSchemesAgree drives every scheme (paper + extensions) with an
+// arbitrary access stream derived from fuzz bytes and checks the shared
+// safety properties: no panics, hit-soundness, consistent counters.
+func FuzzSchemesAgree(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3}, uint64(1))
+	f.Add([]byte{0, 0, 0, 0}, uint64(2))
+	f.Add([]byte{255, 128, 64, 32, 16, 8, 4, 2, 1}, uint64(3))
+	geom := sim.Geometry{Sets: 8, Ways: 2, LineSize: 64}
+
+	all := append(append([]string(nil), SchemeNames...), ExtensionSchemeNames...)
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		for _, name := range all {
+			s, err := NewScheme(name, geom, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[uint64]bool{}
+			for i, d := range data {
+				b := uint64(d) | uint64(i%3)<<8 // mix positions for variety
+				out := s.Access(sim.Access{Block: b, Write: d&1 == 1})
+				if out.Hit && !seen[b] {
+					t.Fatalf("%s: hit on never-inserted block %#x", name, b)
+				}
+				if out.SecondaryHit && (!out.Hit || !out.Secondary) {
+					t.Fatalf("%s: inconsistent outcome %+v", name, out)
+				}
+				seen[b] = true
+			}
+			st := s.Stats()
+			if st.Hits+st.Misses != st.Accesses || st.Accesses != uint64(len(data)) {
+				t.Fatalf("%s: inconsistent stats %+v for %d accesses", name, st, len(data))
+			}
+		}
+	})
+}

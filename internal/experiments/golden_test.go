@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Golden determinism: with fixed seeds, every scheme's exact miss count on
+// a small fixed configuration is locked. Any unintended behavioural change
+// to a scheme, a policy, the RNG, or the workload generators trips this
+// test; intentional changes must regenerate the constants (see the comment
+// at the bottom).
+func TestGoldenMissCounts(t *testing.T) {
+	cfg := RunConfig{
+		Geom:    sim.Geometry{Sets: 128, Ways: 16, LineSize: 64},
+		Warmup:  50_000,
+		Measure: 150_000,
+	}
+	golden := map[string]map[string]uint64{
+		"omnetpp": {"LRU": 118813, "DIP": 62469, "PELIFO": 62098, "VWAY": 78318, "SBC": 86721, "STEM": 41503, "SRRIP": 112567, "DRRIP": 64564, "SKEW": 44878},
+		"ammp":    {"LRU": 63861, "DIP": 64690, "PELIFO": 63861, "VWAY": 63861, "SBC": 64991, "STEM": 50956, "SRRIP": 63861, "DRRIP": 63861, "SKEW": 35034},
+		"mcf":     {"LRU": 148180, "DIP": 92858, "PELIFO": 92357, "VWAY": 147540, "SBC": 148180, "STEM": 94115, "SRRIP": 144228, "DRRIP": 96119, "SKEW": 97578},
+		"twolf":   {"LRU": 18411, "DIP": 18411, "PELIFO": 18411, "VWAY": 21621, "SBC": 18411, "STEM": 18411, "SRRIP": 18411, "DRRIP": 18411, "SKEW": 27620},
+	}
+	for bn, schemes := range golden {
+		b, err := workloads.ByName(bn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for sc, want := range schemes {
+			r, err := RunWorkload(b.Workload, sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Stats.Misses != want {
+				t.Errorf("%s/%s: %d misses, golden %d — behaviour changed; if intended, regenerate the golden table",
+					bn, sc, r.Stats.Misses, want)
+			}
+		}
+	}
+}
+
+// To regenerate: print r.Stats.Misses for each (benchmark, scheme) pair at
+// the config above and paste the values into the golden map.

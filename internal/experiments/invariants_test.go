@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// Black-box invariants that must hold for every scheme in the evaluation,
+// whatever its internal mechanism.
+
+var invGeom = sim.Geometry{Sets: 16, Ways: 4, LineSize: 64}
+
+func forEachScheme(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	for _, name := range SchemeNames {
+		name := name
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
+func TestInvariantHitSoundness(t *testing.T) {
+	// No scheme may report a hit for a block that was never inserted.
+	forEachScheme(t, func(t *testing.T, name string) {
+		check := func(raw []uint16, seed uint64) bool {
+			s, err := NewScheme(name, invGeom, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := map[uint64]bool{}
+			for _, r := range raw {
+				b := uint64(r % 512)
+				out := s.Access(sim.Access{Block: b})
+				if out.Hit && !seen[b] {
+					return false
+				}
+				seen[b] = true
+			}
+			return true
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestInvariantStatsConsistency(t *testing.T) {
+	// Hits + misses == accesses; secondary hits bounded by both hits and
+	// secondary probes; spills equal receives.
+	forEachScheme(t, func(t *testing.T, name string) {
+		s, err := NewScheme(name, invGeom, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(5)
+		for i := 0; i < 50000; i++ {
+			var b uint64
+			if rng.OneIn(3) {
+				b = uint64(rng.Intn(16)) // hot small sets
+			} else {
+				b = uint64(rng.Intn(1024)) // wide spread
+			}
+			s.Access(sim.Access{Block: b, Write: rng.OneIn(4)})
+		}
+		st := s.Stats()
+		if st.Hits+st.Misses != st.Accesses {
+			t.Fatalf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+		}
+		if st.SecondaryHits > st.Hits || st.SecondaryHits > st.SecondaryRefs {
+			t.Fatalf("secondary hits %d exceed hits %d or probes %d",
+				st.SecondaryHits, st.Hits, st.SecondaryRefs)
+		}
+		if st.Spills != st.Receives {
+			t.Fatalf("spills %d != receives %d", st.Spills, st.Receives)
+		}
+		if st.Writebacks > st.Accesses {
+			t.Fatalf("writebacks %d exceed accesses %d", st.Writebacks, st.Accesses)
+		}
+	})
+}
+
+func TestInvariantColdCacheNeverHits(t *testing.T) {
+	forEachScheme(t, func(t *testing.T, name string) {
+		s, err := NewScheme(name, invGeom, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := uint64(0); b < 512; b++ {
+			if s.Access(sim.Access{Block: b}).Hit {
+				t.Fatalf("cold hit on block %d", b)
+			}
+		}
+	})
+}
+
+func TestInvariantFittingWorkingSetConverges(t *testing.T) {
+	// A working set that fits each set's local capacity must converge to
+	// (near-)zero misses under every scheme. V-Way's global replacement can
+	// transiently steal lines, so allow it a small residue.
+	forEachScheme(t, func(t *testing.T, name string) {
+		s, err := NewScheme(name, invGeom, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive := func(rounds int) {
+			for r := 0; r < rounds; r++ {
+				for set := 0; set < invGeom.Sets; set++ {
+					for tag := uint64(1); tag <= uint64(invGeom.Ways); tag++ {
+						s.Access(sim.Access{Block: invGeom.BlockFor(tag, set)})
+					}
+				}
+			}
+		}
+		drive(20)
+		s.ResetStats()
+		drive(50)
+		if mr := s.Stats().MissRate(); mr > 0.01 {
+			t.Fatalf("steady-state miss rate %v on a fitting working set", mr)
+		}
+	})
+}
+
+func TestInvariantResetStatsPreservesContents(t *testing.T) {
+	forEachScheme(t, func(t *testing.T, name string) {
+		s, err := NewScheme(name, invGeom, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := invGeom.BlockFor(7, 3)
+		s.Access(sim.Access{Block: b})
+		s.ResetStats()
+		if st := s.Stats(); st.Accesses != 0 {
+			t.Fatal("stats not cleared")
+		}
+		if !s.Access(sim.Access{Block: b}).Hit {
+			t.Fatal("ResetStats disturbed cache contents")
+		}
+	})
+}
+
+func TestInvariantDeterminismAcrossSchemes(t *testing.T) {
+	forEachScheme(t, func(t *testing.T, name string) {
+		run := func() sim.Stats {
+			s, err := NewScheme(name, invGeom, 99)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := sim.NewRNG(17)
+			for i := 0; i < 30000; i++ {
+				s.Access(sim.Access{Block: uint64(rng.Intn(2048)), Write: rng.OneIn(5)})
+			}
+			return s.Stats()
+		}
+		if run() != run() {
+			t.Fatal("identical runs diverged")
+		}
+	})
+}
+
+func TestInvariantWriteDirtiesExactlyOnce(t *testing.T) {
+	// Writing one block then evicting it must produce at least one
+	// writeback; rewriting a clean cache line on a hit must dirty it too.
+	forEachScheme(t, func(t *testing.T, name string) {
+		s, err := NewScheme(name, invGeom, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Access(sim.Access{Block: invGeom.BlockFor(1, 0), Write: true})
+		// Flood every set so the dirty block is eventually evicted no matter
+		// where a scheme may have moved it.
+		for tag := uint64(2); tag < 200; tag++ {
+			for set := 0; set < invGeom.Sets; set++ {
+				s.Access(sim.Access{Block: invGeom.BlockFor(tag, set)})
+			}
+		}
+		if s.Stats().Writebacks == 0 {
+			t.Fatal("dirty block vanished without a writeback")
+		}
+	})
+}

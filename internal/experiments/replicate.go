@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Replication guards the headline conclusion against seed choice: the paper
+// reports single runs; this harness repeats the main comparison across
+// independent seeds and summarizes each scheme's geomean-MPKI improvement.
+
+// ReplicationResult summarizes one scheme across seeds.
+type ReplicationResult struct {
+	Scheme   string
+	Geomeans []float64 // normalized-MPKI geomean per seed
+	Summary  stats.Summary
+}
+
+// Replicate runs the full 15×6 comparison once per seed and returns, per
+// scheme, the distribution of its normalized-MPKI geomean. It errors on an
+// empty seed list.
+func Replicate(run RunConfig, seeds []uint64) ([]ReplicationResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: Replicate needs at least one seed")
+	}
+	perScheme := map[string][]float64{}
+	for _, seed := range seeds {
+		cfg := run
+		cfg.Seed = seed
+		c, err := MainComparison(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range SchemeNames[1:] {
+			g, ok := c.MPKI.Get("Geomean", sc)
+			if !ok {
+				return nil, fmt.Errorf("experiments: seed %#x: missing geomean for %s", seed, sc)
+			}
+			perScheme[sc] = append(perScheme[sc], g)
+		}
+	}
+	var out []ReplicationResult
+	for _, sc := range SchemeNames[1:] {
+		gs := perScheme[sc]
+		out = append(out, ReplicationResult{
+			Scheme:   sc,
+			Geomeans: gs,
+			Summary:  stats.Summarize(gs),
+		})
+	}
+	return out, nil
+}
+
+// ReplicationTable renders the replication study.
+func ReplicationTable(results []ReplicationResult) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Seed replication (%d seeds): geomean MPKI normalized to LRU", seedCount(results)),
+		"scheme", "min", "median", "max")
+	for _, r := range results {
+		t.Set(r.Scheme, "min", r.Summary.Min)
+		t.Set(r.Scheme, "median", r.Summary.Median)
+		t.Set(r.Scheme, "max", r.Summary.Max)
+	}
+	return t
+}
+
+func seedCount(results []ReplicationResult) int {
+	if len(results) == 0 {
+		return 0
+	}
+	return len(results[0].Geomeans)
+}

@@ -1,0 +1,9 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// simAccess converts a trace ref into a cache access.
+func simAccess(r trace.Ref) sim.Access { return sim.Access{Block: r.Block, Write: r.Write} }

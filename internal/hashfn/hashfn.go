@@ -1,0 +1,66 @@
+// Package hashfn implements the hardware tag-signature hash STEM uses for
+// its shadow sets (paper §4.2, Table 3: m = 10-bit shadow tags, hash function
+// per Ramakrishna, Fu and Bahcekapili, "Efficient Hardware Hashing Functions
+// for High Performance Computers", IEEE ToC 1997).
+//
+// The hash is from the H3 family: each input bit selects a fixed random m-bit
+// row, and the output is the XOR of the selected rows. In hardware this is an
+// XOR tree per output bit; in software we evaluate it row by row. H3 hashes
+// are uniform and pairwise independent for fixed random matrices, which is
+// what gives the shadow set its low false-positive rate at 10 bits.
+package hashfn
+
+import (
+	"math/bits"
+
+	"repro/internal/sim"
+)
+
+// MaxBits is the widest supported signature. Shadow tags in the paper are 10
+// bits; wider signatures are allowed for sensitivity experiments.
+const MaxBits = 32
+
+// Hash is an H3 hash from 64-bit tags to m-bit signatures. The zero value is
+// not usable; construct with New.
+type Hash struct {
+	bits int
+	mask uint32
+	// rows[i] is XORed into the output when input bit i is set.
+	rows [64]uint32
+}
+
+// New builds an m-bit H3 hash whose matrix is drawn deterministically from
+// seed. Two Hash values built with the same (bits, seed) are identical.
+// It panics if bits is outside [1, MaxBits].
+func New(bits int, seed uint64) *Hash {
+	if bits < 1 || bits > MaxBits {
+		panic("hashfn: bits out of range")
+	}
+	h := &Hash{bits: bits, mask: uint32(1<<uint(bits)) - 1}
+	rng := sim.NewRNG(seed)
+	for i := range h.rows {
+		// Redraw all-zero rows: a zero row would make that input bit
+		// invisible to the signature.
+		for {
+			r := uint32(rng.Uint64()) & h.mask
+			if r != 0 {
+				h.rows[i] = r
+				break
+			}
+		}
+	}
+	return h
+}
+
+// Bits returns the signature width in bits.
+func (h *Hash) Bits() int { return h.bits }
+
+// Sum returns the m-bit signature of tag.
+func (h *Hash) Sum(tag uint64) uint32 {
+	var out uint32
+	for tag != 0 {
+		out ^= h.rows[bits.TrailingZeros64(tag)]
+		tag &= tag - 1
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/basecache"
+	"repro/internal/sim"
+)
+
+// HierarchyConfig parameterizes the two-level on-chip hierarchy of the
+// paper's Table 1: split L1 instruction/data caches in front of a unified
+// LLC, connected by a half-speed 16-byte bus.
+type HierarchyConfig struct {
+	// L1I and L1D geometries. Defaults: 2-way, 32KB, 64-byte lines.
+	L1I, L1D sim.Geometry
+	// BusBytesPerCycle is the L1-L2 bus width (Table 1: 16B/cycle).
+	BusBytesPerCycle int
+	// BusSpeedRatio is the core-to-bus clock ratio (Table 1: 2:1).
+	BusSpeedRatio int
+	// BusArbitrationCycles is charged per bus transaction (Table 1: 1).
+	BusArbitrationCycles int
+	// Timing is the latency model. Zero value → DefaultTiming().
+	Timing Timing
+	// Seed drives the L1 replacement state.
+	Seed uint64
+}
+
+func (c *HierarchyConfig) applyDefaults() {
+	def := sim.Geometry{Sets: 256, Ways: 2, LineSize: 64} // 32KB 2-way
+	if c.L1I == (sim.Geometry{}) {
+		c.L1I = def
+	}
+	if c.L1D == (sim.Geometry{}) {
+		c.L1D = def
+	}
+	if c.BusBytesPerCycle <= 0 {
+		c.BusBytesPerCycle = 16
+	}
+	if c.BusSpeedRatio <= 0 {
+		c.BusSpeedRatio = 2
+	}
+	if c.BusArbitrationCycles < 0 {
+		c.BusArbitrationCycles = 0
+	} else if c.BusArbitrationCycles == 0 {
+		c.BusArbitrationCycles = 1
+	}
+	if c.Timing == (Timing{}) {
+		c.Timing = DefaultTiming()
+	}
+}
+
+// HierarchyStats aggregates the hierarchy-level counters.
+type HierarchyStats struct {
+	Instrs      uint64 // retired instructions
+	L1IAccesses uint64
+	L1DAccesses uint64
+	L1IMisses   uint64
+	L1DMisses   uint64
+	Writebacks  uint64 // dirty L1D lines pushed into the L2
+	L2Cycles    uint64 // Σ per-access L2-side latency (demand accesses)
+	BusCycles   uint64 // core cycles the L1-L2 bus was busy
+}
+
+// Hierarchy drives a CPU-level reference stream through real L1 caches into
+// any LLC scheme, measuring AMAT over actual L1 accesses instead of the
+// analytic estimate the trace-level harness uses. L1 dirty evictions are
+// written back into the L2 (and charged to the bus) but are not on the
+// demand path, so they do not enter AMAT.
+type Hierarchy struct {
+	cfg   HierarchyConfig
+	l1i   *basecache.Cache
+	l1d   *basecache.Cache
+	l2    sim.Simulator
+	stats HierarchyStats
+}
+
+// NewHierarchy wraps an LLC with the Table 1 L1s and bus. The L1 and L2
+// line sizes must agree. It panics on invalid configuration.
+func NewHierarchy(l2 sim.Simulator, cfg HierarchyConfig) *Hierarchy {
+	cfg.applyDefaults()
+	if err := cfg.Timing.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.L1I.LineSize != l2.Geometry().LineSize || cfg.L1D.LineSize != l2.Geometry().LineSize {
+		panic(fmt.Sprintf("mem: L1 line sizes (%d/%d) must match L2 (%d)",
+			cfg.L1I.LineSize, cfg.L1D.LineSize, l2.Geometry().LineSize))
+	}
+	h := &Hierarchy{
+		cfg: cfg,
+		l1i: basecache.NewLRU(cfg.L1I, cfg.Seed^0x11),
+		l1d: basecache.NewLRU(cfg.L1D, cfg.Seed^0xDD),
+		l2:  l2,
+	}
+	// Dirty L1D victims flow into the L2 as writes, off the demand path.
+	h.l1d.SetHooks(basecache.Hooks{OnWriteback: func(_ int, block uint64) {
+		h.stats.Writebacks++
+		out := h.l2.Access(sim.Access{Block: block, Write: true})
+		h.chargeBus(out)
+	}})
+	return h
+}
+
+// L2 exposes the wrapped LLC.
+func (h *Hierarchy) L2() sim.Simulator { return h.l2 }
+
+// Stats returns the hierarchy counters accumulated so far.
+func (h *Hierarchy) Stats() HierarchyStats { return h.stats }
+
+// chargeBus accounts the line transfer for one L2 transaction.
+func (h *Hierarchy) chargeBus(out sim.Outcome) {
+	line := h.l2.Geometry().LineSize
+	transfer := (line + h.cfg.BusBytesPerCycle - 1) / h.cfg.BusBytesPerCycle
+	h.stats.BusCycles += uint64(h.cfg.BusArbitrationCycles + transfer*h.cfg.BusSpeedRatio)
+	if out.Writeback {
+		// The L2's own dirty victim also crosses the bus toward memory.
+		h.stats.BusCycles += uint64(transfer * h.cfg.BusSpeedRatio)
+	}
+}
+
+// Data presents one data reference (byte address) retired after instrs
+// instructions.
+func (h *Hierarchy) Data(addr uint64, write bool, instrs uint32) {
+	h.stats.Instrs += uint64(instrs)
+	h.stats.L1DAccesses++
+	block := h.cfg.L1D.BlockAddr(addr)
+	if h.l1d.Access(sim.Access{Block: block, Write: write}).Hit {
+		return
+	}
+	h.stats.L1DMisses++
+	out := h.l2.Access(sim.Access{Block: block})
+	h.stats.L2Cycles += uint64(h.cfg.Timing.L2Latency(out))
+	h.chargeBus(out)
+}
+
+// Fetch presents one instruction fetch (byte address).
+func (h *Hierarchy) Fetch(addr uint64) {
+	h.stats.L1IAccesses++
+	block := h.cfg.L1I.BlockAddr(addr)
+	if h.l1i.Access(sim.Access{Block: block}).Hit {
+		return
+	}
+	h.stats.L1IMisses++
+	out := h.l2.Access(sim.Access{Block: block})
+	h.stats.L2Cycles += uint64(h.cfg.Timing.L2Latency(out))
+	h.chargeBus(out)
+}
+
+// AMAT returns the measured average memory access time over all L1
+// references.
+func (h *Hierarchy) AMAT() float64 {
+	l1 := h.stats.L1IAccesses + h.stats.L1DAccesses
+	if l1 == 0 {
+		return 0
+	}
+	return float64(h.cfg.Timing.L1HitCycles) + float64(h.stats.L2Cycles)/float64(l1)
+}
+
+// CPI returns the first-order cycles per instruction over the hierarchy.
+func (h *Hierarchy) CPI() float64 {
+	if h.stats.Instrs == 0 {
+		return 0
+	}
+	stalls := h.cfg.Timing.StallFactor * float64(h.stats.L2Cycles)
+	return h.cfg.Timing.CPIBase + stalls/float64(h.stats.Instrs)
+}
+
+// MPKI returns LLC demand misses per kilo-instruction.
+func (h *Hierarchy) MPKI() float64 {
+	if h.stats.Instrs == 0 {
+		return 0
+	}
+	return float64(h.l2.Stats().Misses) * 1000 / float64(h.stats.Instrs)
+}
+
+// BusUtilization estimates the bus duty cycle against a core-cycle budget
+// of CPI × instructions.
+func (h *Hierarchy) BusUtilization() float64 {
+	total := h.CPI() * float64(h.stats.Instrs)
+	if total <= 0 {
+		return 0
+	}
+	u := float64(h.stats.BusCycles) / total
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,151 @@
+package mem
+
+import (
+	"testing"
+
+	"repro/internal/basecache"
+	"repro/internal/sim"
+)
+
+func newTestHierarchy(t *testing.T) (*Hierarchy, sim.Simulator) {
+	t.Helper()
+	l2 := basecache.NewLRU(sim.Geometry{Sets: 64, Ways: 4, LineSize: 64}, 1)
+	h := NewHierarchy(l2, HierarchyConfig{
+		L1I: sim.Geometry{Sets: 16, Ways: 2, LineSize: 64},
+		L1D: sim.Geometry{Sets: 16, Ways: 2, LineSize: 64},
+	})
+	return h, l2
+}
+
+func TestHierarchyPanicsOnLineMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l2 := basecache.NewLRU(sim.Geometry{Sets: 64, Ways: 4, LineSize: 128}, 1)
+	NewHierarchy(l2, HierarchyConfig{L1D: sim.Geometry{Sets: 16, Ways: 2, LineSize: 64}})
+}
+
+func TestL1FiltersL2Traffic(t *testing.T) {
+	h, l2 := newTestHierarchy(t)
+	// Hammer one line: exactly one L2 access (the cold fill).
+	for i := 0; i < 1000; i++ {
+		h.Data(0x1000, false, 1)
+	}
+	if got := l2.Stats().Accesses; got != 1 {
+		t.Fatalf("L2 saw %d accesses, want 1 (L1 should filter)", got)
+	}
+	st := h.Stats()
+	if st.L1DAccesses != 1000 || st.L1DMisses != 1 {
+		t.Fatalf("L1D stats %+v", st)
+	}
+}
+
+func TestSplitL1(t *testing.T) {
+	h, _ := newTestHierarchy(t)
+	// Same address through fetch and data ports: each L1 misses once (they
+	// are split caches).
+	h.Fetch(0x2000)
+	h.Data(0x2000, false, 1)
+	h.Fetch(0x2000)
+	h.Data(0x2000, false, 1)
+	st := h.Stats()
+	if st.L1IMisses != 1 || st.L1DMisses != 1 {
+		t.Fatalf("split-L1 misses %+v", st)
+	}
+}
+
+func TestWritebackFlowsToL2(t *testing.T) {
+	h, l2 := newTestHierarchy(t)
+	// Dirty a line, then evict it from L1D by filling its set (L1D is
+	// 2-way, 16 sets; same-set lines are 16 blocks apart).
+	h.Data(0x0, true, 1)
+	h.Data(64*16, false, 1)
+	h.Data(64*32, false, 1) // evicts the dirty line
+	st := h.Stats()
+	if st.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", st.Writebacks)
+	}
+	// The L2 absorbed 3 demand fills + 1 writeback.
+	if got := l2.Stats().Accesses; got != 4 {
+		t.Fatalf("L2 accesses = %d, want 4", got)
+	}
+}
+
+func TestWritebackNotOnDemandPath(t *testing.T) {
+	h, _ := newTestHierarchy(t)
+	h.Data(0x0, true, 1)
+	before := h.Stats().L2Cycles
+	h.Data(64*16, false, 1)
+	h.Data(64*32, false, 1) // triggers the writeback
+	// Demand cycles grew by exactly two demand accesses' worth; the
+	// writeback added bus cycles but no AMAT cycles.
+	growth := h.Stats().L2Cycles - before
+	perMiss := uint64(DefaultTiming().L2Latency(sim.Outcome{}))
+	if growth != 2*perMiss {
+		t.Fatalf("demand cycles grew %d, want %d", growth, 2*perMiss)
+	}
+}
+
+func TestBusAccounting(t *testing.T) {
+	h, _ := newTestHierarchy(t)
+	h.Data(0x0, false, 1) // one miss: 1 arbitration + 4 transfers x ratio 2
+	if got, want := h.Stats().BusCycles, uint64(1+4*2); got != want {
+		t.Fatalf("bus cycles = %d, want %d", got, want)
+	}
+	h.Data(0x0, false, 1) // hit: no bus traffic
+	if got := h.Stats().BusCycles; got != 9 {
+		t.Fatalf("bus cycles after hit = %d, want 9", got)
+	}
+	if u := h.BusUtilization(); u <= 0 || u > 1 {
+		t.Fatalf("bus utilization %v out of range", u)
+	}
+}
+
+func TestHierarchyMetrics(t *testing.T) {
+	h, _ := newTestHierarchy(t)
+	if h.AMAT() != 0 || h.CPI() != 0 || h.MPKI() != 0 {
+		t.Fatal("empty hierarchy must report zeros")
+	}
+	rng := sim.NewRNG(5)
+	for i := 0; i < 20000; i++ {
+		h.Data(uint64(rng.Intn(1<<16)), rng.OneIn(4), 3)
+		if rng.OneIn(4) {
+			h.Fetch(uint64(rng.Intn(1 << 12)))
+		}
+	}
+	if h.AMAT() <= float64(DefaultTiming().L1HitCycles) {
+		t.Fatalf("AMAT %v not above the L1 hit time", h.AMAT())
+	}
+	if h.CPI() <= DefaultTiming().CPIBase {
+		t.Fatalf("CPI %v not above base", h.CPI())
+	}
+	if h.MPKI() <= 0 {
+		t.Fatalf("MPKI %v", h.MPKI())
+	}
+	if h.L2().Stats().Accesses == 0 {
+		t.Fatal("L2 never touched")
+	}
+}
+
+func TestBetterL2ImprovesHierarchyAMAT(t *testing.T) {
+	// A bigger LLC must yield a lower measured AMAT for the same stream —
+	// the hierarchy is the measurement instrument for Figures 8/9.
+	run := func(ways int) float64 {
+		l2 := basecache.NewLRU(sim.Geometry{Sets: 64, Ways: ways, LineSize: 64}, 1)
+		h := NewHierarchy(l2, HierarchyConfig{
+			L1I: sim.Geometry{Sets: 16, Ways: 2, LineSize: 64},
+			L1D: sim.Geometry{Sets: 16, Ways: 2, LineSize: 64},
+		})
+		rng := sim.NewRNG(5)
+		for i := 0; i < 40000; i++ {
+			h.Data(uint64(rng.Intn(1<<15)), false, 2)
+		}
+		return h.AMAT()
+	}
+	small, big := run(1), run(16)
+	if big >= small {
+		t.Fatalf("AMAT with 16-way L2 (%v) not below 1-way (%v)", big, small)
+	}
+}

@@ -1,0 +1,129 @@
+package policy
+
+import "repro/internal/sim"
+
+// nru is the classic one-reference-bit LRU approximation: hits set the bit;
+// the victim is the first present way (in a rotating scan) whose bit is
+// clear, and if all bits are set they are cleared first.
+type nru struct {
+	rng     *sim.RNG
+	ref     []bool
+	present []bool
+	hand    int
+	n       int
+}
+
+func newNRU(ways int, rng *sim.RNG) *nru {
+	return &nru{rng: rng, ref: make([]bool, ways), present: make([]bool, ways)}
+}
+
+func (p *nru) Kind() Kind { return NRU }
+func (p *nru) Len() int   { return p.n }
+
+func (p *nru) Reset() {
+	for i := range p.ref {
+		p.ref[i], p.present[i] = false, false
+	}
+	p.hand, p.n = 0, 0
+}
+
+func (p *nru) OnHit(way int) {
+	if !p.present[way] {
+		p.present[way] = true
+		p.n++
+	}
+	p.ref[way] = true
+}
+
+func (p *nru) OnInsert(way int) {
+	if !p.present[way] {
+		p.present[way] = true
+		p.n++
+	}
+	p.ref[way] = true
+}
+
+func (p *nru) OnInvalidate(way int) {
+	if !p.present[way] {
+		return
+	}
+	p.present[way] = false
+	p.ref[way] = false
+	p.n--
+}
+
+func (p *nru) Victim() int {
+	if p.n == 0 {
+		return -1
+	}
+	ways := len(p.ref)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < ways; i++ {
+			w := (p.hand + i) % ways
+			if p.present[w] && !p.ref[w] {
+				p.hand = (w + 1) % ways
+				return w
+			}
+		}
+		// All present ways referenced: clear and rescan.
+		for w := range p.ref {
+			p.ref[w] = false
+		}
+	}
+	return p.hand % ways
+}
+
+// random evicts a uniformly random present way.
+type random struct {
+	rng     *sim.RNG
+	present []int // dense list of present ways
+	pos     []int // pos[w] = index in present, -1 if absent
+}
+
+func newRandom(ways int, rng *sim.RNG) *random {
+	p := &random{rng: rng, pos: make([]int, ways)}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	return p
+}
+
+func (p *random) Kind() Kind { return Random }
+func (p *random) Len() int   { return len(p.present) }
+
+func (p *random) Reset() {
+	p.present = p.present[:0]
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+}
+
+func (p *random) OnHit(way int) { p.OnInsert(way) }
+
+func (p *random) OnInsert(way int) {
+	if p.pos[way] >= 0 {
+		return
+	}
+	p.pos[way] = len(p.present)
+	p.present = append(p.present, way)
+}
+
+func (p *random) OnInvalidate(way int) {
+	i := p.pos[way]
+	if i < 0 {
+		return
+	}
+	last := len(p.present) - 1
+	moved := p.present[last]
+	p.present[i] = moved
+	p.pos[moved] = i
+	p.present = p.present[:last]
+	p.pos[way] = -1
+}
+
+func (p *random) Victim() int {
+	if len(p.present) == 0 {
+		return -1
+	}
+	return p.present[p.rng.Intn(len(p.present))]
+}

@@ -1,0 +1,137 @@
+package policy
+
+import "repro/internal/sim"
+
+// recency implements LRU and BIP over an intrusive doubly-linked recency
+// list indexed by way number. head is the MRU end, tail the LRU end. Both
+// policies promote to MRU on hits; they differ only in the insertion
+// position: LRU always inserts MRU, BIP inserts LRU except one insertion in
+// BIPEpsilon, which lands MRU.
+type recency struct {
+	kind Kind
+	// chooser, when non-nil, picks the insertion rule per insert (Dual).
+	chooser func() Kind
+	rng     *sim.RNG
+	prev    []int // prev[w] = way toward MRU, -1 at head
+	next    []int // next[w] = way toward LRU, -1 at tail
+	present []bool
+	head    int // MRU way, -1 if empty
+	tail    int // LRU way, -1 if empty
+	n       int
+}
+
+func newRecency(kind Kind, ways int, rng *sim.RNG) *recency {
+	r := &recency{
+		kind:    kind,
+		rng:     rng,
+		prev:    make([]int, ways),
+		next:    make([]int, ways),
+		present: make([]bool, ways),
+		head:    -1,
+		tail:    -1,
+	}
+	for i := range r.prev {
+		r.prev[i], r.next[i] = -1, -1
+	}
+	return r
+}
+
+func (r *recency) Kind() Kind { return r.kind }
+func (r *recency) Len() int   { return r.n }
+
+func (r *recency) Reset() {
+	for i := range r.prev {
+		r.prev[i], r.next[i] = -1, -1
+		r.present[i] = false
+	}
+	r.head, r.tail, r.n = -1, -1, 0
+}
+
+func (r *recency) unlink(way int) {
+	p, nx := r.prev[way], r.next[way]
+	if p >= 0 {
+		r.next[p] = nx
+	} else {
+		r.head = nx
+	}
+	if nx >= 0 {
+		r.prev[nx] = p
+	} else {
+		r.tail = p
+	}
+	r.prev[way], r.next[way] = -1, -1
+}
+
+func (r *recency) linkHead(way int) {
+	r.prev[way], r.next[way] = -1, r.head
+	if r.head >= 0 {
+		r.prev[r.head] = way
+	}
+	r.head = way
+	if r.tail < 0 {
+		r.tail = way
+	}
+}
+
+func (r *recency) linkTail(way int) {
+	r.prev[way], r.next[way] = r.tail, -1
+	if r.tail >= 0 {
+		r.next[r.tail] = way
+	}
+	r.tail = way
+	if r.head < 0 {
+		r.head = way
+	}
+}
+
+func (r *recency) OnHit(way int) {
+	if !r.present[way] {
+		// Tolerate hits on unranked ways (a fresh insert races only in
+		// misuse); rank them as an insert at MRU.
+		r.present[way] = true
+		r.n++
+		r.linkHead(way)
+		return
+	}
+	r.unlink(way)
+	r.linkHead(way)
+}
+
+func (r *recency) OnInsert(way int) {
+	if r.present[way] {
+		r.unlink(way)
+	} else {
+		r.present[way] = true
+		r.n++
+	}
+	k := r.kind
+	if r.chooser != nil {
+		k = r.chooser()
+	}
+	if k == BIP && !r.rng.OneIn(BIPEpsilon) {
+		r.linkTail(way)
+		return
+	}
+	r.linkHead(way)
+}
+
+func (r *recency) OnInvalidate(way int) {
+	if !r.present[way] {
+		return
+	}
+	r.unlink(way)
+	r.present[way] = false
+	r.n--
+}
+
+func (r *recency) Victim() int { return r.tail }
+
+// RecencyOrder returns the ways from MRU to LRU; used by tests and by the
+// capacity-demand profiler to validate stack behaviour.
+func (r *recency) RecencyOrder() []int {
+	out := make([]int, 0, r.n)
+	for w := r.head; w >= 0; w = r.next[w] {
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+// Package profile implements the set-level capacity-demand characterization
+// of paper §3.1 and Figure 1.
+//
+// For every cache set it maintains a Mattson LRU stack over the set's tag
+// stream and histograms the reuse (stack) distances seen during each
+// sampling period. The *capacity demand* of a set in a period is defined as
+// in the paper: the minimum number of cache lines the set needs to resolve
+// all the conflict misses that a MaxWays-associative (default 32) set would
+// resolve — equivalently, the largest observed stack distance not exceeding
+// MaxWays. Streaming sets, whose reuses all fall beyond MaxWays (or never
+// happen), get demand 0: extra capacity would not help them at all.
+package profile
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DefaultMaxWays is the associativity horizon of the paper's study: 32 ways
+// resolve all conflict misses for the workloads characterized in §3.1.
+const DefaultMaxWays = 32
+
+// Demand profiles per-set capacity demands over sampling periods.
+type Demand struct {
+	sets     int
+	maxWays  int
+	period   int
+	geom     sim.Geometry
+	stacks   [][]uint64 // per-set LRU stacks, index 0 = MRU, capped at maxWays
+	maxDist  []int      // per-set largest stack distance ≤ maxWays this period
+	inPeriod int
+	periods  []PeriodDist
+}
+
+// PeriodDist is the distribution of set-level demands in one sampling
+// period: Counts[b] is the number of sets whose demand falls in band b,
+// where band 0 is demand 0 and band i (1 ≤ i ≤ maxWays/2) covers demands
+// 2i-1..2i — the bands of paper Figure 1's legend.
+type PeriodDist struct {
+	Counts []int
+}
+
+// Bands returns the number of bands (maxWays/2 + 1).
+func (p PeriodDist) Bands() int { return len(p.Counts) }
+
+// Fraction returns band b's share of all sets.
+func (p PeriodDist) Fraction(b int) float64 {
+	total := 0
+	for _, c := range p.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Counts[b]) / float64(total)
+}
+
+// NewDemand builds a profiler for the given geometry. period is the number
+// of accesses per sampling period (the paper uses 50 000); maxWays is the
+// associativity horizon (the paper uses 32). It panics on invalid input.
+func NewDemand(geom sim.Geometry, period, maxWays int) *Demand {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("profile: %v", err))
+	}
+	if period <= 0 {
+		panic("profile: period must be positive")
+	}
+	if maxWays <= 0 || maxWays%2 != 0 {
+		panic("profile: maxWays must be positive and even")
+	}
+	d := &Demand{
+		sets:    geom.Sets,
+		maxWays: maxWays,
+		period:  period,
+		geom:    geom,
+		stacks:  make([][]uint64, geom.Sets),
+		maxDist: make([]int, geom.Sets),
+	}
+	for i := range d.stacks {
+		d.stacks[i] = make([]uint64, 0, maxWays)
+	}
+	return d
+}
+
+// Feed presents one block access to the profiler.
+func (d *Demand) Feed(block uint64) {
+	set := d.geom.Index(block)
+	tag := d.geom.Tag(block)
+	st := d.stacks[set]
+
+	// Find the tag's depth (1-based stack distance).
+	pos := -1
+	for i, t := range st {
+		if t == tag {
+			pos = i
+			break
+		}
+	}
+	switch {
+	case pos >= 0:
+		dist := pos + 1
+		if dist > d.maxDist[set] {
+			d.maxDist[set] = dist
+		}
+		copy(st[1:pos+1], st[:pos])
+		st[0] = tag
+	case len(st) < d.maxWays:
+		st = append(st, 0)
+		copy(st[1:], st[:len(st)-1])
+		st[0] = tag
+		d.stacks[set] = st
+	default:
+		// Cold or beyond-horizon reuse: distance is ∞ for our purposes.
+		copy(st[1:], st[:len(st)-1])
+		st[0] = tag
+	}
+
+	d.inPeriod++
+	if d.inPeriod >= d.period {
+		d.closePeriod()
+	}
+}
+
+// closePeriod folds the per-set max distances into a banded distribution.
+func (d *Demand) closePeriod() {
+	bands := d.maxWays/2 + 1
+	p := PeriodDist{Counts: make([]int, bands)}
+	for s := 0; s < d.sets; s++ {
+		p.Counts[band(d.maxDist[s])]++
+		d.maxDist[s] = 0
+	}
+	d.periods = append(d.periods, p)
+	d.inPeriod = 0
+}
+
+// band maps a demand value to its Figure 1 band: 0 → 0, 1-2 → 1, 3-4 → 2, …
+func band(demand int) int {
+	if demand <= 0 {
+		return 0
+	}
+	return (demand + 1) / 2
+}
+
+// Periods returns the closed sampling periods so far.
+func (d *Demand) Periods() []PeriodDist { return d.periods }
+
+// Flush closes a partial period if any accesses are pending.
+func (d *Demand) Flush() {
+	if d.inPeriod > 0 {
+		d.closePeriod()
+	}
+}
+
+// BandLabel renders band b as the paper's legend text ("0", "1 ~ 2", …).
+func BandLabel(b int) string {
+	if b == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%d ~ %d", 2*b-1, 2*b)
+}

@@ -1,0 +1,201 @@
+package profile
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+var geom = sim.Geometry{Sets: 4, Ways: 16, LineSize: 64}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"bad geometry": func() { NewDemand(sim.Geometry{Sets: 3, Ways: 2, LineSize: 64}, 100, 32) },
+		"zero period":  func() { NewDemand(geom, 0, 32) },
+		"odd maxWays":  func() { NewDemand(geom, 100, 31) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		})
+	}
+}
+
+func TestBandMapping(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 1, 3: 2, 4: 2, 31: 16, 32: 16}
+	for demand, want := range cases {
+		if got := band(demand); got != want {
+			t.Fatalf("band(%d) = %d, want %d", demand, got, want)
+		}
+	}
+}
+
+func TestBandLabel(t *testing.T) {
+	if BandLabel(0) != "0" || BandLabel(1) != "1 ~ 2" || BandLabel(16) != "31 ~ 32" {
+		t.Fatal("band labels do not match the paper legend")
+	}
+}
+
+func TestCyclicDemandEqualsWorkingSet(t *testing.T) {
+	// A cyclic working set of N ≤ 32 blocks has maximum stack distance N, so
+	// its demand is exactly N.
+	for _, n := range []int{1, 2, 5, 16, 32} {
+		d := NewDemand(geom, 1000, 32)
+		for i := 0; i < 1000; i++ {
+			d.Feed(geom.BlockFor(uint64(i%n)+1, 0))
+		}
+		p := d.Periods()
+		if len(p) != 1 {
+			t.Fatalf("n=%d: %d periods, want 1", n, len(p))
+		}
+		wantBand := band(n)
+		if n == 1 {
+			// A single block repeated has stack distance 1 after the first
+			// touch.
+			wantBand = band(1)
+		}
+		if p[0].Counts[wantBand] != 1 {
+			t.Fatalf("n=%d: set 0 not in band %d: %v", n, wantBand, p[0].Counts)
+		}
+	}
+}
+
+func TestStreamingDemandIsZero(t *testing.T) {
+	d := NewDemand(geom, 1000, 32)
+	for i := 0; i < 1000; i++ {
+		d.Feed(geom.BlockFor(uint64(i)+1, 1)) // never reused
+	}
+	p := d.Periods()[0]
+	// Set 1 streamed: band 0. The other three sets were idle: also band 0.
+	if p.Counts[0] != geom.Sets {
+		t.Fatalf("streaming/idle sets not in band 0: %v", p.Counts)
+	}
+}
+
+func TestBeyondHorizonReuseIsZeroDemand(t *testing.T) {
+	// A cyclic working set of 40 > 32 blocks only produces reuses at
+	// distance 40: unresolvable within the horizon, so demand 0.
+	d := NewDemand(geom, 4000, 32)
+	for i := 0; i < 4000; i++ {
+		d.Feed(geom.BlockFor(uint64(i%40)+1, 0))
+	}
+	p := d.Periods()[0]
+	if p.Counts[0] != geom.Sets {
+		t.Fatalf("beyond-horizon set not in band 0: %v", p.Counts)
+	}
+}
+
+func TestPerSetIndependence(t *testing.T) {
+	d := NewDemand(geom, 2000, 32)
+	for i := 0; i < 1000; i++ {
+		d.Feed(geom.BlockFor(uint64(i%4)+1, 0))  // demand 4 → band 2
+		d.Feed(geom.BlockFor(uint64(i%20)+1, 1)) // demand 20 → band 10
+	}
+	p := d.Periods()[0]
+	if p.Counts[2] != 1 || p.Counts[10] != 1 {
+		t.Fatalf("distribution %v, want one set each in bands 2 and 10", p.Counts)
+	}
+	if p.Counts[0] != 2 {
+		t.Fatalf("idle sets not in band 0: %v", p.Counts)
+	}
+}
+
+func TestPeriodsResetState(t *testing.T) {
+	d := NewDemand(geom, 100, 32)
+	// Period 1: demand 8 in set 0.
+	for i := 0; i < 100; i++ {
+		d.Feed(geom.BlockFor(uint64(i%8)+1, 0))
+	}
+	// Period 2: set 0 only streams.
+	for i := 0; i < 100; i++ {
+		d.Feed(geom.BlockFor(uint64(1000+i), 0))
+	}
+	ps := d.Periods()
+	if len(ps) != 2 {
+		t.Fatalf("%d periods, want 2", len(ps))
+	}
+	if ps[0].Counts[band(8)] != 1 {
+		t.Fatalf("period 1 missed demand 8: %v", ps[0].Counts)
+	}
+	if ps[1].Counts[band(8)] != 0 {
+		t.Fatalf("period 2 kept stale demand: %v", ps[1].Counts)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	d := NewDemand(geom, 1000, 32)
+	for i := 0; i < 10; i++ {
+		d.Feed(geom.BlockFor(uint64(i%2)+1, 0))
+	}
+	if len(d.Periods()) != 0 {
+		t.Fatal("period closed early")
+	}
+	d.Flush()
+	if len(d.Periods()) != 1 {
+		t.Fatal("Flush did not close the partial period")
+	}
+	d.Flush()
+	if len(d.Periods()) != 1 {
+		t.Fatal("empty Flush created a period")
+	}
+}
+
+func TestFractionSumsToOne(t *testing.T) {
+	d := NewDemand(geom, 500, 32)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 5000; i++ {
+		d.Feed(geom.BlockFor(uint64(rng.Intn(64))+1, rng.Intn(geom.Sets)))
+	}
+	for _, p := range d.Periods() {
+		sum := 0.0
+		for b := 0; b < p.Bands(); b++ {
+			sum += p.Fraction(b)
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("fractions sum to %v", sum)
+		}
+	}
+}
+
+func TestQuickDemandMatchesBruteForce(t *testing.T) {
+	// Property: the profiler's per-period max distance equals a brute-force
+	// computation with full reuse history.
+	f := func(raw []uint8) bool {
+		g := sim.Geometry{Sets: 1, Ways: 4, LineSize: 64}
+		d := NewDemand(g, len(raw)+1, 8)
+		var history []uint64
+		maxDist := 0
+		for _, r := range raw {
+			tag := uint64(r%12) + 1
+			d.Feed(g.BlockFor(tag, 0))
+			// Brute force: distinct tags since last touch of tag.
+			distinct := map[uint64]bool{}
+			dist := -1
+			for i := len(history) - 1; i >= 0; i-- {
+				if history[i] == tag {
+					dist = len(distinct) + 1
+					break
+				}
+				distinct[history[i]] = true
+			}
+			if dist > 0 && dist <= 8 && dist > maxDist {
+				maxDist = dist
+			}
+			history = append(history, tag)
+		}
+		d.Flush()
+		ps := d.Periods()
+		if len(raw) == 0 {
+			return len(ps) == 0
+		}
+		return ps[0].Counts[band(maxDist)] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,328 @@
+// Package sbc implements the Dynamic Set Balancing Cache of Rolán, Fraguela
+// and Doallo (MICRO 2009), the second spatial-management baseline of the
+// STEM evaluation.
+//
+// SBC measures each set's "saturation level" — a saturating counter
+// incremented on misses and decremented on hits, so it approximates
+// misses−hits. A set whose counter saturates (a source) is paired, through a
+// small Destination Set Selector holding the least-saturated unassociated
+// sets, with a lowly saturated destination set. While associated, every
+// victim the source evicts is displaced into the destination at the MRU
+// position, and lookups that miss in the source probe the destination
+// (paying a second tag-store access). Displaced blocks evicted from the
+// destination leave the chip; when the destination holds no displaced blocks
+// any more, the pair dissolves.
+//
+// Two behaviours matter for the STEM comparison (paper §4.6): SBC's
+// receiving is *unconditional* — the destination accepts displaced blocks at
+// MRU regardless of its own current demand — and its saturation metric is an
+// indirect proxy for capacity demand. STEM's receiving constraint and
+// shadow-set metric are the corresponding fixes; this implementation
+// deliberately reproduces the original behaviours.
+package sbc
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+	"repro/internal/selector"
+	"repro/internal/sim"
+)
+
+// Config parameterizes an SBC cache.
+type Config struct {
+	// SatMax is the saturation-counter ceiling. A set is a source candidate
+	// when its counter reaches SatMax. Default: 2×Ways.
+	SatMax int
+	// DestPostMax is the highest saturation at which an unassociated set
+	// posts itself to the Destination Set Selector. Default: SatMax/4.
+	DestPostMax int
+	// DestAcceptMax is the highest live saturation at which a popped
+	// candidate may actually become a destination. Default: SatMax/2.
+	DestAcceptMax int
+	// SelectorSize is the Destination Set Selector capacity. Default: 16.
+	SelectorSize int
+	// Seed drives per-set policy construction.
+	Seed uint64
+}
+
+func (c *Config) applyDefaults(ways int) {
+	if c.SatMax <= 0 {
+		c.SatMax = 2 * ways
+	}
+	if c.DestPostMax <= 0 {
+		c.DestPostMax = c.SatMax / 4
+	}
+	if c.DestAcceptMax <= 0 {
+		c.DestAcceptMax = c.SatMax / 2
+	}
+	if c.SelectorSize <= 0 {
+		c.SelectorSize = 16
+	}
+}
+
+type line struct {
+	block   uint64 // full block address (lines may hold foreign blocks)
+	valid   bool
+	dirty   bool
+	foreign bool // displaced here by the associated source set
+}
+
+type sbcSet struct {
+	lines   []line
+	pol     policy.Policy
+	sat     int
+	partner int // associated set, or -1
+	// source is true if this set displaces into partner, false if it
+	// receives; meaningless when partner < 0.
+	source  bool
+	foreign int // count of foreign-valid lines (destinations only)
+}
+
+// Cache is an SBC-managed cache implementing sim.Simulator.
+type Cache struct {
+	geom  sim.Geometry
+	cfg   Config
+	sets  []sbcSet
+	dss   *selector.Heap
+	stats sim.Stats
+}
+
+// New constructs an SBC cache. It panics on invalid geometry.
+func New(geom sim.Geometry, cfg Config) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("sbc: %v", err))
+	}
+	cfg.applyDefaults(geom.Ways)
+	c := &Cache{
+		geom: geom,
+		cfg:  cfg,
+		sets: make([]sbcSet, geom.Sets),
+		dss:  selector.New(cfg.SelectorSize),
+	}
+	for i := range c.sets {
+		c.sets[i] = sbcSet{
+			lines:   make([]line, geom.Ways),
+			pol:     policy.New(policy.LRU, geom.Ways, sim.NewRNG(cfg.Seed^uint64(i)*0x9e3779b97f4a7c15)),
+			partner: -1,
+		}
+	}
+	return c
+}
+
+// Name implements sim.Simulator.
+func (c *Cache) Name() string { return "SBC" }
+
+// Geometry implements sim.Simulator.
+func (c *Cache) Geometry() sim.Geometry { return c.geom }
+
+// Stats implements sim.Simulator.
+func (c *Cache) Stats() sim.Stats { return c.stats }
+
+// ResetStats implements sim.Simulator.
+func (c *Cache) ResetStats() { c.stats = sim.Stats{} }
+
+// Saturation exposes set idx's saturation level (for tests).
+func (c *Cache) Saturation(idx int) int { return c.sets[idx].sat }
+
+// Partner exposes set idx's association (for tests); -1 if unassociated.
+func (c *Cache) Partner(idx int) int { return c.sets[idx].partner }
+
+// Access implements sim.Simulator.
+func (c *Cache) Access(a sim.Access) sim.Outcome {
+	idx := c.geom.Index(a.Block)
+	s := &c.sets[idx]
+
+	var out sim.Outcome
+	if w := s.find(a.Block); w >= 0 {
+		out.Hit = true
+		s.pol.OnHit(w)
+		if a.Write {
+			s.lines[w].dirty = true
+		}
+		c.onHit(idx)
+		c.stats.Record(out)
+		return out
+	}
+
+	// Probe the partner if this set is an associated source: its displaced
+	// blocks live there.
+	if s.partner >= 0 && s.source {
+		out.Secondary = true
+		p := &c.sets[s.partner]
+		if w := p.find(a.Block); w >= 0 {
+			out.Hit = true
+			out.SecondaryHit = true
+			p.pol.OnHit(w)
+			if a.Write {
+				p.lines[w].dirty = true
+			}
+			c.onHit(idx)
+			c.stats.Record(out)
+			return out
+		}
+	}
+
+	c.onMiss(idx)
+
+	// Fill into the home set; the displaced victim may travel on.
+	victim, hadVictim := s.replace(a, c.geom.Ways)
+	if hadVictim {
+		c.handleVictim(idx, victim, &out)
+	}
+	c.stats.Record(out)
+	return out
+}
+
+// onHit updates saturation bookkeeping for a (home-set) hit.
+func (c *Cache) onHit(idx int) {
+	s := &c.sets[idx]
+	if s.sat > 0 {
+		s.sat--
+	}
+	c.maybePost(idx)
+}
+
+// onMiss updates saturation and triggers association when the set saturates.
+func (c *Cache) onMiss(idx int) {
+	s := &c.sets[idx]
+	if s.sat < c.cfg.SatMax {
+		s.sat++
+	}
+	if s.sat >= c.cfg.SatMax && s.partner < 0 {
+		c.tryAssociate(idx)
+	}
+	if s.partner < 0 {
+		c.maybePost(idx)
+	}
+}
+
+// maybePost keeps the Destination Set Selector tracking lowly saturated
+// unassociated sets.
+func (c *Cache) maybePost(idx int) {
+	s := &c.sets[idx]
+	if s.partner >= 0 {
+		c.dss.Remove(idx)
+		return
+	}
+	if s.sat <= c.cfg.DestPostMax {
+		c.dss.Post(idx, s.sat)
+	} else {
+		c.dss.Remove(idx)
+	}
+}
+
+// tryAssociate pairs saturated set idx with the least-saturated candidate.
+func (c *Cache) tryAssociate(idx int) {
+	for tries := 0; tries < c.cfg.SelectorSize; tries++ {
+		cand, _, ok := c.dss.PopMin()
+		if !ok {
+			return
+		}
+		if cand == idx {
+			continue
+		}
+		d := &c.sets[cand]
+		// Entries can be stale; re-check the live counter and availability.
+		if d.partner >= 0 || d.sat > c.cfg.DestAcceptMax {
+			continue
+		}
+		s := &c.sets[idx]
+		s.partner, s.source = cand, true
+		d.partner, d.source = idx, false
+		c.dss.Remove(idx)
+		c.stats.Couplings++
+		return
+	}
+}
+
+// handleVictim routes a block evicted from set idx: sources displace it into
+// their destination (unconditionally, at MRU — SBC's defining behaviour);
+// everything else leaves the chip.
+func (c *Cache) handleVictim(idx int, v line, out *sim.Outcome) {
+	s := &c.sets[idx]
+	if v.foreign {
+		// A destination evicted a displaced block: it leaves the chip.
+		s.foreign--
+		if v.dirty {
+			out.Writeback = true
+		}
+		if s.foreign == 0 && s.partner >= 0 && !s.source {
+			c.dissolve(idx)
+		}
+		return
+	}
+	if s.partner >= 0 && s.source {
+		// Displace into the destination at MRU.
+		d := &c.sets[s.partner]
+		v.foreign = true
+		dv, hadVictim := d.insert(v, c.geom.Ways)
+		d.foreign++
+		c.stats.Spills++
+		c.stats.Receives++
+		if hadVictim {
+			// The destination's own victim (local or foreign) leaves the
+			// chip; recurse one level at most since it never spills again.
+			if dv.foreign {
+				d.foreign--
+			}
+			if dv.dirty {
+				out.Writeback = true
+			}
+			if d.foreign == 0 {
+				c.dissolve(s.partner)
+			}
+		}
+		return
+	}
+	if v.dirty {
+		out.Writeback = true
+	}
+}
+
+// dissolve breaks the association of destination idx with its source.
+func (c *Cache) dissolve(idx int) {
+	d := &c.sets[idx]
+	if d.partner < 0 {
+		return
+	}
+	src := &c.sets[d.partner]
+	src.partner, src.source = -1, false
+	d.partner, d.source = -1, false
+	c.stats.Decouplings++
+}
+
+// find returns the way holding block, or -1.
+func (s *sbcSet) find(block uint64) int {
+	for w := range s.lines {
+		if s.lines[w].valid && s.lines[w].block == block {
+			return w
+		}
+	}
+	return -1
+}
+
+// replace fills a new line for the missing access and returns the evicted
+// line if the set was full.
+func (s *sbcSet) replace(a sim.Access, ways int) (victim line, hadVictim bool) {
+	nl := line{block: a.Block, valid: true, dirty: a.Write}
+	return s.insert(nl, ways)
+}
+
+// insert places nl at the policy's insertion position, evicting if needed.
+func (s *sbcSet) insert(nl line, ways int) (victim line, hadVictim bool) {
+	way := -1
+	for w := range s.lines {
+		if !s.lines[w].valid {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = s.pol.Victim()
+		victim, hadVictim = s.lines[way], true
+	}
+	s.lines[way] = nl
+	s.pol.OnInsert(way)
+	return victim, hadVictim
+}

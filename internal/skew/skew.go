@@ -1,0 +1,133 @@
+// Package skew implements a skewed-associative cache (Seznec, ISCA 1993),
+// the earliest spatial-management approach the paper's related work (§6.2)
+// cites: instead of moving capacity between sets at run time, skewing
+// diffuses conflicting blocks across ways by giving every way its own index
+// hash, so blocks that collide in one way usually do not collide in the
+// others.
+//
+// Each of the Ways banks holds Sets lines and indexes blocks with an
+// independent H3 hash of the block address. Replacement among a block's
+// Ways candidate slots uses the not-recently-used heuristic Seznec
+// suggests: prefer an invalid slot, then a slot whose reference bit is
+// clear (clearing bits lazily), then a pseudo-random pick.
+package skew
+
+import (
+	"fmt"
+
+	"repro/internal/hashfn"
+	"repro/internal/sim"
+)
+
+type line struct {
+	block uint64
+	valid bool
+	dirty bool
+	ref   bool
+}
+
+// Cache is a skewed-associative cache implementing sim.Simulator. The
+// nominal Geometry is interpreted as Ways banks of Sets lines each.
+type Cache struct {
+	geom   sim.Geometry
+	banks  [][]line
+	hashes []*hashfn.Hash
+	rng    *sim.RNG
+	stats  sim.Stats
+	mask   uint32
+}
+
+// New constructs a skewed cache. It panics on invalid geometry or if the
+// set count exceeds the hash range.
+func New(geom sim.Geometry, seed uint64) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("skew: %v", err))
+	}
+	bits := 0
+	for 1<<bits < geom.Sets {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1 // a 1-set cache still needs a 1-bit hash domain
+	}
+	if bits > hashfn.MaxBits {
+		panic("skew: too many sets for the hash range")
+	}
+	c := &Cache{
+		geom:   geom,
+		banks:  make([][]line, geom.Ways),
+		hashes: make([]*hashfn.Hash, geom.Ways),
+		rng:    sim.NewRNG(seed ^ 0x5EED),
+		mask:   uint32(geom.Sets - 1),
+	}
+	for w := range c.banks {
+		c.banks[w] = make([]line, geom.Sets)
+		c.hashes[w] = hashfn.New(bits, seed^uint64(w)*0x9e3779b97f4a7c15+1)
+	}
+	return c
+}
+
+// Name implements sim.Simulator.
+func (c *Cache) Name() string { return "SKEW" }
+
+// Geometry implements sim.Simulator.
+func (c *Cache) Geometry() sim.Geometry { return c.geom }
+
+// Stats implements sim.Simulator.
+func (c *Cache) Stats() sim.Stats { return c.stats }
+
+// ResetStats implements sim.Simulator.
+func (c *Cache) ResetStats() { c.stats = sim.Stats{} }
+
+// index returns block's slot in bank w.
+func (c *Cache) index(w int, block uint64) uint32 { return c.hashes[w].Sum(block) & c.mask }
+
+// Access implements sim.Simulator.
+func (c *Cache) Access(a sim.Access) sim.Outcome {
+	var out sim.Outcome
+	for w := range c.banks {
+		l := &c.banks[w][c.index(w, a.Block)]
+		if l.valid && l.block == a.Block {
+			out.Hit = true
+			l.ref = true
+			if a.Write {
+				l.dirty = true
+			}
+			c.stats.Record(out)
+			return out
+		}
+	}
+
+	// Miss: pick a victim among the candidate slots.
+	w := c.victimWay(a.Block)
+	l := &c.banks[w][c.index(w, a.Block)]
+	if l.valid && l.dirty {
+		out.Writeback = true
+	}
+	*l = line{block: a.Block, valid: true, dirty: a.Write, ref: true}
+	c.stats.Record(out)
+	return out
+}
+
+// victimWay chooses which bank's candidate slot to replace.
+func (c *Cache) victimWay(block uint64) int {
+	// 1. Invalid slot.
+	for w := range c.banks {
+		if !c.banks[w][c.index(w, block)].valid {
+			return w
+		}
+	}
+	// 2. Not-recently-used slot; clear bits as we scan so every slot is
+	// victimizable within two rounds.
+	for pass := 0; pass < 2; pass++ {
+		for w := range c.banks {
+			l := &c.banks[w][c.index(w, block)]
+			if !l.ref {
+				return w
+			}
+			l.ref = false
+		}
+	}
+	// 3. Unreachable (pass 2 sees cleared bits), but keep a safe fallback.
+	return c.rng.Intn(len(c.banks))
+}

@@ -1,0 +1,138 @@
+package skew
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/basecache"
+	"repro/internal/sim"
+)
+
+var geom = sim.Geometry{Sets: 64, Ways: 2, LineSize: 64}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.Geometry{Sets: 3, Ways: 2, LineSize: 64}, 1)
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := New(geom, 1)
+	if c.Access(sim.Access{Block: 0x123}).Hit {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(sim.Access{Block: 0x123}).Hit {
+		t.Fatal("warm miss")
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	// Never more than Sets×Ways valid lines.
+	c := New(geom, 1)
+	rng := sim.NewRNG(2)
+	for i := 0; i < 50000; i++ {
+		c.Access(sim.Access{Block: rng.Uint64() >> 40})
+	}
+	valid := 0
+	for _, bank := range c.banks {
+		for _, l := range bank {
+			if l.valid {
+				valid++
+			}
+		}
+	}
+	if valid > geom.Sets*geom.Ways {
+		t.Fatalf("%d valid lines exceed capacity %d", valid, geom.Sets*geom.Ways)
+	}
+}
+
+func TestQuickHitSoundness(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		c := New(geom, seed)
+		seen := map[uint64]bool{}
+		for _, r := range raw {
+			b := uint64(r)
+			if c.Access(sim.Access{Block: b}).Hit && !seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispersesConflictStream(t *testing.T) {
+	// The defining property: a stream of blocks that all collide under MOD
+	// indexing (same low bits) thrashes a conventional 2-way set but mostly
+	// fits a skewed cache, whose per-way hashes spread them out.
+	conflicting := make([]uint64, 12) // 12 blocks, all MOD-mapping to set 5
+	for i := range conflicting {
+		conflicting[i] = uint64(i)*uint64(geom.Sets) + 5
+	}
+	run := func(c sim.Simulator) float64 {
+		for round := 0; round < 100; round++ {
+			for _, b := range conflicting {
+				c.Access(sim.Access{Block: b})
+			}
+		}
+		c.ResetStats()
+		for round := 0; round < 100; round++ {
+			for _, b := range conflicting {
+				c.Access(sim.Access{Block: b})
+			}
+		}
+		return c.Stats().MissRate()
+	}
+	sk := run(New(geom, 1))
+	conv := run(basecache.NewLRU(geom, 1))
+	if conv < 0.99 {
+		t.Fatalf("conventional cache should thrash the conflict stream, got %v", conv)
+	}
+	if sk > 0.2 {
+		t.Fatalf("skewed cache miss rate %v on conflict stream, want < 0.2", sk)
+	}
+}
+
+func TestWritebacks(t *testing.T) {
+	c := New(geom, 1)
+	c.Access(sim.Access{Block: 1, Write: true})
+	rng := sim.NewRNG(3)
+	for i := 0; i < 20000; i++ {
+		c.Access(sim.Access{Block: rng.Uint64() >> 40})
+	}
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("dirty line never written back")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() sim.Stats {
+		c := New(geom, 9)
+		rng := sim.NewRNG(5)
+		for i := 0; i < 30000; i++ {
+			c.Access(sim.Access{Block: uint64(rng.Intn(4096))})
+		}
+		return c.Stats()
+	}
+	if run() != run() {
+		t.Fatal("identical runs diverged")
+	}
+}
+
+func TestSingleSetGeometry(t *testing.T) {
+	// Degenerate 1-set geometry still works (hash domain clamped to 1 bit).
+	g := sim.Geometry{Sets: 1, Ways: 4, LineSize: 64}
+	c := New(g, 1)
+	for b := uint64(0); b < 16; b++ {
+		c.Access(sim.Access{Block: b})
+	}
+	if c.Stats().Accesses != 16 {
+		t.Fatal("accesses lost")
+	}
+}

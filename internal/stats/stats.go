@@ -1,0 +1,215 @@
+// Package stats provides the aggregation and rendering helpers the
+// experiment harness uses: geometric means, normalization against a
+// baseline, and plain-text tables/CSV for the figures the paper reports.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Geomean returns the geometric mean of vs; zero and negative entries are
+// rejected with NaN (they indicate an upstream bug, not a valid datum).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vs)))
+}
+
+// Normalize returns v/base, guarding against a zero baseline.
+func Normalize(v, base float64) float64 {
+	if base == 0 {
+		if v == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return v / base
+}
+
+// Table is a simple labeled numeric matrix (rows × columns) used to render
+// the paper's figures as text.
+type Table struct {
+	Title   string
+	RowName string
+	Cols    []string
+	rows    []string
+	data    map[string][]float64
+}
+
+// NewTable builds an empty table with the given column headers.
+func NewTable(title, rowName string, cols ...string) *Table {
+	return &Table{
+		Title:   title,
+		RowName: rowName,
+		Cols:    cols,
+		data:    map[string][]float64{},
+	}
+}
+
+// Set stores the value at (row, col), creating the row on first use.
+func (t *Table) Set(row, col string, v float64) {
+	ci := -1
+	for i, c := range t.Cols {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic(fmt.Sprintf("stats: unknown column %q", col))
+	}
+	vals, ok := t.data[row]
+	if !ok {
+		vals = make([]float64, len(t.Cols))
+		for i := range vals {
+			vals[i] = math.NaN()
+		}
+		t.data[row] = vals
+		t.rows = append(t.rows, row)
+	}
+	vals[ci] = v
+}
+
+// Get returns the value at (row, col) and whether it was set.
+func (t *Table) Get(row, col string) (float64, bool) {
+	vals, ok := t.data[row]
+	if !ok {
+		return 0, false
+	}
+	for i, c := range t.Cols {
+		if c == col {
+			v := vals[i]
+			return v, !math.IsNaN(v)
+		}
+	}
+	return 0, false
+}
+
+// Rows returns row labels in insertion order.
+func (t *Table) Rows() []string { return t.rows }
+
+// Column returns all set values in column col, in row order.
+func (t *Table) Column(col string) []float64 {
+	var out []float64
+	for _, r := range t.rows {
+		if v, ok := t.Get(r, col); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// AddGeomeanRow appends a "Geomean" row across all current rows.
+func (t *Table) AddGeomeanRow() {
+	gm := map[string]float64{}
+	for _, c := range t.Cols {
+		gm[c] = Geomean(t.Column(c))
+	}
+	for _, c := range t.Cols {
+		t.Set("Geomean", c, gm[c])
+	}
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := len(t.RowName)
+	for _, r := range t.rows {
+		if len(r) > w {
+			w = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		colW[i] = len(c) + 2
+		if colW[i] < 10 {
+			colW[i] = 10
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", w+2, t.RowName)
+	for i, c := range t.Cols {
+		fmt.Fprintf(&b, "%*s", colW[i], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		fmt.Fprintf(&b, "%-*s", w+2, r)
+		for i, c := range t.Cols {
+			if v, ok := t.Get(r, c); ok {
+				fmt.Fprintf(&b, "%*.3f", colW[i], v)
+			} else {
+				fmt.Fprintf(&b, "%*s", colW[i], "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.RowName)
+	for _, c := range t.Cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(r)
+		for _, c := range t.Cols {
+			b.WriteByte(',')
+			if v, ok := t.Get(r, c); ok {
+				fmt.Fprintf(&b, "%.6g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary describes a float slice (tests and reporting convenience).
+type Summary struct {
+	Min, Max, Mean, Median float64
+}
+
+// Summarize computes a Summary; it panics on an empty slice.
+func Summarize(vs []float64) Summary {
+	if len(vs) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	s := Summary{Min: vs[0], Max: vs[0]}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range vs {
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		sum += v
+	}
+	s.Mean = sum / float64(len(vs))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

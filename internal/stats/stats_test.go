@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("Geomean(2,8) = %v, want 4", g)
+	}
+	if g := Geomean([]float64{5}); math.Abs(g-5) > 1e-12 {
+		t.Fatalf("Geomean(5) = %v", g)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Fatal("empty geomean not NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, 0})) {
+		t.Fatal("zero entry not rejected")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -2})) {
+		t.Fatal("negative entry not rejected")
+	}
+}
+
+func TestGeomeanBetweenMinMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vs[i] = float64(r)/100 + 0.01
+			lo = math.Min(lo, vs[i])
+			hi = math.Max(hi, vs[i])
+		}
+		g := Geomean(vs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(3, 6) != 0.5 {
+		t.Fatal("Normalize(3,6)")
+	}
+	if Normalize(0, 0) != 1 {
+		t.Fatal("Normalize(0,0) should be 1 (both perfect)")
+	}
+	if !math.IsInf(Normalize(2, 0), 1) {
+		t.Fatal("Normalize(2,0) should be +Inf")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	tb := NewTable("t", "bench", "LRU", "STEM")
+	tb.Set("ammp", "LRU", 2.5)
+	tb.Set("ammp", "STEM", 1.9)
+	tb.Set("art", "LRU", 16.7)
+	if v, ok := tb.Get("ammp", "STEM"); !ok || v != 1.9 {
+		t.Fatalf("Get = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get("art", "STEM"); ok {
+		t.Fatal("unset cell reported as set")
+	}
+	if _, ok := tb.Get("mcf", "LRU"); ok {
+		t.Fatal("missing row reported as set")
+	}
+	rows := tb.Rows()
+	if len(rows) != 2 || rows[0] != "ammp" || rows[1] != "art" {
+		t.Fatalf("rows %v", rows)
+	}
+}
+
+func TestTableUnknownColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("t", "r", "a").Set("x", "nope", 1)
+}
+
+func TestTableGeomeanRow(t *testing.T) {
+	tb := NewTable("t", "bench", "X")
+	tb.Set("a", "X", 2)
+	tb.Set("b", "X", 8)
+	tb.AddGeomeanRow()
+	v, ok := tb.Get("Geomean", "X")
+	if !ok || math.Abs(v-4) > 1e-12 {
+		t.Fatalf("geomean row = %v,%v", v, ok)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "bench", "LRU")
+	tb.Set("ammp", "LRU", 2.535)
+	s := tb.String()
+	for _, want := range []string{"Title", "bench", "LRU", "ammp", "2.535"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "ammp,2.535") {
+		t.Fatalf("csv missing row: %s", csv)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Min != 1 || s.Max != 4 || s.Mean != 2.5 || s.Median != 2.5 {
+		t.Fatalf("summary %+v", s)
+	}
+	s = Summarize([]float64{5})
+	if s.Median != 5 || s.Min != 5 || s.Max != 5 {
+		t.Fatalf("singleton summary %+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestTableRenderingWideColumns(t *testing.T) {
+	tb := NewTable("t", "bench", "a-very-long-column-name", "X")
+	tb.Set("row", "a-very-long-column-name", 1.5)
+	tb.Set("row", "X", 2.5)
+	s := tb.String()
+	// The header must contain both names separated by whitespace.
+	if !strings.Contains(s, " a-very-long-column-name") {
+		t.Fatalf("wide column collapsed:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	header, row := lines[1], lines[2]
+	if len(header) != len(row) {
+		t.Fatalf("misaligned header/row:\n%q\n%q", header, row)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Figure2Geometry is the toy LLC of paper Figure 2: two sets, 4 ways.
+var Figure2Geometry = sim.Geometry{Sets: 2, Ways: 4, LineSize: 64}
+
+// Figure2 builds the exact synthetic workload of paper Figure 2, example 1,
+// 2 or 3. All three interleave working set 0 — the 6-block cycle
+// A→B→C→D→E→F mapped to LLC set 0 — with working set 1 mapped to LLC set 1:
+//
+//	#1: a→b            (2 blocks)  "A→a→B→b→C→a→D→b→…"
+//	#2: a→b→c          (3 blocks)  "A→a→B→b→C→c→D→a→…"
+//	#3: a→b→c→d→e      (5 blocks)  "A→a→B→b→C→c→D→d→E→e→F→a→…"
+//
+// The returned sequence is one full period (LCM of the two cycles, in
+// interleaved steps); replay it with Fixed to approach the paper's
+// steady-state miss rates.
+func Figure2(example int) *Fixed {
+	var ws1 int
+	switch example {
+	case 1:
+		ws1 = 2
+	case 2:
+		ws1 = 3
+	case 3:
+		ws1 = 5
+	default:
+		panic(fmt.Sprintf("trace: Figure2 example %d out of range 1-3", example))
+	}
+	const ws0 = 6
+	period := lcm(ws0, ws1)
+	refs := make([]Ref, 0, 2*period)
+	for i := 0; i < period; i++ {
+		refs = append(refs,
+			Ref{Block: Figure2Geometry.BlockFor(uint64(i%ws0)+1, 0), Instrs: 1},
+			Ref{Block: Figure2Geometry.BlockFor(uint64(i%ws1)+1, 1), Instrs: 1},
+		)
+	}
+	return NewFixed(refs)
+}
+
+// Figure2Expected returns the paper's analytical steady-state miss rates
+// for the given example, as documented in Figure 2. STEM's extensional
+// bound (≤ 1/6 for example 2) is reported separately by the experiment.
+func Figure2Expected(example int) (lru, dip, sbc float64) {
+	switch example {
+	case 1:
+		return 1.0 / 2, 1.0 / 4, 0
+	case 2:
+		return 1.0 / 2, 1.0 / 4, 1.0 / 3
+	case 3:
+		return 1, 1.0/4 + 1.0/5, 1
+	default:
+		panic(fmt.Sprintf("trace: Figure2Expected example %d out of range 1-3", example))
+	}
+}
+
+func lcm(a, b int) int {
+	g, x := a, b
+	for x != 0 {
+		g, x = x, g%x
+	}
+	return a / g * b
+}

@@ -1,0 +1,68 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader throws arbitrary bytes at the binary reader: it must reject or
+// parse them without panicking, and never fabricate more records than the
+// input could hold.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid trace, a truncated one, and garbage.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{LineSize: 64})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := w.Append(sampleRefs(1)[0]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:20])
+	f.Add([]byte("garbage data that is not a trace"))
+	f.Add([]byte{0x1f, 0x8b, 0x00}) // gzip magic, broken stream
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := 0
+		for {
+			_, err := r.Next()
+			if err != nil {
+				break
+			}
+			n++
+			if n > len(data) {
+				t.Fatalf("more records (%d) than input bytes (%d)", n, len(data))
+			}
+		}
+	})
+}
+
+// FuzzParseDin throws arbitrary text at the din parser: error or parse,
+// never panic, and every parsed ref must carry at least one instruction.
+func FuzzParseDin(f *testing.F) {
+	f.Add("0 1000\n1 2000\n2 3000\n0 4000")
+	f.Add("# comment\n\n0 0xABC")
+	f.Add("junk\n0")
+	f.Fuzz(func(t *testing.T, input string) {
+		refs, err := ParseDin(strings.NewReader(input), 64)
+		if err != nil {
+			return
+		}
+		for _, r := range refs {
+			if r.Instrs < 1 {
+				t.Fatalf("parsed ref with zero instructions: %+v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,317 @@
+package stem_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	stem "repro"
+)
+
+var testGeom = stem.Geometry{Sets: 128, Ways: 16, LineSize: 64}
+
+func TestSchemesList(t *testing.T) {
+	s := stem.Schemes()
+	want := []string{"LRU", "DIP", "PELIFO", "VWAY", "SBC", "STEM"}
+	if len(s) != len(want) {
+		t.Fatalf("Schemes() = %v", s)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("Schemes() = %v, want %v", s, want)
+		}
+	}
+	// The returned slice is a copy: mutating it must not affect the API.
+	s[0] = "corrupted"
+	if stem.Schemes()[0] != "LRU" {
+		t.Fatal("Schemes() exposes internal state")
+	}
+}
+
+func TestPaperGeometryIs2MB(t *testing.T) {
+	if stem.PaperGeometry.CapacityBytes() != 2<<20 {
+		t.Fatalf("paper geometry capacity %d, want 2MB", stem.PaperGeometry.CapacityBytes())
+	}
+}
+
+func TestEndToEndSTEMBeatsLRUOnClassI(t *testing.T) {
+	// Integration: the omnetpp analog at 16 ways is STEM's showcase.
+	cfg := stem.RunConfig{Geom: testGeom, Warmup: 60_000, Measure: 200_000}
+	w := stem.MustBenchmark("omnetpp").Workload
+	lru, err := stem.RunWorkload(w, "LRU", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stem.RunWorkload(w, "STEM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MPKI >= lru.MPKI*0.9 {
+		t.Fatalf("STEM MPKI %v vs LRU %v: no clear Class I win", st.MPKI, lru.MPKI)
+	}
+	if st.AMAT >= lru.AMAT || st.CPI >= lru.CPI {
+		t.Fatalf("STEM AMAT/CPI (%v/%v) not better than LRU (%v/%v)",
+			st.AMAT, st.CPI, lru.AMAT, lru.CPI)
+	}
+	if st.Stats.Couplings == 0 || st.Stats.SecondaryHits == 0 {
+		t.Fatalf("STEM never exercised cooperative caching: %+v", st.Stats)
+	}
+}
+
+func TestEndToEndSTEMMatchesDIPOnClassII(t *testing.T) {
+	cfg := stem.RunConfig{Geom: testGeom, Warmup: 60_000, Measure: 200_000}
+	w := stem.MustBenchmark("cactusADM").Workload
+	dip, err := stem.RunWorkload(w, "DIP", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stem.RunWorkload(w, "STEM", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "STEM performs as well as DIP for the benchmarks of Class II" — allow
+	// a modest band around parity.
+	if st.MPKI > dip.MPKI*1.15 {
+		t.Fatalf("STEM MPKI %v far above DIP %v on Class II", st.MPKI, dip.MPKI)
+	}
+	if st.Stats.PolicySwaps == 0 {
+		t.Fatal("STEM never swapped per-set policies on a thrashing workload")
+	}
+}
+
+func TestEndToEndNoHarmOnClassIII(t *testing.T) {
+	cfg := stem.RunConfig{Geom: testGeom, Warmup: 60_000, Measure: 200_000}
+	for _, name := range []string{"gobmk", "gromacs", "vpr"} {
+		w := stem.MustBenchmark(name).Workload
+		lru, err := stem.RunWorkload(w, "LRU", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := stem.RunWorkload(w, "STEM", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MPKI > lru.MPKI*1.03 {
+			t.Errorf("%s: STEM MPKI %v worse than LRU %v on a Class III analog",
+				name, st.MPKI, lru.MPKI)
+		}
+	}
+}
+
+func TestCustomCacheAndPolicy(t *testing.T) {
+	// The extension point: assemble a cache from a custom per-set policy
+	// (here the built-in NRU as a stand-in for user code).
+	c := stem.NewCustomCache("NRU", testGeom, 1, func(set, ways int, rng *stem.RNG) stem.Policy {
+		return stem.NewPolicy(stem.NRU, ways, rng)
+	})
+	gen := stem.NewGenerator(stem.MustBenchmark("gobmk").Workload, testGeom, 1)
+	res := stem.Run(c, gen, stem.RunConfig{Geom: testGeom, Warmup: 30_000, Measure: 100_000})
+	if res.MissRate <= 0 || res.MissRate >= 1 {
+		t.Fatalf("custom cache degenerate miss rate %v", res.MissRate)
+	}
+	if c.Name() != "NRU" {
+		t.Fatalf("custom cache name %q", c.Name())
+	}
+}
+
+func TestFigure2PublicAPI(t *testing.T) {
+	rows := stem.Figure2(0)
+	if len(rows) != 3 {
+		t.Fatalf("Figure2 rows = %d", len(rows))
+	}
+	gen := stem.Figure2Workload(1)
+	r := gen.Next()
+	if stem.Figure2Geometry.Index(r.Block) != 0 {
+		t.Fatal("Figure 2 workload does not start in set 0")
+	}
+}
+
+func TestTable3PublicAPI(t *testing.T) {
+	r := stem.Table3()
+	if math.Abs(r.OverheadFraction-0.031) > 0.002 {
+		t.Fatalf("overhead %.4f, want ~0.031", r.OverheadFraction)
+	}
+	if r.ExtraBits() <= 0 {
+		t.Fatal("no extra bits reported")
+	}
+	// A wider signature must cost more.
+	wide := stem.Overhead(stem.PaperGeometry, stem.Config{SignatureBits: 16}, 44)
+	if wide.OverheadFraction <= r.OverheadFraction {
+		t.Fatal("wider signatures did not increase overhead")
+	}
+}
+
+func TestDemandProfilerPublicAPI(t *testing.T) {
+	p := stem.NewDemandProfiler(testGeom, 1000, 32)
+	gen := stem.NewGenerator(stem.MustBenchmark("ammp").Workload, testGeom, 1)
+	for i := 0; i < 5000; i++ {
+		p.Feed(gen.Next().Block)
+	}
+	p.Flush()
+	if len(p.Periods()) == 0 {
+		t.Fatal("no sampling periods recorded")
+	}
+}
+
+func TestAccountPublicAPI(t *testing.T) {
+	a := stem.NewAccount(stem.DefaultTiming())
+	a.Record(100, stem.Outcome{Hit: true})
+	if a.MPKI() != 0 {
+		t.Fatal("hit counted as miss")
+	}
+	a.Record(100, stem.Outcome{})
+	if a.MPKI() != 5 { // 1 miss / 200 instr = 5 MPKI
+		t.Fatalf("MPKI = %v, want 5", a.MPKI())
+	}
+}
+
+func TestBenchmarkSuitePublicAPI(t *testing.T) {
+	if len(stem.Benchmarks()) != 15 {
+		t.Fatal("suite size wrong")
+	}
+	if _, err := stem.BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBenchmark did not panic on unknown name")
+		}
+	}()
+	stem.MustBenchmark("nope")
+}
+
+func TestSweepPublicAPI(t *testing.T) {
+	tbl, err := stem.Sweep(stem.SweepConfig{
+		Benchmark: "gromacs",
+		Schemes:   []string{"LRU"},
+		Assocs:    []int{8},
+		Run:       stem.RunConfig{Geom: testGeom, Warmup: 20_000, Measure: 50_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get("8", "LRU"); !ok {
+		t.Fatal("sweep cell missing")
+	}
+}
+
+func TestHierarchyPublicAPI(t *testing.T) {
+	l2, err := stem.NewScheme("STEM", testGeom, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := stem.NewHierarchy(l2, stem.HierarchyConfig{})
+	cpu := stem.NewCPULevel(stem.NewGenerator(stem.MustBenchmark("gobmk").Workload, testGeom, 1),
+		testGeom.LineSize, 3)
+	for i := 0; i < 30000; i++ {
+		addr, write, instrs := cpu.NextByte()
+		h.Data(addr, write, instrs)
+	}
+	if h.AMAT() <= 0 || h.CPI() <= 0 || h.MPKI() < 0 {
+		t.Fatalf("hierarchy metrics AMAT=%v CPI=%v MPKI=%v", h.AMAT(), h.CPI(), h.MPKI())
+	}
+	st := h.Stats()
+	if st.L1DAccesses != 30000 {
+		t.Fatalf("L1D accesses %d", st.L1DAccesses)
+	}
+	if st.L1DMisses >= st.L1DAccesses/2 {
+		t.Fatalf("L1 not filtering: %d misses of %d", st.L1DMisses, st.L1DAccesses)
+	}
+}
+
+func TestOPTPublicAPI(t *testing.T) {
+	// OPT lower-bounds LRU on a recorded trace.
+	gen := stem.NewGenerator(stem.MustBenchmark("twolf").Workload, testGeom, 3)
+	blocks := make([]uint64, 50000)
+	lru, _ := stem.NewScheme("LRU", testGeom, 1)
+	for i := range blocks {
+		r := gen.Next()
+		blocks[i] = r.Block
+		lru.Access(stem.Access{Block: r.Block})
+	}
+	optStats := stem.OPTMisses(testGeom, blocks)
+	if optStats.Misses > lru.Stats().Misses {
+		t.Fatalf("OPT misses %d exceed LRU %d", optStats.Misses, lru.Stats().Misses)
+	}
+}
+
+func TestAblatePublicAPI(t *testing.T) {
+	tbl, err := stem.Ablate(stem.ComponentVariants(), []string{"omnetpp"},
+		stem.RunConfig{Geom: testGeom, Warmup: 40_000, Measure: 120_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, ok := tbl.Get("omnetpp", "STEM")
+	if !ok || full <= 0 || full >= 1 {
+		t.Fatalf("full-STEM ablation cell %v,%v", full, ok)
+	}
+	if _, err := stem.ParameterVariants("bogus"); err == nil {
+		t.Fatal("bogus parameter accepted")
+	}
+}
+
+func TestTraceIOPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/x.trc.gz"
+	w, err := stem.CreateTrace(path, stem.TraceHeader{LineSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stem.NewGenerator(stem.MustBenchmark("vpr").Workload, testGeom, 5)
+	if err := stem.RecordTrace(w, gen, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := stem.OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Header().LineSize != 64 {
+		t.Fatal("header lost")
+	}
+	first, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen2 := stem.NewGenerator(stem.MustBenchmark("vpr").Workload, testGeom, 5)
+	if live := gen2.Next(); live != first {
+		t.Fatalf("recorded %+v != live %+v", first, live)
+	}
+}
+
+func TestParseDinPublicAPI(t *testing.T) {
+	refs, err := stem.ParseDin(strings.NewReader("0 1000\n1 2000\n"), 64)
+	if err != nil || len(refs) != 2 || !refs[1].Write {
+		t.Fatalf("refs %+v err %v", refs, err)
+	}
+}
+
+func TestExtensionSchemesPublicAPI(t *testing.T) {
+	ext := stem.ExtensionSchemes()
+	if len(ext) != 3 {
+		t.Fatalf("extensions %v", ext)
+	}
+	for _, name := range ext {
+		s, err := stem.NewScheme(name, testGeom, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Access(stem.Access{Block: 42}).Hit {
+			t.Fatalf("%s: cold hit", name)
+		}
+	}
+}
+
+func TestExtensionComparisonPublicAPI(t *testing.T) {
+	tbl, err := stem.ExtensionComparison(stem.RunConfig{
+		Geom: testGeom, Warmup: 30_000, Measure: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Get("Geomean", "DRRIP"); !ok {
+		t.Fatal("DRRIP geomean missing")
+	}
+}
