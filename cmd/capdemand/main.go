@@ -7,6 +7,7 @@
 //
 //	capdemand -bench omnetpp -periods 1000
 //	capdemand -bench ammp -csv > ammp.csv
+//	capdemand -bench omnetpp -metrics :6060   # watch feed progress live
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	stem "repro"
+	"repro/internal/obs"
 	"repro/internal/profile"
 )
 
@@ -26,20 +28,54 @@ func main() {
 		maxWays   = flag.Int("max-ways", 32, "associativity horizon (paper: 32)")
 		seed      = flag.Uint64("seed", 0x57E4, "workload seed")
 		csv       = flag.Bool("csv", false, "emit per-period CSV instead of the mean table")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
 	)
 	flag.Parse()
-
-	res, err := stem.Figure1(stem.Fig1Config{
-		Benchmark: *bench,
-		Periods:   *periods,
-		PerPeriod: *perPeriod,
-		MaxWays:   *maxWays,
-		Seed:      *seed,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "capdemand:", err)
 		os.Exit(1)
 	}
+
+	b, err := stem.BenchmarkByName(*bench)
+	if err != nil {
+		fail(err)
+	}
+
+	tool, err := obs.StartTool(obs.ToolConfig{MetricsAddr: *metricsAddr, Pprof: *pprofFlag})
+	if err != nil {
+		fail(err)
+	}
+	defer tool.Close()
+	if addr := tool.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "capdemand: metrics at http://%s/metrics\n", addr)
+	}
+	var reg *obs.Registry
+	if tool != nil {
+		reg = tool.Registry
+	}
+
+	// Drive the profiler directly (rather than through stem.Figure1) so the
+	// metrics endpoint can report feed progress while the run is live.
+	gen := stem.NewGenerator(b.Workload, stem.PaperGeometry, *seed)
+	d := stem.NewDemandProfiler(stem.PaperGeometry, *perPeriod, *maxWays)
+	var (
+		fed      = reg.Counter("feed.accesses")
+		periodsG = reg.Gauge("feed.periods_done")
+		totalG   = reg.Gauge("feed.periods_total")
+		perChunk = *perPeriod
+		nperiods = *periods
+	)
+	totalG.Set(float64(nperiods))
+	for p := 0; p < nperiods; p++ {
+		for i := 0; i < perChunk; i++ {
+			d.Feed(gen.Next().Block)
+		}
+		fed.Add(uint64(perChunk))
+		periodsG.Set(float64(p + 1))
+	}
+	dists := d.Periods()
 
 	bands := *maxWays/2 + 1
 	if *csv {
@@ -50,7 +86,7 @@ func main() {
 			fmt.Printf(",%q", profile.BandLabel(b))
 		}
 		fmt.Println()
-		for i, p := range res.Periods {
+		for i, p := range dists {
 			fmt.Print(i + 1)
 			for b := 0; b < bands; b++ {
 				fmt.Printf(",%.4f", p.Fraction(b))
@@ -61,12 +97,23 @@ func main() {
 	}
 
 	fmt.Printf("Figure 1 (%s): mean share of sets per capacity-demand band over %d periods\n\n",
-		*bench, len(res.Periods))
+		*bench, len(dists))
 	for b := bands - 1; b >= 0; b-- {
-		frac := res.MeanFraction(b)
+		frac := meanFraction(dists, b)
 		bar := int(frac*60 + 0.5)
 		fmt.Printf("%8s  %6.2f%%  %s\n", profile.BandLabel(b), 100*frac, stars(bar))
 	}
+}
+
+func meanFraction(dists []profile.PeriodDist, b int) float64 {
+	if len(dists) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range dists {
+		sum += p.Fraction(b)
+	}
+	return sum / float64(len(dists))
 }
 
 func stars(n int) string {

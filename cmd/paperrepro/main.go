@@ -12,40 +12,79 @@
 //	paperrepro -quick      # scaled-down run (~2 min)
 //	paperrepro -only fig7  # one experiment (fig1,fig2,fig3,fig7,fig8,fig9,
 //	                       #   fig10,table2,table3,ablation,extension,replicate)
+//	paperrepro -o report.txt -metrics :6060   # report to file, live metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	stem "repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "scaled-down run for a fast end-to-end check")
-		only   = flag.String("only", "", "run a single experiment (fig1,fig2,fig3,fig7,fig8,fig9,fig10,table2,table3,ablation,extension,replicate)")
-		seed   = flag.Uint64("seed", 0x57E4, "run seed")
-		csvDir = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		quick   = flag.Bool("quick", false, "scaled-down run for a fast end-to-end check")
+		only    = flag.String("only", "", "run a single experiment (fig1,fig2,fig3,fig7,fig8,fig9,fig10,table2,table3,ablation,extension,replicate)")
+		seed    = flag.Uint64("seed", 0x57E4, "run seed")
+		csvDir  = flag.String("csvdir", "", "also write each table as CSV into this directory")
+		outPath = flag.String("o", "", "write the report to this file instead of stdout")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
+		tracePath   = flag.String("trace", "", "write mechanism events as JSONL to this file")
+		snapEvery   = flag.Int("snapshot-every", 0, "accesses between run snapshots (0 = default, negative = off)")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	// The experiment matrices run their (benchmark, scheme) cells in
+	// parallel on one shared registry: counters aggregate across cells,
+	// snapshot gauges show whichever cell published last.
+	tool, err := obs.StartTool(obs.ToolConfig{
+		MetricsAddr:   *metricsAddr,
+		Pprof:         *pprofFlag,
+		TracePath:     *tracePath,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer tool.Close()
+	if addr := tool.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "paperrepro: metrics at http://%s/metrics\n", addr)
+	}
 
 	writeCSV := func(name string, t *stem.Table) {
 		if *csvDir == "" {
 			return
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		path := filepath.Join(*csvDir, name+".csv")
 		if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "paperrepro:", err)
-			os.Exit(1)
+			fail(err)
 		}
 	}
 
@@ -57,18 +96,16 @@ func main() {
 		sweepRun = stem.RunConfig{Warmup: 150_000, Measure: 450_000, Seed: *seed}
 		fig1Periods = 100
 	}
+	run.Obs = tool.Options()
+	sweepRun.Obs = tool.Options()
 
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
 	}
 	section := func(title string) func() {
 		start := time.Now()
-		fmt.Printf("==== %s ====\n", title)
-		return func() { fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds()) }
-	}
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "paperrepro:", err)
-		os.Exit(1)
+		fmt.Fprintf(out, "==== %s ====\n", title)
+		return func() { fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds()) }
 	}
 
 	if want("fig1") {
@@ -82,20 +119,20 @@ func main() {
 			fail(err)
 		}
 		tbl := stem.Figure1Table(omnet, ammp)
-		fmt.Print(tbl.String())
+		fmt.Fprint(out, tbl.String())
 		writeCSV("fig1", tbl)
 		done()
 	}
 
 	if want("fig2") {
 		done := section("Figure 2: synthetic two-set examples")
-		fmt.Println("ex    LRU meas/paper   DIP meas/paper   SBC meas/paper   STEM meas")
+		fmt.Fprintln(out, "ex    LRU meas/paper   DIP meas/paper   SBC meas/paper   STEM meas")
 		for _, r := range stem.Figure2(*seed) {
-			fmt.Printf("#%d    %.3f / %.3f    %.3f / %.3f    %.3f / %.3f    %.3f\n",
+			fmt.Fprintf(out, "#%d    %.3f / %.3f    %.3f / %.3f    %.3f / %.3f    %.3f\n",
 				r.Example, r.LRU, r.ExpLRU, r.DIP, r.ExpDIP, r.SBC, r.ExpSBC, r.STEM)
 		}
-		fmt.Println("(paper DIP column assumes oracle knowledge of the working sets;")
-		fmt.Println(" STEM on #2 is the paper's 'extensional example')")
+		fmt.Fprintln(out, "(paper DIP column assumes oracle knowledge of the working sets;")
+		fmt.Fprintln(out, " STEM on #2 is the paper's 'extensional example')")
 		done()
 	}
 
@@ -110,9 +147,9 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			writeCSV("fig3_"+b, tbl)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		done()
 	}
@@ -126,35 +163,35 @@ func main() {
 			fail(err)
 		}
 		if want("table2") {
-			fmt.Print(cmp.Table2.String())
+			fmt.Fprint(out, cmp.Table2.String())
 			writeCSV("table2", cmp.Table2)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		if want("fig7") {
-			fmt.Print(cmp.MPKI.String())
+			fmt.Fprint(out, cmp.MPKI.String())
 			writeCSV("fig7", cmp.MPKI)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		if want("fig8") {
-			fmt.Print(cmp.AMAT.String())
+			fmt.Fprint(out, cmp.AMAT.String())
 			writeCSV("fig8", cmp.AMAT)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		if want("fig9") {
-			fmt.Print(cmp.CPI.String())
+			fmt.Fprint(out, cmp.CPI.String())
 			writeCSV("fig9", cmp.CPI)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		if g, ok := cmp.MPKI.Get("Geomean", "STEM"); ok {
-			fmt.Printf("STEM geomean improvement over LRU: MPKI %.1f%% (paper: 21.4%%)",
+			fmt.Fprintf(out, "STEM geomean improvement over LRU: MPKI %.1f%% (paper: 21.4%%)",
 				100*(1-g))
 			if a, ok := cmp.AMAT.Get("Geomean", "STEM"); ok {
-				fmt.Printf(", AMAT %.1f%% (13.5%%)", 100*(1-a))
+				fmt.Fprintf(out, ", AMAT %.1f%% (13.5%%)", 100*(1-a))
 			}
 			if c, ok := cmp.CPI.Get("Geomean", "STEM"); ok {
-				fmt.Printf(", CPI %.1f%% (6.3%%)", 100*(1-c))
+				fmt.Fprintf(out, ", CPI %.1f%% (6.3%%)", 100*(1-c))
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		done()
 	}
@@ -166,9 +203,9 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Print(tbl.String())
+			fmt.Fprint(out, tbl.String())
 			writeCSV("fig10_"+b, tbl)
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 		done()
 	}
@@ -179,9 +216,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(tbl.String())
+		fmt.Fprint(out, tbl.String())
 		writeCSV("ablation_components", tbl)
-		fmt.Println()
+		fmt.Fprintln(out)
 		for _, p := range []string{"k", "n", "m", "heap"} {
 			vs, err := stem.ParameterVariants(p)
 			if err != nil {
@@ -191,8 +228,8 @@ func main() {
 			if err != nil {
 				fail(err)
 			}
-			fmt.Print(tbl.String())
-			fmt.Println()
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintln(out)
 		}
 		done()
 	}
@@ -203,9 +240,9 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Print(tbl.String())
+		fmt.Fprint(out, tbl.String())
 		writeCSV("extension_rrip", tbl)
-		fmt.Println()
+		fmt.Fprintln(out)
 		done()
 	}
 
@@ -216,23 +253,23 @@ func main() {
 			fail(err)
 		}
 		tbl := stem.ReplicationTable(res)
-		fmt.Print(tbl.String())
+		fmt.Fprint(out, tbl.String())
 		writeCSV("replication", tbl)
-		fmt.Println()
+		fmt.Fprintln(out)
 		done()
 	}
 
 	if want("table3") {
 		done := section("Table 3: hardware overhead")
 		r := stem.Table3()
-		fmt.Printf("tag bits %d, rank bits %d, %d-bit shadow signatures\n",
+		fmt.Fprintf(out, "tag bits %d, rank bits %d, %d-bit shadow signatures\n",
 			r.TagBits, r.RankBits, 10)
-		fmt.Printf("CC bits        %8d\n", r.CCBits)
-		fmt.Printf("shadow store   %8d\n", r.ShadowBits)
-		fmt.Printf("counters       %8d\n", r.CounterBits)
-		fmt.Printf("assoc table    %8d\n", r.AssocTableBits)
-		fmt.Printf("selector heap  %8d\n", r.HeapBits)
-		fmt.Printf("total extra    %8d bits over %d baseline bits = %.2f%% (paper: 3.1%%)\n",
+		fmt.Fprintf(out, "CC bits        %8d\n", r.CCBits)
+		fmt.Fprintf(out, "shadow store   %8d\n", r.ShadowBits)
+		fmt.Fprintf(out, "counters       %8d\n", r.CounterBits)
+		fmt.Fprintf(out, "assoc table    %8d\n", r.AssocTableBits)
+		fmt.Fprintf(out, "selector heap  %8d\n", r.HeapBits)
+		fmt.Fprintf(out, "total extra    %8d bits over %d baseline bits = %.2f%% (paper: 3.1%%)\n",
 			r.ExtraBits(), r.BaselineDataBits+r.BaselineTagBits, 100*r.OverheadFraction)
 		done()
 	}

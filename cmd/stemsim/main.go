@@ -6,6 +6,7 @@
 //
 //	stemsim -bench omnetpp -scheme STEM
 //	stemsim -bench ammp -scheme SBC -ways 8 -measure 2000000
+//	stemsim -bench omnetpp -metrics :6060 -trace events.jsonl
 //	stemsim -list
 package main
 
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	stem "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,11 @@ func main() {
 		measure = flag.Int("measure", 3_000_000, "measured accesses")
 		seed    = flag.Uint64("seed", 0x57E4, "run seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
+		tracePath   = flag.String("trace", "", `write mechanism events as JSONL to this file ("-" for stdout)`)
+		snapEvery   = flag.Int("snapshot-every", 0, "accesses between run snapshots (0 = default, negative = off)")
 	)
 	flag.Parse()
 
@@ -45,11 +52,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	tool, err := obs.StartTool(obs.ToolConfig{
+		MetricsAddr:   *metricsAddr,
+		Pprof:         *pprofFlag,
+		TracePath:     *tracePath,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stemsim:", err)
+		os.Exit(1)
+	}
+	defer tool.Close()
+	if addr := tool.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "stemsim: metrics at http://%s/metrics\n", addr)
+	}
+
 	cfg := stem.RunConfig{
 		Geom:    stem.Geometry{Sets: *sets, Ways: *ways, LineSize: *line},
 		Warmup:  *warmup,
 		Measure: *measure,
 		Seed:    *seed,
+		Obs:     tool.Options(),
 	}
 	res, err := stem.RunWorkload(b.Workload, *scheme, cfg)
 	if err != nil {
@@ -78,5 +101,8 @@ func main() {
 	}
 	if st.PolicySwaps > 0 {
 		fmt.Printf("per-set policy swaps %d\n", st.PolicySwaps)
+	}
+	if st.ShadowHits > 0 {
+		fmt.Printf("shadow-directory hits %d\n", st.ShadowHits)
 	}
 }

@@ -7,17 +7,19 @@
 //	sweep -bench omnetpp                       # Figure 10 panel (all six)
 //	sweep -bench ammp -schemes LRU,DIP,SBC     # custom subset
 //	sweep -bench omnetpp -fig3                 # Figure 3 panel (no STEM)
-//	sweep -bench ammp -csv > ammp_sweep.csv
+//	sweep -bench ammp -csv -o ammp_sweep.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	stem "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,12 +32,33 @@ func main() {
 		measure = flag.Int("measure", 1_200_000, "measured accesses per point")
 		seed    = flag.Uint64("seed", 0x57E4, "run seed")
 		csv     = flag.Bool("csv", false, "emit CSV instead of the aligned table")
+		outPath = flag.String("o", "", "write the table to this file instead of stdout")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
+		tracePath   = flag.String("trace", "", "write mechanism events as JSONL to this file")
+		snapEvery   = flag.Int("snapshot-every", 0, "accesses between run snapshots (0 = default, negative = off)")
 	)
 	flag.Parse()
 
+	tool, err := obs.StartTool(obs.ToolConfig{
+		MetricsAddr:   *metricsAddr,
+		Pprof:         *pprofFlag,
+		TracePath:     *tracePath,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+	defer tool.Close()
+	if addr := tool.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "sweep: metrics at http://%s/metrics\n", addr)
+	}
+
 	cfg := stem.SweepConfig{
 		Benchmark: *bench,
-		Run:       stem.RunConfig{Warmup: *warmup, Measure: *measure, Seed: *seed},
+		Run:       stem.RunConfig{Warmup: *warmup, Measure: *measure, Seed: *seed, Obs: tool.Options()},
 	}
 	switch {
 	case *schemes != "":
@@ -59,9 +82,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
 	if *csv {
-		fmt.Print(tbl.CSV())
+		fmt.Fprint(out, tbl.CSV())
 		return
 	}
-	fmt.Print(tbl.String())
+	fmt.Fprint(out, tbl.String())
 }

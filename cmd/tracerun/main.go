@@ -8,7 +8,11 @@
 //	tracerun -trace app.trc.gz                       # all six schemes
 //	tracerun -trace app.trc -schemes LRU,STEM
 //	tracerun -din app.din -line 64 -schemes STEM     # Dinero text input
+//	tracerun -trace app.trc -schemes STEM -events ev.jsonl -metrics :6060
 //	tracerun -record omnetpp -n 5000000 -trace out.trc.gz   # capture an analog
+//
+// The event log (-events; -trace already names the input) covers the
+// measured portion of every replayed scheme in sequence.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"strings"
 
 	stem "repro"
+	"repro/internal/obs"
 	"repro/internal/tracefile"
 )
 
@@ -34,6 +39,11 @@ func main() {
 		seed      = flag.Uint64("seed", 0x57E4, "scheme seed")
 		record    = flag.String("record", "", "record this benchmark analog instead of replaying")
 		recordN   = flag.Int("n", 5_000_000, "references to record with -record")
+
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
+		eventsPath  = flag.String("events", "", "write mechanism events as JSONL to this file (-trace is the input)")
+		snapEvery   = flag.Int("snapshot-every", 0, "accesses between run snapshots (0 = default, negative = off)")
 	)
 	flag.Parse()
 	fail := func(err error) {
@@ -99,9 +109,36 @@ func main() {
 		fail(fmt.Errorf("trace too short: %d references", len(refs)))
 	}
 
+	tool, err := obs.StartTool(obs.ToolConfig{
+		MetricsAddr:   *metricsAddr,
+		Pprof:         *pprofFlag,
+		TracePath:     *eventsPath,
+		SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer tool.Close()
+	if addr := tool.MetricsAddr(); addr != "" {
+		fmt.Fprintf(os.Stderr, "tracerun: metrics at http://%s/metrics\n", addr)
+	}
+	o := tool.Options()
+
 	geom := stem.Geometry{Sets: *sets, Ways: *ways, LineSize: *line}
 	warm := int(float64(len(refs)) * *warmFrac)
 	timing := stem.DefaultTiming()
+
+	// Shared across the sequential scheme replays: counters accumulate,
+	// snapshot gauges show the scheme currently replaying.
+	var reg *obs.Registry
+	if o.Enabled() {
+		reg = o.Registry
+	}
+	var (
+		accessesC = reg.Counter("run.accesses")
+		hitsC     = reg.Counter("run.hits")
+		missesC   = reg.Counter("run.misses")
+	)
 
 	fmt.Printf("trace: %d references (%d warm-up), %d sets x %d ways\n\n",
 		len(refs), warm, *sets, *ways)
@@ -118,10 +155,32 @@ func main() {
 			if i == warm {
 				c.ResetStats()
 				acct = stem.NewAccount(timing)
+				// Attach the tracer only now so the event log reconciles
+				// with the measured (post-reset) stats.
+				if in, ok := c.(obs.Instrumented); ok && o.Enabled() && o.Tracer != nil {
+					in.SetObserver(o.Tracer)
+				}
 			}
 			if i >= warm {
 				acct.Record(r.Instrs, out)
+				accessesC.Inc()
+				if out.Hit {
+					hitsC.Inc()
+				} else {
+					missesC.Inc()
+				}
+				if o.Enabled() && o.SnapshotEvery > 0 {
+					if m := i - warm + 1; m%o.SnapshotEvery == 0 && i != len(refs)-1 {
+						o.Publish(obs.MakeSnapshot(c, uint64(m), acct.MPKI(), false))
+					}
+				}
 			}
+		}
+		if o.Enabled() {
+			o.Publish(obs.MakeSnapshot(c, uint64(len(refs)-warm), acct.MPKI(), true))
+		}
+		if in, ok := c.(obs.Instrumented); ok {
+			in.SetObserver(nil)
 		}
 		st := c.Stats()
 		fmt.Printf("%-8s   %9.4f  %7.3f  %7.2f  %7.3f\n",

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/hashfn"
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/selector"
 	"repro/internal/sim"
@@ -113,6 +114,28 @@ type stemSet struct {
 	partner int
 	role    role
 	foreign int // valid CC lines resident here (givers only)
+	// Observability bookkeeping; maintained only while an observer is
+	// attached.
+	klass     int8   // last reported spatial classification
+	coupledAt uint64 // tick at which the current association formed
+}
+
+// Spatial classification labels for class-change events.
+const (
+	classNeutral int8 = iota
+	classTaker
+	classGiver
+)
+
+func className(k int8) string {
+	switch k {
+	case classTaker:
+		return "taker"
+	case classGiver:
+		return "giver"
+	default:
+		return "neutral"
+	}
 }
 
 // Cache is a STEM-managed LLC implementing sim.Simulator.
@@ -125,6 +148,12 @@ type Cache struct {
 	heap  *selector.Heap
 	rng   *sim.RNG // drives the 1/2^n spatial decrement
 	stats sim.Stats
+	// tick counts every access over the cache's lifetime (never reset); it
+	// timestamps mechanism events.
+	tick uint64
+	// observer receives mechanism events; nil (the default) restores the
+	// uninstrumented hot path.
+	observer obs.Observer
 }
 
 // New constructs a STEM cache. It panics on invalid geometry.
@@ -190,8 +219,67 @@ func (c *Cache) Counters(idx int) (scS, scT int) {
 	return c.sets[idx].mon.scS, c.sets[idx].mon.scT
 }
 
+// SetObserver implements obs.Instrumented: it attaches (or, with nil,
+// detaches) a mechanism-event sink. Attaching re-baselines every set's
+// spatial classification so only subsequent changes are reported.
+func (c *Cache) SetObserver(o obs.Observer) {
+	c.observer = o
+	if o == nil {
+		return
+	}
+	for i := range c.sets {
+		c.sets[i].klass = c.classOf(&c.sets[i])
+	}
+}
+
+// classOf derives the set's current spatial classification from SC_S.
+func (c *Cache) classOf(s *stemSet) int8 {
+	switch {
+	case s.mon.isTaker(c.cgeom):
+		return classTaker
+	case s.mon.isGiver(c.cgeom):
+		return classGiver
+	default:
+		return classNeutral
+	}
+}
+
+// noteClass emits a class-change event when set idx's classification moved
+// since the last report. Callers guard on c.observer != nil.
+func (c *Cache) noteClass(idx int) {
+	s := &c.sets[idx]
+	k := c.classOf(s)
+	if k == s.klass {
+		return
+	}
+	s.klass = k
+	c.observer.Event(obs.Event{
+		Type: obs.EvClassChange, Tick: c.tick, Set: idx,
+		ScS: s.mon.scS, ScT: s.mon.scT, Class: className(k),
+	})
+}
+
+// Introspect implements obs.Introspector: a live census of association
+// roles and per-set replacement policies.
+func (c *Cache) Introspect() obs.SchemeState {
+	st := obs.SchemeState{PolicySets: make(map[string]int, 2)}
+	for i := range c.sets {
+		s := &c.sets[i]
+		switch s.role {
+		case taker:
+			st.Takers++
+		case giver:
+			st.Givers++
+		}
+		st.PolicySets[s.pol.Kind().String()]++
+	}
+	st.Coupled = st.Takers + st.Givers
+	return st
+}
+
 // Access implements sim.Simulator.
 func (c *Cache) Access(a sim.Access) sim.Outcome {
+	c.tick++
 	idx := c.geom.Index(a.Block)
 	s := &c.sets[idx]
 
@@ -229,7 +317,16 @@ func (c *Cache) Access(a sim.Access) sim.Outcome {
 	// 3. True miss: consult the shadow set, then fill locally.
 	sg := sig(c.hash, c.geom.Tag(a.Block))
 	if s.mon.shadow.lookupInvalidate(sg) {
-		if s.mon.onShadowHit(c.cgeom) && !c.cfg.DisableSwap {
+		swap := s.mon.onShadowHit(c.cgeom)
+		c.stats.ShadowHits++
+		if c.observer != nil {
+			c.observer.Event(obs.Event{
+				Type: obs.EvShadowHit, Tick: c.tick, Set: idx,
+				ScS: s.mon.scS, ScT: s.mon.scT,
+			})
+			c.noteClass(idx)
+		}
+		if swap && !c.cfg.DisableSwap {
 			c.swapPolicies(idx)
 		}
 	}
@@ -265,6 +362,9 @@ func (c *Cache) onLocalHit(idx int) {
 	decS := c.rng.OneIn(1 << uint(c.cfg.SpatialShift))
 	s.mon.onLLCHit(decS)
 	if decS {
+		if c.observer != nil {
+			c.noteClass(idx)
+		}
 		c.reconsiderGiver(idx)
 	}
 }
@@ -293,6 +393,12 @@ func (c *Cache) swapPolicies(idx int) {
 	policy.SwapKind(s.mon.shadow.pol, policy.Opposite(next))
 	s.mon.scT = 0
 	c.stats.PolicySwaps++
+	if c.observer != nil {
+		c.observer.Event(obs.Event{
+			Type: obs.EvPolicySwap, Tick: c.tick, Set: idx,
+			ScS: s.mon.scS, ScT: s.mon.scT, Policy: next.String(),
+		})
+	}
 }
 
 // tryCouple pairs taker set idx with the least-saturated live giver.
@@ -315,6 +421,13 @@ func (c *Cache) tryCouple(idx int) {
 		g.partner, g.role = idx, giver
 		c.heap.Remove(idx)
 		c.stats.Couplings++
+		if c.observer != nil {
+			s.coupledAt, g.coupledAt = c.tick, c.tick
+			c.observer.Event(obs.Event{
+				Type: obs.EvCouple, Tick: c.tick, Set: idx, Partner: cand,
+				ScS: s.mon.scS, ScT: s.mon.scT,
+			})
+		}
 		return
 	}
 }
@@ -373,6 +486,17 @@ func (c *Cache) receive(gidx int, v line, out *sim.Outcome) {
 	g.foreign++
 	c.stats.Spills++
 	c.stats.Receives++
+	if c.observer != nil {
+		t := &c.sets[g.partner]
+		c.observer.Event(obs.Event{
+			Type: obs.EvSpill, Tick: c.tick, Set: g.partner, Partner: gidx,
+			ScS: t.mon.scS, ScT: t.mon.scT,
+		})
+		c.observer.Event(obs.Event{
+			Type: obs.EvReceive, Tick: c.tick, Set: gidx, Partner: g.partner,
+			ScS: g.mon.scS, ScT: g.mon.scT,
+		})
+	}
 }
 
 // evictOffChip handles a block truly leaving the LLC: writeback accounting
@@ -396,6 +520,12 @@ func (c *Cache) decouple(gidx int) {
 	t.partner, t.role = tIdx, uncoupled
 	g.partner, g.role = gidx, uncoupled
 	c.stats.Decouplings++
+	if c.observer != nil {
+		c.observer.Event(obs.Event{
+			Type: obs.EvDecouple, Tick: c.tick, Set: gidx, Partner: tIdx,
+			ScS: g.mon.scS, ScT: g.mon.scT, Life: c.tick - g.coupledAt,
+		})
+	}
 	// Both ends may immediately qualify as givers again.
 	c.reconsiderGiver(gidx)
 	c.reconsiderGiver(tIdx)

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+type capture struct{ events []obs.Event }
+
+func (c *capture) Event(e obs.Event) { c.events = append(c.events, e) }
+
+func (c *capture) count(t obs.EventType) uint64 {
+	var n uint64
+	for _, e := range c.events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// driveCoupling runs a taker/giver workload long enough to exercise every
+// mechanism: set 0 cycles through ways+2 blocks (a taker), the other sets
+// stay trivially satisfied (givers).
+func driveCoupling(c *Cache, geom sim.Geometry, n int) {
+	for i := 0; i < n; i++ {
+		c.Access(sim.Access{Block: geom.BlockFor(uint64(i%(geom.Ways+2)), 0)})
+		c.Access(sim.Access{Block: geom.BlockFor(0, 1+i%3), Write: i%7 == 0})
+	}
+}
+
+func TestObserverEventsReconcileWithStats(t *testing.T) {
+	geom := sim.Geometry{Sets: 8, Ways: 4, LineSize: 64}
+	c := New(geom, Config{Seed: 3})
+	cap := &capture{}
+	c.SetObserver(cap)
+	driveCoupling(c, geom, 20000)
+	st := c.Stats()
+
+	if st.Spills == 0 || st.Couplings == 0 || st.PolicySwaps == 0 || st.ShadowHits == 0 {
+		t.Fatalf("workload did not exercise the mechanisms: %+v", st)
+	}
+	checks := []struct {
+		ev   obs.EventType
+		want uint64
+	}{
+		{obs.EvSpill, st.Spills},
+		{obs.EvReceive, st.Receives},
+		{obs.EvCouple, st.Couplings},
+		{obs.EvDecouple, st.Decouplings},
+		{obs.EvPolicySwap, st.PolicySwaps},
+		{obs.EvShadowHit, st.ShadowHits},
+	}
+	for _, ck := range checks {
+		if got := cap.count(ck.ev); got != ck.want {
+			t.Errorf("%v events = %d, stats say %d", ck.ev, got, ck.want)
+		}
+	}
+}
+
+func TestObserverEventPayloads(t *testing.T) {
+	geom := sim.Geometry{Sets: 8, Ways: 4, LineSize: 64}
+	c := New(geom, Config{Seed: 3})
+	cap := &capture{}
+	c.SetObserver(cap)
+	driveCoupling(c, geom, 20000)
+
+	var lastTick uint64
+	for _, e := range cap.events {
+		if e.Tick < lastTick {
+			t.Fatalf("ticks went backwards: %d after %d", e.Tick, lastTick)
+		}
+		lastTick = e.Tick
+		if e.Set < 0 || e.Set >= geom.Sets {
+			t.Fatalf("event with bad set index: %+v", e)
+		}
+		max := 1<<4 - 1 // default CounterBits
+		if e.ScS < 0 || e.ScS > max || e.ScT < 0 || e.ScT > max {
+			t.Fatalf("SCDM counters out of range: %+v", e)
+		}
+		switch e.Type {
+		case obs.EvCouple, obs.EvSpill, obs.EvReceive, obs.EvDecouple:
+			if e.Partner < 0 || e.Partner >= geom.Sets || e.Partner == e.Set {
+				t.Fatalf("bad partner: %+v", e)
+			}
+		case obs.EvPolicySwap:
+			if e.Policy != "LRU" && e.Policy != "BIP" {
+				t.Fatalf("bad policy name: %+v", e)
+			}
+		case obs.EvClassChange:
+			if e.Class != "taker" && e.Class != "giver" && e.Class != "neutral" {
+				t.Fatalf("bad class: %+v", e)
+			}
+		}
+		if e.Type == obs.EvDecouple && e.Life == 0 {
+			t.Fatalf("decouple without lifetime: %+v", e)
+		}
+	}
+	if cap.count(obs.EvClassChange) == 0 {
+		t.Fatal("no class-change events on a taker/giver workload")
+	}
+}
+
+func TestIntrospectMatchesRoles(t *testing.T) {
+	geom := sim.Geometry{Sets: 8, Ways: 4, LineSize: 64}
+	c := New(geom, Config{Seed: 3})
+	driveCoupling(c, geom, 20000)
+
+	st := c.Introspect()
+	takers, givers := 0, 0
+	policies := map[string]int{}
+	for i := 0; i < geom.Sets; i++ {
+		switch c.Role(i) {
+		case "taker":
+			takers++
+		case "giver":
+			givers++
+		}
+		policies[c.PolicyKind(i).String()]++
+	}
+	if st.Takers != takers || st.Givers != givers || st.Coupled != takers+givers {
+		t.Fatalf("Introspect %+v vs roles taker=%d giver=%d", st, takers, givers)
+	}
+	for pol, n := range policies {
+		if st.PolicySets[pol] != n {
+			t.Fatalf("policy census %v vs %v", st.PolicySets, policies)
+		}
+	}
+}
+
+func TestDetachedObserverQuiesces(t *testing.T) {
+	geom := sim.Geometry{Sets: 8, Ways: 4, LineSize: 64}
+	c := New(geom, Config{Seed: 3})
+	cap := &capture{}
+	c.SetObserver(cap)
+	driveCoupling(c, geom, 2000)
+	n := len(cap.events)
+	if n == 0 {
+		t.Fatal("no events while attached")
+	}
+	c.SetObserver(nil)
+	driveCoupling(c, geom, 2000)
+	if len(cap.events) != n {
+		t.Fatalf("events emitted after detach: %d -> %d", n, len(cap.events))
+	}
+}
+
+func TestObserverDoesNotPerturbSimulation(t *testing.T) {
+	geom := sim.Geometry{Sets: 16, Ways: 4, LineSize: 64}
+	run := func(observe bool) sim.Stats {
+		c := New(geom, Config{Seed: 11})
+		if observe {
+			c.SetObserver(obs.ObserverFunc(func(obs.Event) {}))
+		}
+		rng := sim.NewRNG(5)
+		for i := 0; i < 50000; i++ {
+			c.Access(sim.Access{Block: uint64(rng.Intn(4096)), Write: rng.OneIn(4)})
+		}
+		return c.Stats()
+	}
+	if run(false) != run(true) {
+		t.Fatal("attaching an observer changed simulation behaviour")
+	}
+}

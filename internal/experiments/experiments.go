@@ -15,6 +15,7 @@ import (
 	"repro/internal/dip"
 	"repro/internal/drrip"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pelifo"
 	"repro/internal/policy"
 	"repro/internal/sbc"
@@ -80,6 +81,12 @@ type RunConfig struct {
 	Timing mem.Timing
 	// Seed drives the scheme and the workload generator.
 	Seed uint64
+	// Obs enables run observability: live metrics, mechanism-event tracing
+	// and periodic snapshots. Nil (the default) keeps the measured loop on
+	// the uninstrumented hot path. Runs sharing one Options (paperrepro's
+	// parallel matrix) share its registry; counters aggregate across runs
+	// while snapshot gauges reflect whichever run published last.
+	Obs *obs.Options
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -112,7 +119,11 @@ type RunResult struct {
 }
 
 // Run drives sim over gen: Warmup accesses unmeasured, then Measure
-// accesses through a timing account.
+// accesses through a timing account. With cfg.Obs enabled, the measured
+// phase additionally feeds the metrics registry, attaches the event tracer
+// to instrumented schemes (warm-up stays untraced so the event log
+// reconciles exactly with the run's final Stats), and publishes periodic
+// plus final snapshots.
 func Run(s sim.Simulator, gen trace.Generator, cfg RunConfig) RunResult {
 	cfg = cfg.withDefaults()
 	for i := 0; i < cfg.Warmup; i++ {
@@ -121,10 +132,14 @@ func Run(s sim.Simulator, gen trace.Generator, cfg RunConfig) RunResult {
 	}
 	s.ResetStats()
 	acct := mem.NewAccount(cfg.Timing)
-	for i := 0; i < cfg.Measure; i++ {
-		r := gen.Next()
-		out := s.Access(sim.Access{Block: r.Block, Write: r.Write})
-		acct.Record(r.Instrs, out)
+	if cfg.Obs.Enabled() {
+		runObserved(s, gen, cfg, acct)
+	} else {
+		for i := 0; i < cfg.Measure; i++ {
+			r := gen.Next()
+			out := s.Access(sim.Access{Block: r.Block, Write: r.Write})
+			acct.Record(r.Instrs, out)
+		}
 	}
 	st := s.Stats()
 	return RunResult{
@@ -135,6 +150,48 @@ func Run(s sim.Simulator, gen trace.Generator, cfg RunConfig) RunResult {
 		AMAT:     acct.AMAT(),
 		CPI:      acct.CPI(),
 	}
+}
+
+// runObserved is the instrumented measured loop: identical simulation
+// behaviour to the plain loop, plus registry counters per access and
+// snapshot publication. It is kept out of Run so the disabled path stays a
+// tight loop.
+func runObserved(s sim.Simulator, gen trace.Generator, cfg RunConfig, acct *mem.Account) {
+	o := cfg.Obs
+	if in, ok := s.(obs.Instrumented); ok && o.Tracer != nil {
+		in.SetObserver(o.Tracer)
+		defer in.SetObserver(nil)
+	}
+	reg := o.Registry // nil-safe: a nil registry hands out no-op metrics
+	var (
+		accesses   = reg.Counter("run.accesses")
+		hits       = reg.Counter("run.hits")
+		misses     = reg.Counter("run.misses")
+		writebacks = reg.Counter("run.writebacks")
+		secondary  = reg.Counter("run.secondary_hits")
+	)
+	every := o.SnapshotEvery
+	for i := 0; i < cfg.Measure; i++ {
+		r := gen.Next()
+		out := s.Access(sim.Access{Block: r.Block, Write: r.Write})
+		acct.Record(r.Instrs, out)
+		accesses.Inc()
+		if out.Hit {
+			hits.Inc()
+		} else {
+			misses.Inc()
+		}
+		if out.SecondaryHit {
+			secondary.Inc()
+		}
+		if out.Writeback {
+			writebacks.Inc()
+		}
+		if every > 0 && (i+1)%every == 0 && i+1 < cfg.Measure {
+			o.Publish(obs.MakeSnapshot(s, uint64(i+1), acct.MPKI(), false))
+		}
+	}
+	o.Publish(obs.MakeSnapshot(s, uint64(cfg.Measure), acct.MPKI(), true))
 }
 
 // RunWorkload builds the named scheme and the workload generator, then

@@ -20,6 +20,16 @@ func forEachScheme(t *testing.T, f func(t *testing.T, name string)) {
 	}
 }
 
+// forEveryScheme additionally covers the extension schemes (SRRIP, DRRIP,
+// SKEW), which must obey the same stats contract as the paper's six.
+func forEveryScheme(t *testing.T, f func(t *testing.T, name string)) {
+	t.Helper()
+	for _, name := range append(append([]string(nil), SchemeNames...), ExtensionSchemeNames...) {
+		name := name
+		t.Run(name, func(t *testing.T) { f(t, name) })
+	}
+}
+
 func TestInvariantHitSoundness(t *testing.T) {
 	// No scheme may report a hit for a block that was never inserted.
 	forEachScheme(t, func(t *testing.T, name string) {
@@ -48,7 +58,7 @@ func TestInvariantHitSoundness(t *testing.T) {
 func TestInvariantStatsConsistency(t *testing.T) {
 	// Hits + misses == accesses; secondary hits bounded by both hits and
 	// secondary probes; spills equal receives.
-	forEachScheme(t, func(t *testing.T, name string) {
+	forEveryScheme(t, func(t *testing.T, name string) {
 		s, err := NewScheme(name, invGeom, 3)
 		if err != nil {
 			t.Fatal(err)
@@ -122,16 +132,26 @@ func TestInvariantFittingWorkingSetConverges(t *testing.T) {
 }
 
 func TestInvariantResetStatsPreservesContents(t *testing.T) {
-	forEachScheme(t, func(t *testing.T, name string) {
+	// Every scheme (extensions included) must zero every Stats field —
+	// including counters only some schemes drive (spills, shadow hits,
+	// secondary probes) — while leaving cache contents untouched.
+	forEveryScheme(t, func(t *testing.T, name string) {
 		s, err := NewScheme(name, invGeom, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
+		rng := sim.NewRNG(9)
+		for i := 0; i < 20000; i++ {
+			s.Access(sim.Access{Block: uint64(rng.Intn(256)), Write: rng.OneIn(4)})
+		}
+		if s.Stats() == (sim.Stats{}) {
+			t.Fatal("workload produced no stats to reset")
+		}
 		b := invGeom.BlockFor(7, 3)
 		s.Access(sim.Access{Block: b})
 		s.ResetStats()
-		if st := s.Stats(); st.Accesses != 0 {
-			t.Fatal("stats not cleared")
+		if st := s.Stats(); st != (sim.Stats{}) {
+			t.Fatalf("ResetStats left residue: %+v", st)
 		}
 		if !s.Access(sim.Access{Block: b}).Hit {
 			t.Fatal("ResetStats disturbed cache contents")
@@ -140,7 +160,7 @@ func TestInvariantResetStatsPreservesContents(t *testing.T) {
 }
 
 func TestInvariantDeterminismAcrossSchemes(t *testing.T) {
-	forEachScheme(t, func(t *testing.T, name string) {
+	forEveryScheme(t, func(t *testing.T, name string) {
 		run := func() sim.Stats {
 			s, err := NewScheme(name, invGeom, 99)
 			if err != nil {

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventType enumerates the STEM/SBC mechanism events the schemes emit.
+type EventType uint8
+
+const (
+	// EvNone is the zero value; never emitted.
+	EvNone EventType = iota
+	// EvShadowHit: a missing block's signature hit the set's shadow
+	// directory (STEM §4.3) — the raw evidence both SCDM counters feed on.
+	EvShadowHit
+	// EvPolicySwap: SC_T saturated and the set exchanged its replacement
+	// policy with the shadow's opposite (STEM §4.4).
+	EvPolicySwap
+	// EvClassChange: the set's spatial classification (taker / neutral /
+	// giver, derived from SC_S) changed.
+	EvClassChange
+	// EvCouple: a taker was paired with a giver through the association
+	// table (STEM §4.5 / SBC association).
+	EvCouple
+	// EvDecouple: a pair dissolved after the giver evicted its last
+	// cooperatively cached block (STEM §4.7 / SBC dissolution).
+	EvDecouple
+	// EvSpill: a taker's local victim was placed in its partner instead of
+	// leaving the chip.
+	EvSpill
+	// EvReceive: the partner set accepted a spilled block.
+	EvReceive
+	// EvSnapshot: a periodic run snapshot (emitted by the run harness, not
+	// the schemes); Event.Snap carries the payload.
+	EvSnapshot
+)
+
+var eventNames = map[EventType]string{
+	EvShadowHit:   "shadow_hit",
+	EvPolicySwap:  "policy_swap",
+	EvClassChange: "class_change",
+	EvCouple:      "couple",
+	EvDecouple:    "decouple",
+	EvSpill:       "spill",
+	EvReceive:     "receive",
+	EvSnapshot:    "snapshot",
+}
+
+// String returns the JSONL wire name of the event type.
+func (t EventType) String() string {
+	if n, ok := eventNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// MarshalJSON writes the symbolic name.
+func (t EventType) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON parses the symbolic name.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	for k, n := range eventNames {
+		if n == s {
+			*t = k
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// Event is one structured trace record. Tick is the emitting cache's access
+// count at the time of the event (monotonic over the cache's lifetime,
+// never reset); Set is the primary set index (-1 for run-level events).
+// ScS/ScT carry the SCDM counter values after the triggering update — for
+// SBC, which has a single saturation counter, ScS holds it and ScT is 0.
+type Event struct {
+	Type    EventType `json:"ev"`
+	Tick    uint64    `json:"tick"`
+	Set     int       `json:"set"`
+	Partner int       `json:"partner,omitempty"`
+	ScS     int       `json:"scs,omitempty"`
+	ScT     int       `json:"sct,omitempty"`
+	// Class is the new spatial classification on EvClassChange:
+	// "taker", "giver" or "neutral".
+	Class string `json:"class,omitempty"`
+	// Policy is the set's new replacement policy on EvPolicySwap.
+	Policy string `json:"policy,omitempty"`
+	// Life is the association lifetime in ticks, set on EvDecouple.
+	Life uint64 `json:"life,omitempty"`
+	// Snap is the payload of EvSnapshot events.
+	Snap *Snapshot `json:"snap,omitempty"`
+}
+
+// Observer consumes mechanism events. Implementations must be cheap: the
+// schemes call Event synchronously from the Access path.
+type Observer interface {
+	Event(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Event implements Observer.
+func (f ObserverFunc) Event(e Event) { f(e) }
+
+// Instrumented is implemented by cache schemes that can emit mechanism
+// events (STEM, SBC). SetObserver(nil) detaches and restores the
+// zero-overhead path.
+type Instrumented interface {
+	SetObserver(Observer)
+}
+
+// Multi fans one event stream out to several observers, skipping nils. It
+// returns nil when no non-nil observer remains, so callers can test the
+// result against nil to decide whether to attach at all.
+func Multi(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multiObserver(live)
+}
+
+type multiObserver []Observer
+
+func (m multiObserver) Event(e Event) {
+	for _, o := range m {
+		o.Event(e)
+	}
+}
+
+// NewRegistryObserver returns an Observer that folds the event stream into
+// reg — one "events.<type>" counter per event type plus an
+// "events.couple_lifetime" log2 histogram of association lifetimes — and
+// then forwards to next (which may be nil).
+func NewRegistryObserver(reg *Registry, next Observer) Observer {
+	ro := &registryObserver{next: next, life: reg.Histogram("events.couple_lifetime")}
+	for t := EvShadowHit; t <= EvSnapshot; t++ {
+		ro.counts[t] = reg.Counter("events." + t.String())
+	}
+	return ro
+}
+
+type registryObserver struct {
+	counts [EvSnapshot + 1]*Counter
+	life   *Histogram
+	next   Observer
+}
+
+func (r *registryObserver) Event(e Event) {
+	if int(e.Type) < len(r.counts) {
+		r.counts[e.Type].Inc()
+	}
+	if e.Type == EvDecouple {
+		r.life.Observe(e.Life)
+	}
+	if r.next != nil {
+		r.next.Event(e)
+	}
+}

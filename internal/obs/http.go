@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is a live introspection endpoint: the registry as JSON at /metrics
+// (and /), optionally the net/http/pprof handlers under /debug/pprof/.
+type Server struct {
+	srv  *http.Server
+	addr string
+}
+
+// Serve starts an HTTP server on addr (e.g. ":6060") exposing reg. When
+// withPprof is set the standard profiling handlers are mounted too. The
+// server runs on its own goroutine until Close.
+func Serve(addr string, reg *Registry, withPprof bool) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/", reg)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{srv: &http.Server{Handler: mux}, addr: ln.Addr().String()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.addr }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }

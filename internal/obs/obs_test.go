@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilMetricSinksAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter value")
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge value")
+	}
+	var h *Histogram
+	h.Observe(7)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bucket(3) != 0 {
+		t.Fatal("nil histogram not empty")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z") != nil {
+		t.Fatal("nil registry must hand out nil metrics")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	r.Reset()
+	if r.Snapshot() != nil || r.Names() != nil {
+		t.Fatal("nil registry snapshot")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("hits").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("mpki")
+	g.Set(12.25)
+	if got := g.Value(); got != 12.25 {
+		t.Fatalf("gauge = %v", got)
+	}
+	h := r.Histogram("life")
+	for _, v := range []uint64{0, 1, 1, 2, 3, 8, 1023} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 || h.Sum() != 1038 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	// log2 buckets: 0→{0}, 1→{1,1}, 2→{2,3}, 4→{8}, 10→{1023}.
+	for i, want := range map[int]uint64{0: 1, 1: 2, 2: 2, 4: 1, 10: 1} {
+		if got := h.Bucket(i); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if BucketLabel(0) != "0" || BucketLabel(1) != "1" || BucketLabel(4) != "8-15" {
+		t.Fatalf("bucket labels: %q %q %q", BucketLabel(0), BucketLabel(1), BucketLabel(4))
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestRegistryResetAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(9)
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(100)
+	r.GaugeFunc("derived", func() float64 { return 42 })
+	snap := r.Snapshot()
+	if snap["c"] != uint64(9) || snap["g"] != 2.0 || snap["derived"] != 42.0 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	r.Reset()
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Value() != 0 || r.Histogram("h").Count() != 0 {
+		t.Fatal("Reset left state behind")
+	}
+	if got := r.Snapshot()["derived"]; got != 42.0 {
+		t.Fatalf("Reset must not clear derived gauges, got %v", got)
+	}
+	want := []string{"c", "derived", "g", "h"}
+	if got := r.Names(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryJSONStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	var buf1, buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Fatal("JSON output not stable")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf1.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("decoded %d metrics, want 2", len(m))
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("n").Inc()
+				r.Histogram("h").Observe(uint64(i))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := Event{Type: EvDecouple, Tick: 99, Set: 7, Partner: 3, ScS: 2, ScT: 1, Life: 1234}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"ev":"decouple"`)) {
+		t.Fatalf("event type not symbolic: %s", b)
+	}
+	var out Event
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	var bad Event
+	if err := json.Unmarshal([]byte(`{"ev":"nope"}`), &bad); err == nil {
+		t.Fatal("expected error on unknown event type")
+	}
+}
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	events := []Event{
+		{Type: EvCouple, Tick: 1, Set: 4, Partner: 9, ScS: 15},
+		{Type: EvSpill, Tick: 2, Set: 4, Partner: 9},
+		{Type: EvSnapshot, Tick: 3, Set: -1, Snap: &Snapshot{Tick: 3, Stats: sim.Stats{Accesses: 3, Hits: 1, Misses: 2}}},
+	}
+	for _, e := range events {
+		tr.Event(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	if got[0] != events[0] || got[1] != events[1] {
+		t.Fatalf("events differ: %+v", got[:2])
+	}
+	if got[2].Snap == nil || got[2].Snap.Stats.Misses != 2 {
+		t.Fatalf("snapshot payload lost: %+v", got[2])
+	}
+	sum := Summarize(got)
+	if sum.Counts[EvCouple] != 1 || sum.Counts[EvSpill] != 1 || sum.Last == nil {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+type captureObs struct{ events []Event }
+
+func (c *captureObs) Event(e Event) { c.events = append(c.events, e) }
+
+func TestMultiAndRegistryObserver(t *testing.T) {
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils must be nil")
+	}
+	cap1, cap2 := &captureObs{}, &captureObs{}
+	m := Multi(cap1, nil, cap2)
+	m.Event(Event{Type: EvSpill})
+	if len(cap1.events) != 1 || len(cap2.events) != 1 {
+		t.Fatal("Multi did not fan out")
+	}
+
+	r := NewRegistry()
+	next := &captureObs{}
+	ro := NewRegistryObserver(r, next)
+	ro.Event(Event{Type: EvSpill})
+	ro.Event(Event{Type: EvSpill})
+	ro.Event(Event{Type: EvDecouple, Life: 500})
+	if got := r.Counter("events.spill").Value(); got != 2 {
+		t.Fatalf("events.spill = %d", got)
+	}
+	if got := r.Histogram("events.couple_lifetime").Count(); got != 1 {
+		t.Fatalf("lifetime samples = %d", got)
+	}
+	if len(next.events) != 3 {
+		t.Fatalf("forwarded %d events", len(next.events))
+	}
+}
+
+func TestOptionsPublish(t *testing.T) {
+	var nilOpts *Options
+	if nilOpts.Enabled() {
+		t.Fatal("nil options enabled")
+	}
+	nilOpts.Publish(Snapshot{}) // must not panic
+
+	reg := NewRegistry()
+	capTr := &captureObs{}
+	var cbTicks []uint64
+	o := &Options{
+		Registry:   reg,
+		Tracer:     capTr,
+		OnSnapshot: func(sn Snapshot) { cbTicks = append(cbTicks, sn.Tick) },
+	}
+	if !o.Enabled() {
+		t.Fatal("options not enabled")
+	}
+	o.Publish(Snapshot{
+		Tick:     500,
+		Stats:    sim.Stats{Accesses: 500, Hits: 300, Misses: 200, Spills: 7},
+		MissRate: 0.4,
+		MPKI:     3.2,
+		Scheme:   &SchemeState{Takers: 2, Givers: 2, Coupled: 4, PolicySets: map[string]int{"LRU": 6, "BIP": 2}},
+	})
+	if reg.Gauge("run.tick").Value() != 500 || reg.Gauge("run.spills").Value() != 7 {
+		t.Fatal("registry gauges not published")
+	}
+	if reg.Gauge("sets.coupled").Value() != 4 || reg.Gauge("sets.policy.BIP").Value() != 2 {
+		t.Fatal("scheme gauges not published")
+	}
+	if len(capTr.events) != 1 || capTr.events[0].Type != EvSnapshot || capTr.events[0].Snap == nil {
+		t.Fatalf("tracer events = %+v", capTr.events)
+	}
+	if len(cbTicks) != 1 || cbTicks[0] != 500 {
+		t.Fatalf("callback ticks = %v", cbTicks)
+	}
+}
+
+func TestServeMetricsHTTP(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("run.accesses").Add(123)
+	srv, err := Serve("127.0.0.1:0", reg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics body not JSON: %v\n%s", err, body)
+	}
+	if m["run.accesses"] != 123.0 {
+		t.Fatalf("run.accesses = %v", m["run.accesses"])
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+}
+
+func TestStartTool(t *testing.T) {
+	if tool, err := StartTool(ToolConfig{}); err != nil || tool != nil {
+		t.Fatalf("empty config: tool=%v err=%v", tool, err)
+	}
+	if tool := (*Tool)(nil); tool.Options() != nil || tool.MetricsAddr() != "" || tool.Close() != nil {
+		t.Fatal("nil tool must be inert")
+	}
+	if _, err := StartTool(ToolConfig{Pprof: true}); err == nil {
+		t.Fatal("-pprof without -metrics must error")
+	}
+
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	tool, err := StartTool(ToolConfig{MetricsAddr: "127.0.0.1:0", TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tool.MetricsAddr() == "" {
+		t.Fatal("no metrics addr")
+	}
+	opts := tool.Options()
+	if opts == nil || opts.Registry == nil || opts.Tracer == nil {
+		t.Fatalf("tool options incomplete: %+v", opts)
+	}
+	if opts.SnapshotEvery != DefaultSnapshotEvery {
+		t.Fatalf("SnapshotEvery = %d", opts.SnapshotEvery)
+	}
+	// The tracer chain must count into the registry and write JSONL.
+	opts.Tracer.Event(Event{Type: EvCouple, Tick: 1, Set: 0, Partner: 1})
+	if err := tool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(f)
+	f.Close()
+	if err != nil || len(events) != 1 || events[0].Type != EvCouple {
+		t.Fatalf("trace file contents: %v %v", events, err)
+	}
+	if got := opts.Registry.Counter("events.couple").Value(); got != 1 {
+		t.Fatalf("events.couple = %d", got)
+	}
+}
+
+func TestStartToolNegativeSnapshotDisables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.jsonl")
+	tool, err := StartTool(ToolConfig{TracePath: path, SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tool.Close()
+	if every := tool.Options().SnapshotEvery; every != 0 {
+		t.Fatalf("SnapshotEvery = %d, want 0", every)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for ty := EvShadowHit; ty <= EvSnapshot; ty++ {
+		if s := ty.String(); strings.HasPrefix(s, "event(") {
+			t.Fatalf("missing name for event %d", ty)
+		}
+	}
+	if s := EventType(200).String(); s != fmt.Sprintf("event(%d)", 200) {
+		t.Fatalf("unknown type string = %q", s)
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import "repro/internal/sim"
+
+// SchemeState is a live introspection summary of a spatially managed cache:
+// how many sets currently play each association role and which replacement
+// policy each set is running. Uncoupled sets are Sets − Takers − Givers.
+type SchemeState struct {
+	// Takers is the number of sets currently coupled in the taker (source)
+	// role.
+	Takers int `json:"takers"`
+	// Givers is the number of sets currently coupled in the giver
+	// (destination) role.
+	Givers int `json:"givers"`
+	// Coupled is the number of sets participating in any association
+	// (== Takers + Givers).
+	Coupled int `json:"coupled"`
+	// PolicySets counts sets per replacement-policy name ("LRU", "BIP", …).
+	PolicySets map[string]int `json:"policy_sets,omitempty"`
+}
+
+// Introspector is implemented by schemes that can report live SchemeState
+// (STEM, SBC). Introspect walks the set array; call it at snapshot
+// granularity, not per access.
+type Introspector interface {
+	Introspect() SchemeState
+}
+
+// Snapshot is one periodic observation of a running simulation, emitted by
+// the run harness every Options.SnapshotEvery measured accesses and once
+// more at the end of the run. The final snapshot's Stats equal the run's
+// sim.Stats exactly, which is what lets a JSONL trace be reconciled against
+// the run it came from.
+type Snapshot struct {
+	// Tick is the number of measured accesses completed so far.
+	Tick uint64 `json:"tick"`
+	// Final marks the end-of-run snapshot.
+	Final bool `json:"final,omitempty"`
+	// Stats are the simulator's aggregate counters since measurement began.
+	Stats sim.Stats `json:"stats"`
+	// MissRate is Stats.MissRate(), precomputed for JSON consumers.
+	MissRate float64 `json:"miss_rate"`
+	// MPKI is misses per kilo-instruction so far (0 when the harness has no
+	// timing account).
+	MPKI float64 `json:"mpki,omitempty"`
+	// Scheme is the live set-role/policy census, when the scheme supports
+	// introspection.
+	Scheme *SchemeState `json:"scheme,omitempty"`
+}
+
+// Options configures observability for one simulation run. The zero value
+// (and a nil *Options) disables everything; any subset of the sinks may be
+// set independently.
+type Options struct {
+	// Registry receives run metrics: per-access outcome counters, event
+	// counters (when Tracer passes through NewRegistryObserver), and
+	// snapshot gauges. Nil disables metrics.
+	Registry *Registry
+	// Tracer receives mechanism events from the scheme and EvSnapshot
+	// events from the harness. Nil disables event tracing.
+	Tracer Observer
+	// SnapshotEvery is the measured-access interval between periodic
+	// snapshots; ≤ 0 emits only the final snapshot.
+	SnapshotEvery int
+	// OnSnapshot, when set, is called synchronously with every snapshot.
+	OnSnapshot func(Snapshot)
+}
+
+// Enabled reports whether any sink is configured.
+func (o *Options) Enabled() bool {
+	return o != nil && (o.Registry != nil || o.Tracer != nil || o.OnSnapshot != nil)
+}
+
+// Publish delivers one snapshot to every configured sink: registry gauges,
+// an EvSnapshot trace event, and the OnSnapshot callback.
+func (o *Options) Publish(sn Snapshot) {
+	if o == nil {
+		return
+	}
+	if o.Registry != nil {
+		publishGauges(o.Registry, sn)
+	}
+	if o.Tracer != nil {
+		o.Tracer.Event(Event{Type: EvSnapshot, Tick: sn.Tick, Set: -1, Snap: &sn})
+	}
+	if o.OnSnapshot != nil {
+		o.OnSnapshot(sn)
+	}
+}
+
+func publishGauges(reg *Registry, sn Snapshot) {
+	reg.Gauge("run.tick").Set(float64(sn.Tick))
+	reg.Gauge("run.miss_rate").Set(sn.MissRate)
+	reg.Gauge("run.mpki").Set(sn.MPKI)
+	reg.Gauge("run.spills").Set(float64(sn.Stats.Spills))
+	reg.Gauge("run.receives").Set(float64(sn.Stats.Receives))
+	reg.Gauge("run.policy_swaps").Set(float64(sn.Stats.PolicySwaps))
+	reg.Gauge("run.couplings").Set(float64(sn.Stats.Couplings))
+	reg.Gauge("run.decouplings").Set(float64(sn.Stats.Decouplings))
+	reg.Gauge("run.shadow_hits").Set(float64(sn.Stats.ShadowHits))
+	if s := sn.Scheme; s != nil {
+		reg.Gauge("sets.takers").Set(float64(s.Takers))
+		reg.Gauge("sets.givers").Set(float64(s.Givers))
+		reg.Gauge("sets.coupled").Set(float64(s.Coupled))
+		for pol, n := range s.PolicySets {
+			reg.Gauge("sets.policy." + pol).Set(float64(n))
+		}
+	}
+}
+
+// MakeSnapshot assembles a snapshot from a simulator's current counters.
+// mpki may be 0 when no timing account is attached.
+func MakeSnapshot(s sim.Simulator, tick uint64, mpki float64, final bool) Snapshot {
+	st := s.Stats()
+	sn := Snapshot{
+		Tick:     tick,
+		Final:    final,
+		Stats:    st,
+		MissRate: st.MissRate(),
+		MPKI:     mpki,
+	}
+	if in, ok := s.(Introspector); ok {
+		state := in.Introspect()
+		sn.Scheme = &state
+	}
+	return sn
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// ToolConfig is the observability surface shared by the cmd tools: the
+// -metrics/-pprof/-trace/-snapshot-every flags map onto it 1:1.
+type ToolConfig struct {
+	// MetricsAddr, when non-empty, serves the live metrics registry (JSON)
+	// on this address.
+	MetricsAddr string
+	// Pprof additionally mounts /debug/pprof on the metrics server.
+	Pprof bool
+	// TracePath, when non-empty, streams mechanism events as JSONL to this
+	// file ("-" for stdout).
+	TracePath string
+	// SnapshotEvery is the access interval between run snapshots; 0 takes
+	// the default (100 000), negative disables periodic snapshots.
+	SnapshotEvery int
+}
+
+// DefaultSnapshotEvery is the periodic snapshot interval the cmd tools use
+// unless overridden.
+const DefaultSnapshotEvery = 100_000
+
+// Tool bundles the live observability sinks of one cmd-tool invocation.
+type Tool struct {
+	Registry *Registry
+	tracer   *JSONLTracer
+	server   *Server
+	file     *os.File
+	opts     *Options
+}
+
+// StartTool materializes a ToolConfig: opens the trace file, starts the
+// metrics server, and assembles the Options to hand to the run harness. It
+// returns (nil, nil) when the config enables nothing, so callers can gate
+// on a nil Tool.
+func StartTool(cfg ToolConfig) (*Tool, error) {
+	if cfg.MetricsAddr == "" && cfg.TracePath == "" {
+		if cfg.Pprof {
+			return nil, fmt.Errorf("obs: -pprof requires -metrics ADDR")
+		}
+		return nil, nil
+	}
+	t := &Tool{}
+	if cfg.MetricsAddr != "" {
+		t.Registry = NewRegistry()
+		srv, err := Serve(cfg.MetricsAddr, t.Registry, cfg.Pprof)
+		if err != nil {
+			return nil, err
+		}
+		t.server = srv
+	} else if cfg.Pprof {
+		return nil, fmt.Errorf("obs: -pprof requires -metrics ADDR")
+	}
+	if cfg.TracePath != "" {
+		var w io.Writer
+		if cfg.TracePath == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(cfg.TracePath)
+			if err != nil {
+				if t.server != nil {
+					t.server.Close()
+				}
+				return nil, err
+			}
+			t.file, w = f, f
+		}
+		t.tracer = NewJSONLTracer(w)
+	}
+	every := cfg.SnapshotEvery
+	switch {
+	case every == 0:
+		every = DefaultSnapshotEvery
+	case every < 0:
+		every = 0
+	}
+	var sink Observer
+	if t.tracer != nil {
+		sink = t.tracer
+	}
+	if t.Registry != nil {
+		sink = NewRegistryObserver(t.Registry, sink)
+	}
+	t.opts = &Options{Registry: t.Registry, Tracer: sink, SnapshotEvery: every}
+	return t, nil
+}
+
+// Options returns the run-harness options; nil on a nil Tool, so
+// `tool.Options()` is always safe to pass through.
+func (t *Tool) Options() *Options {
+	if t == nil {
+		return nil
+	}
+	return t.opts
+}
+
+// MetricsAddr returns the bound metrics address, or "" when metrics are
+// off.
+func (t *Tool) MetricsAddr() string {
+	if t == nil || t.server == nil {
+		return ""
+	}
+	return t.server.Addr()
+}
+
+// Close flushes the trace file and stops the metrics server.
+func (t *Tool) Close() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	if t.tracer != nil {
+		if err := t.tracer.Close(); err != nil {
+			first = err
+		}
+	}
+	if t.file != nil {
+		if err := t.file.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if t.server != nil {
+		if err := t.server.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

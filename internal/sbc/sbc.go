@@ -24,6 +24,7 @@ package sbc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/policy"
 	"repro/internal/selector"
 	"repro/internal/sim"
@@ -77,6 +78,9 @@ type sbcSet struct {
 	// receives; meaningless when partner < 0.
 	source  bool
 	foreign int // count of foreign-valid lines (destinations only)
+	// coupledAt is the tick the current association formed (observability
+	// bookkeeping, maintained only while an observer is attached).
+	coupledAt uint64
 }
 
 // Cache is an SBC-managed cache implementing sim.Simulator.
@@ -86,6 +90,12 @@ type Cache struct {
 	sets  []sbcSet
 	dss   *selector.Heap
 	stats sim.Stats
+	// tick counts every access over the cache's lifetime (never reset); it
+	// timestamps mechanism events.
+	tick uint64
+	// observer receives mechanism events; nil (the default) restores the
+	// uninstrumented hot path.
+	observer obs.Observer
 }
 
 // New constructs an SBC cache. It panics on invalid geometry.
@@ -128,8 +138,33 @@ func (c *Cache) Saturation(idx int) int { return c.sets[idx].sat }
 // Partner exposes set idx's association (for tests); -1 if unassociated.
 func (c *Cache) Partner(idx int) int { return c.sets[idx].partner }
 
+// SetObserver implements obs.Instrumented: it attaches (or, with nil,
+// detaches) a mechanism-event sink. SBC has one saturation counter per set;
+// events carry it in the ScS field.
+func (c *Cache) SetObserver(o obs.Observer) { c.observer = o }
+
+// Introspect implements obs.Introspector: sources map to the taker role,
+// destinations to the giver role. Every SBC set runs LRU.
+func (c *Cache) Introspect() obs.SchemeState {
+	st := obs.SchemeState{PolicySets: map[string]int{"LRU": len(c.sets)}}
+	for i := range c.sets {
+		s := &c.sets[i]
+		if s.partner < 0 {
+			continue
+		}
+		if s.source {
+			st.Takers++
+		} else {
+			st.Givers++
+		}
+	}
+	st.Coupled = st.Takers + st.Givers
+	return st
+}
+
 // Access implements sim.Simulator.
 func (c *Cache) Access(a sim.Access) sim.Outcome {
+	c.tick++
 	idx := c.geom.Index(a.Block)
 	s := &c.sets[idx]
 
@@ -232,6 +267,13 @@ func (c *Cache) tryAssociate(idx int) {
 		d.partner, d.source = idx, false
 		c.dss.Remove(idx)
 		c.stats.Couplings++
+		if c.observer != nil {
+			s.coupledAt, d.coupledAt = c.tick, c.tick
+			c.observer.Event(obs.Event{
+				Type: obs.EvCouple, Tick: c.tick, Set: idx, Partner: cand,
+				ScS: s.sat,
+			})
+		}
 		return
 	}
 }
@@ -260,6 +302,16 @@ func (c *Cache) handleVictim(idx int, v line, out *sim.Outcome) {
 		d.foreign++
 		c.stats.Spills++
 		c.stats.Receives++
+		if c.observer != nil {
+			c.observer.Event(obs.Event{
+				Type: obs.EvSpill, Tick: c.tick, Set: idx, Partner: s.partner,
+				ScS: s.sat,
+			})
+			c.observer.Event(obs.Event{
+				Type: obs.EvReceive, Tick: c.tick, Set: s.partner, Partner: idx,
+				ScS: d.sat,
+			})
+		}
 		if hadVictim {
 			// The destination's own victim (local or foreign) leaves the
 			// chip; recurse one level at most since it never spills again.
@@ -286,10 +338,17 @@ func (c *Cache) dissolve(idx int) {
 	if d.partner < 0 {
 		return
 	}
-	src := &c.sets[d.partner]
+	srcIdx := d.partner
+	src := &c.sets[srcIdx]
 	src.partner, src.source = -1, false
 	d.partner, d.source = -1, false
 	c.stats.Decouplings++
+	if c.observer != nil {
+		c.observer.Event(obs.Event{
+			Type: obs.EvDecouple, Tick: c.tick, Set: idx, Partner: srcIdx,
+			ScS: d.sat, Life: c.tick - d.coupledAt,
+		})
+	}
 }
 
 // find returns the way holding block, or -1.

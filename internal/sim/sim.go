@@ -125,6 +125,7 @@ type Stats struct {
 	PolicySwaps   uint64 // set-level replacement-policy swaps (STEM)
 	Couplings     uint64 // set pairs formed
 	Decouplings   uint64 // set pairs dissolved
+	ShadowHits    uint64 // misses whose signature hit the shadow directory (STEM)
 }
 
 // Record folds one outcome into the counters.

@@ -132,6 +132,71 @@ func TestSummarizePanicsEmpty(t *testing.T) {
 	Summarize(nil)
 }
 
+func TestCSVStructure(t *testing.T) {
+	tb := NewTable("ignored by CSV", "bench", "LRU", "STEM")
+	tb.Set("ammp", "LRU", 2.5)
+	tb.Set("ammp", "STEM", 1.912345678) // %.6g must round this
+	tb.Set("art", "STEM", 16.7)         // art,LRU never set → empty field
+	want := "bench,LRU,STEM\n" +
+		"ammp,2.5,1.91235\n" +
+		"art,,16.7\n"
+	if got := tb.CSV(); got != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestCSVEmptyTable(t *testing.T) {
+	tb := NewTable("t", "bench", "LRU")
+	if got := tb.CSV(); got != "bench,LRU\n" {
+		t.Fatalf("empty-table CSV = %q", got)
+	}
+}
+
+func TestTableNaNCellBehavesAsUnset(t *testing.T) {
+	// Storing NaN is indistinguishable from never setting the cell: Get
+	// reports unset, String renders "-", CSV leaves the field empty.
+	tb := NewTable("t", "bench", "X")
+	tb.Set("row", "X", math.NaN())
+	if _, ok := tb.Get("row", "X"); ok {
+		t.Fatal("NaN cell reported as set")
+	}
+	if s := tb.String(); !strings.Contains(s, "-") {
+		t.Fatalf("NaN cell not rendered as dash:\n%s", s)
+	}
+	if csv := tb.CSV(); !strings.Contains(csv, "row,\n") {
+		t.Fatalf("NaN cell not empty in CSV: %q", csv)
+	}
+}
+
+func TestGeomeanRowOverEmptyColumn(t *testing.T) {
+	// A column with no values geomeans to NaN, which must surface as an
+	// unset Geomean cell rather than poisoning the table.
+	tb := NewTable("t", "bench", "full", "empty")
+	tb.Set("a", "full", 2)
+	tb.Set("b", "full", 8)
+	tb.AddGeomeanRow()
+	if v, ok := tb.Get("Geomean", "full"); !ok || math.Abs(v-4) > 1e-12 {
+		t.Fatalf("Geomean,full = %v,%v", v, ok)
+	}
+	if _, ok := tb.Get("Geomean", "empty"); ok {
+		t.Fatal("geomean of empty column reported as set")
+	}
+}
+
+func TestColumnSkipsUnsetCells(t *testing.T) {
+	tb := NewTable("t", "bench", "X")
+	tb.Set("a", "X", 1)
+	tb.Set("b", "X", math.NaN())
+	tb.Set("c", "X", 3)
+	got := tb.Column("X")
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Column = %v", got)
+	}
+	if out := tb.Column("no-such-col"); out != nil {
+		t.Fatalf("unknown column = %v", out)
+	}
+}
+
 func TestTableRenderingWideColumns(t *testing.T) {
 	tb := NewTable("t", "bench", "a-very-long-column-name", "X")
 	tb.Set("row", "a-very-long-column-name", 1.5)

@@ -1,0 +1,75 @@
+package stem_test
+
+// Exercises the observability surface exactly as README.md documents it:
+// trace a Figure-2 run through the public API and reconcile the JSONL
+// against the run's final stats.
+
+import (
+	"bytes"
+	"testing"
+
+	stem "repro"
+)
+
+func TestReadmeObservabilitySnippet(t *testing.T) {
+	var buf bytes.Buffer
+	tr := stem.NewJSONLTracer(&buf)
+	cache, err := stem.NewScheme("STEM", stem.Figure2Geometry, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := stem.Run(cache, stem.Figure2Workload(2), stem.RunConfig{
+		Geom: stem.Figure2Geometry, Warmup: 10_000, Measure: 100_000,
+		Obs: &stem.ObsOptions{Tracer: tr},
+	})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := stem.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[stem.EventType]uint64{}
+	var final *stem.Snapshot
+	for i, e := range events {
+		counts[e.Type]++
+		if e.Type == stem.EvSnapshot && e.Snap != nil && e.Snap.Final {
+			final = events[i].Snap
+		}
+	}
+	if counts[stem.EvSpill] != res.Stats.Spills {
+		t.Fatalf("trace spills %d != stats spills %d", counts[stem.EvSpill], res.Stats.Spills)
+	}
+	if counts[stem.EvCouple] != res.Stats.Couplings {
+		t.Fatalf("trace couples %d != stats couplings %d", counts[stem.EvCouple], res.Stats.Couplings)
+	}
+	if final == nil {
+		t.Fatal("no final snapshot in trace")
+	}
+	if final.Stats != res.Stats {
+		t.Fatalf("final snapshot %+v != run stats %+v", final.Stats, res.Stats)
+	}
+
+	// Example #2 is the paper's extensional example: the overloaded set
+	// must actually borrow capacity for the trace to be worth reading.
+	// (The couple itself forms during warm-up, so only spills are
+	// guaranteed measured activity.)
+	if res.Stats.Spills == 0 {
+		t.Fatalf("Figure-2 example 2 exercised no spilling: %+v", res.Stats)
+	}
+
+	// A metrics registry over the same run counts every access.
+	reg := stem.NewRegistry()
+	cache2, _ := stem.NewScheme("STEM", stem.Figure2Geometry, 1)
+	res2 := stem.Run(cache2, stem.Figure2Workload(2), stem.RunConfig{
+		Geom: stem.Figure2Geometry, Warmup: 10_000, Measure: 100_000,
+		Obs: &stem.ObsOptions{Registry: reg},
+	})
+	if got := reg.Counter("run.accesses").Value(); got != res2.Stats.Accesses {
+		t.Fatalf("run.accesses = %d, want %d", got, res2.Stats.Accesses)
+	}
+	if res2.Stats != res.Stats {
+		t.Fatalf("observability sinks changed the run: %+v vs %+v", res2.Stats, res.Stats)
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/policy"
 	"repro/internal/profile"
@@ -365,4 +366,59 @@ func RecordTrace(w *TraceWriter, gen Generator, n int) error {
 // ParseDin reads a Dinero-style text trace ("label hex-addr" lines).
 func ParseDin(r io.Reader, lineSize int) ([]Ref, error) {
 	return tracefile.ParseDin(r, lineSize)
+}
+
+// Observability layer (see internal/obs and the "Observability" section of
+// README.md): a metrics registry servable over HTTP, a structured event
+// trace for the STEM/SBC coupling mechanisms, and periodic run snapshots.
+type (
+	// Observer consumes mechanism events (couple, decouple, spill, receive,
+	// policy swap, shadow hit, class change) emitted by STEM and SBC.
+	Observer = obs.Observer
+	// Event is one structured trace record (JSONL on disk).
+	Event = obs.Event
+	// EventType names a mechanism event.
+	EventType = obs.EventType
+	// Snapshot is one periodic observation of a running simulation; the
+	// final snapshot's Stats equal the run's sim.Stats exactly.
+	Snapshot = obs.Snapshot
+	// SchemeState is a live census of association roles and per-set
+	// policies.
+	SchemeState = obs.SchemeState
+	// ObsOptions wires observability into RunConfig.Obs.
+	ObsOptions = obs.Options
+	// Registry is the typed metrics registry (counters, gauges,
+	// log2-bucketed histograms); it implements http.Handler.
+	Registry = obs.Registry
+	// JSONLTracer streams events as JSON lines.
+	JSONLTracer = obs.JSONLTracer
+	// MetricsServer is a live HTTP endpoint for a Registry.
+	MetricsServer = obs.Server
+)
+
+// Mechanism event types.
+const (
+	EvShadowHit   = obs.EvShadowHit
+	EvPolicySwap  = obs.EvPolicySwap
+	EvClassChange = obs.EvClassChange
+	EvCouple      = obs.EvCouple
+	EvDecouple    = obs.EvDecouple
+	EvSpill       = obs.EvSpill
+	EvReceive     = obs.EvReceive
+	EvSnapshot    = obs.EvSnapshot
+)
+
+// NewRegistry builds an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewJSONLTracer wraps w in a buffered JSONL event sink; Close flushes it.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return obs.NewJSONLTracer(w) }
+
+// ReadEvents parses a JSONL event stream back into memory.
+func ReadEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
+
+// ServeMetrics exposes reg as JSON on addr (and /debug/pprof when withPprof
+// is set); it returns the running server, whose Close stops it.
+func ServeMetrics(addr string, reg *Registry, withPprof bool) (*MetricsServer, error) {
+	return obs.Serve(addr, reg, withPprof)
 }
