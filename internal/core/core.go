@@ -108,7 +108,7 @@ type line struct {
 type stemSet struct {
 	lines []line
 	pol   policy.Policy
-	mon   monitor
+	mon   Monitor
 	// partner is the coupled set's index, or the set's own index when
 	// uncoupled (the paper's association-table convention).
 	partner int
@@ -142,7 +142,7 @@ func className(k int8) string {
 type Cache struct {
 	geom  sim.Geometry
 	cfg   Config
-	cgeom counterGeom
+	cgeom CounterGeom
 	sets  []stemSet
 	hash  *hashfn.Hash
 	heap  *selector.Heap
@@ -165,7 +165,7 @@ func New(geom sim.Geometry, cfg Config) *Cache {
 	c := &Cache{
 		geom:  geom,
 		cfg:   cfg,
-		cgeom: counterGeom{max: 1<<uint(cfg.CounterBits) - 1, msb: 1 << uint(cfg.CounterBits-1)},
+		cgeom: NewCounterGeom(cfg.CounterBits),
 		sets:  make([]stemSet, geom.Sets),
 		hash:  hashfn.New(cfg.SignatureBits, cfg.Seed^0x5717),
 		heap:  selector.New(cfg.SelectorSize),
@@ -176,7 +176,7 @@ func New(geom sim.Geometry, cfg Config) *Cache {
 		c.sets[i] = stemSet{
 			lines:   make([]line, geom.Ways),
 			pol:     policy.New(cfg.InitialPolicy, geom.Ways, rng),
-			mon:     monitor{shadow: newShadowSet(geom.Ways, cfg.InitialPolicy, rng)},
+			mon:     Monitor{Shadow: NewShadowSet(geom.Ways, cfg.InitialPolicy, rng)},
 			partner: i,
 		}
 	}
@@ -216,7 +216,7 @@ func (c *Cache) Role(idx int) string {
 
 // Counters exposes set idx's (SC_S, SC_T) values (tests, reporting).
 func (c *Cache) Counters(idx int) (scS, scT int) {
-	return c.sets[idx].mon.scS, c.sets[idx].mon.scT
+	return c.sets[idx].mon.ScS, c.sets[idx].mon.ScT
 }
 
 // SetObserver implements obs.Instrumented: it attaches (or, with nil,
@@ -235,9 +235,9 @@ func (c *Cache) SetObserver(o obs.Observer) {
 // classOf derives the set's current spatial classification from SC_S.
 func (c *Cache) classOf(s *stemSet) int8 {
 	switch {
-	case s.mon.isTaker(c.cgeom):
+	case s.mon.IsTaker(c.cgeom):
 		return classTaker
-	case s.mon.isGiver(c.cgeom):
+	case s.mon.IsGiver(c.cgeom):
 		return classGiver
 	default:
 		return classNeutral
@@ -255,7 +255,7 @@ func (c *Cache) noteClass(idx int) {
 	s.klass = k
 	c.observer.Event(obs.Event{
 		Type: obs.EvClassChange, Tick: c.tick, Set: idx,
-		ScS: s.mon.scS, ScT: s.mon.scT, Class: className(k),
+		ScS: s.mon.ScS, ScT: s.mon.ScT, Class: className(k),
 	})
 }
 
@@ -316,13 +316,13 @@ func (c *Cache) Access(a sim.Access) sim.Outcome {
 
 	// 3. True miss: consult the shadow set, then fill locally.
 	sg := sig(c.hash, c.geom.Tag(a.Block))
-	if s.mon.shadow.lookupInvalidate(sg) {
-		swap := s.mon.onShadowHit(c.cgeom)
+	if s.mon.Shadow.LookupInvalidate(sg) {
+		swap := s.mon.OnShadowHit(c.cgeom)
 		c.stats.ShadowHits++
 		if c.observer != nil {
 			c.observer.Event(obs.Event{
 				Type: obs.EvShadowHit, Tick: c.tick, Set: idx,
-				ScS: s.mon.scS, ScT: s.mon.scT,
+				ScS: s.mon.ScS, ScT: s.mon.ScT,
 			})
 			c.noteClass(idx)
 		}
@@ -342,7 +342,7 @@ func (c *Cache) Access(a sim.Access) sim.Outcome {
 	if way < 0 {
 		// The set must evict. An uncoupled taker first requests a partner
 		// (paper §4.5: coupling is triggered by a taker's eviction).
-		if s.role == uncoupled && s.mon.isTaker(c.cgeom) && !c.cfg.DisableCoupling {
+		if s.role == uncoupled && s.mon.IsTaker(c.cgeom) && !c.cfg.DisableCoupling {
 			c.tryCouple(idx)
 		}
 		way = s.pol.Victim()
@@ -360,7 +360,7 @@ func (c *Cache) Access(a sim.Access) sim.Outcome {
 func (c *Cache) onLocalHit(idx int) {
 	s := &c.sets[idx]
 	decS := c.rng.OneIn(1 << uint(c.cfg.SpatialShift))
-	s.mon.onLLCHit(decS)
+	s.mon.OnLLCHit(decS)
 	if decS {
 		if c.observer != nil {
 			c.noteClass(idx)
@@ -377,8 +377,8 @@ func (c *Cache) reconsiderGiver(idx int) {
 		return
 	}
 	s := &c.sets[idx]
-	if s.role == uncoupled && s.mon.isGiver(c.cgeom) {
-		c.heap.Post(idx, s.mon.scS)
+	if s.role == uncoupled && s.mon.IsGiver(c.cgeom) {
+		c.heap.Post(idx, s.mon.ScS)
 		return
 	}
 	c.heap.Remove(idx)
@@ -390,13 +390,13 @@ func (c *Cache) swapPolicies(idx int) {
 	s := &c.sets[idx]
 	next := policy.Opposite(s.pol.Kind())
 	policy.SwapKind(s.pol, next)
-	policy.SwapKind(s.mon.shadow.pol, policy.Opposite(next))
-	s.mon.scT = 0
+	s.mon.Shadow.SwapPolicy(policy.Opposite(next))
+	s.mon.ScT = 0
 	c.stats.PolicySwaps++
 	if c.observer != nil {
 		c.observer.Event(obs.Event{
 			Type: obs.EvPolicySwap, Tick: c.tick, Set: idx,
-			ScS: s.mon.scS, ScT: s.mon.scT, Policy: next.String(),
+			ScS: s.mon.ScS, ScT: s.mon.ScT, Policy: next.String(),
 		})
 	}
 }
@@ -413,7 +413,7 @@ func (c *Cache) tryCouple(idx int) {
 		}
 		g := &c.sets[cand]
 		// Heap entries can be stale; re-validate against the live monitor.
-		if g.role != uncoupled || !g.mon.isGiver(c.cgeom) {
+		if g.role != uncoupled || !g.mon.IsGiver(c.cgeom) {
 			continue
 		}
 		s := &c.sets[idx]
@@ -425,7 +425,7 @@ func (c *Cache) tryCouple(idx int) {
 			s.coupledAt, g.coupledAt = c.tick, c.tick
 			c.observer.Event(obs.Event{
 				Type: obs.EvCouple, Tick: c.tick, Set: idx, Partner: cand,
-				ScS: s.mon.scS, ScT: s.mon.scT,
+				ScS: s.mon.ScS, ScT: s.mon.ScT,
 			})
 		}
 		return
@@ -448,11 +448,11 @@ func (c *Cache) routeVictim(idx int, v line, out *sim.Outcome) {
 		}
 		return
 	}
-	if s.role == taker && (c.cfg.UnconstrainedReceive || s.mon.scS >= c.cgeom.msb) {
+	if s.role == taker && (c.cfg.UnconstrainedReceive || s.mon.ScS >= c.cgeom.MSB) {
 		// Spilling allowed only while the taker still demands capacity
 		// (§4.6/4.7: a role change stops spilling) ...
 		g := &c.sets[s.partner]
-		if c.cfg.UnconstrainedReceive || g.mon.isGiver(c.cgeom) {
+		if c.cfg.UnconstrainedReceive || g.mon.IsGiver(c.cgeom) {
 			// ... and only while the giver can still receive (§4.6).
 			c.receive(s.partner, v, out)
 			return
@@ -490,11 +490,11 @@ func (c *Cache) receive(gidx int, v line, out *sim.Outcome) {
 		t := &c.sets[g.partner]
 		c.observer.Event(obs.Event{
 			Type: obs.EvSpill, Tick: c.tick, Set: g.partner, Partner: gidx,
-			ScS: t.mon.scS, ScT: t.mon.scT,
+			ScS: t.mon.ScS, ScT: t.mon.ScT,
 		})
 		c.observer.Event(obs.Event{
 			Type: obs.EvReceive, Tick: c.tick, Set: gidx, Partner: g.partner,
-			ScS: g.mon.scS, ScT: g.mon.scT,
+			ScS: g.mon.ScS, ScT: g.mon.ScT,
 		})
 	}
 }
@@ -508,7 +508,7 @@ func (c *Cache) evictOffChip(v line, out *sim.Outcome) {
 		out.Writeback = true
 	}
 	owner := c.geom.Index(v.block)
-	c.sets[owner].mon.shadow.insert(sig(c.hash, c.geom.Tag(v.block)))
+	c.sets[owner].mon.Shadow.Insert(sig(c.hash, c.geom.Tag(v.block)))
 }
 
 // decouple dissolves the association of giver set gidx with its taker
@@ -523,7 +523,7 @@ func (c *Cache) decouple(gidx int) {
 	if c.observer != nil {
 		c.observer.Event(obs.Event{
 			Type: obs.EvDecouple, Tick: c.tick, Set: gidx, Partner: tIdx,
-			ScS: g.mon.scS, ScT: g.mon.scT, Life: c.tick - g.coupledAt,
+			ScS: g.mon.ScS, ScT: g.mon.ScT, Life: c.tick - g.coupledAt,
 		})
 	}
 	// Both ends may immediately qualify as givers again.

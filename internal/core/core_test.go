@@ -108,7 +108,7 @@ func TestCouplingForms(t *testing.T) {
 	c := New(geom, Config{Seed: 1})
 	driveComplementary(c, 60)
 	if c.Role(0) != "taker" {
-		t.Fatalf("set 0 role = %s, want taker (SC_S=%d)", c.Role(0), c.sets[0].mon.scS)
+		t.Fatalf("set 0 role = %s, want taker (SC_S=%d)", c.Role(0), c.sets[0].mon.ScS)
 	}
 	p := c.Partner(0)
 	if p == 0 {
@@ -159,7 +159,7 @@ func TestReceivingConstraint(t *testing.T) {
 	// Blow up the giver's own working set so it starts shadow-hitting.
 	thrashSet(c, g, 2*geom.Ways, 30)
 	scS, _ := c.Counters(g)
-	if scS < c.cgeom.msb {
+	if scS < c.cgeom.MSB {
 		t.Skipf("giver never saturated (scS=%d)", scS)
 	}
 	spillsBefore := c.Stats().Spills
@@ -270,8 +270,8 @@ func TestShadowExclusivity(t *testing.T) {
 					continue
 				}
 				sg := sig(c.hash, c.geom.Tag(l.block))
-				for w := range s.mon.shadow.sigs {
-					if s.mon.shadow.valid[w] && s.mon.shadow.sigs[w] == sg {
+				for w := range s.mon.Shadow.sigs {
+					if s.mon.Shadow.valid[w] && s.mon.Shadow.sigs[w] == sg {
 						t.Fatalf("set %d: resident block %#x has live shadow entry", si, l.block)
 					}
 				}
@@ -283,7 +283,7 @@ func TestShadowExclusivity(t *testing.T) {
 func TestShadowOccupancyBounded(t *testing.T) {
 	c := New(geom, Config{Seed: 1})
 	thrashSet(c, 0, 64, 20)
-	if occ := c.sets[0].mon.shadow.occupancy(); occ > geom.Ways {
+	if occ := c.sets[0].mon.Shadow.Occupancy(); occ > geom.Ways {
 		t.Fatalf("shadow occupancy %d exceeds associativity", occ)
 	}
 }
@@ -444,7 +444,7 @@ func TestUnconstrainedReceiveKeepsSpilling(t *testing.T) {
 	// Saturate the giver.
 	thrashSet(c, g, 2*geom.Ways, 30)
 	scS, _ := c.Counters(g)
-	if scS < c.cgeom.msb {
+	if scS < c.cgeom.MSB {
 		t.Skipf("giver not saturated (scS=%d)", scS)
 	}
 	spillsBefore := c.Stats().Spills

@@ -6,30 +6,36 @@ import (
 	"repro/internal/sim"
 )
 
-// shadowSet is the m-bit-signature victim directory attached to each LLC set
+// ShadowSet is the m-bit-signature victim directory attached to each LLC set
 // (paper §4.3). It has the same associativity as the LLC set, stores hashed
 // tags of the set's victim blocks, and runs the replacement policy opposite
 // to the LLC set's so that the eviction stream exposes whichever temporal
 // behaviour the LLC set is currently missing. Entries are strictly exclusive
 // with the LLC set's resident blocks: an entry is invalidated the moment a
 // block with a matching signature is re-inserted into the LLC set.
-type shadowSet struct {
+//
+// ShadowSet is exported (together with Monitor and CounterGeom) so other
+// capacity managers — notably the stemcache KV library — can reuse the
+// paper's demand monitor verbatim instead of re-implementing it.
+type ShadowSet struct {
 	sigs  []uint32
 	valid []bool
 	pol   policy.Policy
 }
 
-func newShadowSet(ways int, llcKind policy.Kind, rng *sim.RNG) shadowSet {
-	return shadowSet{
+// NewShadowSet builds a shadow directory of the given associativity whose
+// policy is the opposite of the owning LLC set's (paper §4.3).
+func NewShadowSet(ways int, llcKind policy.Kind, rng *sim.RNG) ShadowSet {
+	return ShadowSet{
 		sigs:  make([]uint32, ways),
 		valid: make([]bool, ways),
 		pol:   policy.New(policy.Opposite(llcKind), ways, rng),
 	}
 }
 
-// lookupInvalidate checks for sig and, on a match, invalidates the entry
+// LookupInvalidate checks for sig and, on a match, invalidates the entry
 // (the block is about to re-enter the LLC set) and reports the hit.
-func (s *shadowSet) lookupInvalidate(sig uint32) bool {
+func (s *ShadowSet) LookupInvalidate(sig uint32) bool {
 	for w := range s.sigs {
 		if s.valid[w] && s.sigs[w] == sig {
 			s.valid[w] = false
@@ -40,10 +46,10 @@ func (s *shadowSet) lookupInvalidate(sig uint32) bool {
 	return false
 }
 
-// insert records the signature of a block truly evicted from the owning LLC
+// Insert records the signature of a block truly evicted from the owning LLC
 // set, replacing per the shadow's own (opposite) policy if full. Duplicate
 // signatures are refreshed in place to preserve entry uniqueness.
-func (s *shadowSet) insert(sig uint32) {
+func (s *ShadowSet) Insert(sig uint32) {
 	for w := range s.sigs {
 		if s.valid[w] && s.sigs[w] == sig {
 			s.pol.OnInsert(w) // refresh ranking; entry already present
@@ -65,8 +71,8 @@ func (s *shadowSet) insert(sig uint32) {
 	s.pol.OnInsert(way)
 }
 
-// occupancy returns the number of valid shadow entries (tests only).
-func (s *shadowSet) occupancy() int {
+// Occupancy returns the number of valid shadow entries.
+func (s *ShadowSet) Occupancy() int {
 	n := 0
 	for _, v := range s.valid {
 		if v {
@@ -76,59 +82,72 @@ func (s *shadowSet) occupancy() int {
 	return n
 }
 
-// monitor is one set's slice of the Set-level Capacity Demand Monitor
+// PolicyKind returns the shadow's current replacement-policy kind.
+func (s *ShadowSet) PolicyKind() policy.Kind { return s.pol.Kind() }
+
+// SwapPolicy switches the shadow's policy kind in place, preserving its
+// ranking (the shadow-side half of the paper's §4.4 policy swap).
+func (s *ShadowSet) SwapPolicy(k policy.Kind) bool { return policy.SwapKind(s.pol, k) }
+
+// Monitor is one set's slice of the Set-level Capacity Demand Monitor
 // (SCDM, paper §4.2-4.4): the shadow set plus the two k-bit saturating
 // counters.
 //
-//   - SC_S (spatial): incremented on every shadow hit, decremented with
+//   - ScS (spatial): incremented on every shadow hit, decremented with
 //     probability 1/2^n on every LLC-set hit. Saturated ⇒ the set is a
 //     *taker* (doubling its capacity would raise its hit rate by at least
 //     1/2^n); MSB clear ⇒ the set is a *giver*.
-//   - SC_T (temporal): incremented on every shadow hit, decremented on every
+//   - ScT (temporal): incremented on every shadow hit, decremented on every
 //     LLC-set hit. Saturated ⇒ the shadow's (opposite) policy is measurably
-//     beating the set's current policy, so the two swap and SC_T resets.
-type monitor struct {
-	shadow shadowSet
-	scS    int
-	scT    int
+//     beating the set's current policy, so the two swap and ScT resets.
+type Monitor struct {
+	Shadow ShadowSet
+	ScS    int
+	ScT    int
 }
 
-// counterCeil and msbMask are derived from the configured k.
-type counterGeom struct {
-	max int // 2^k - 1
-	msb int // 2^(k-1)
+// CounterGeom carries the ceiling and MSB mask derived from the configured
+// counter width k.
+type CounterGeom struct {
+	Max int // 2^k - 1
+	MSB int // 2^(k-1)
 }
 
-// onShadowHit applies the shadow-hit counter rule and reports whether SC_T
-// saturated (the caller then swaps policies and resets SC_T).
-func (m *monitor) onShadowHit(g counterGeom) (swapNeeded bool) {
-	if m.scS < g.max {
-		m.scS++
+// NewCounterGeom derives the counter geometry for k-bit saturating counters.
+func NewCounterGeom(k int) CounterGeom {
+	return CounterGeom{Max: 1<<uint(k) - 1, MSB: 1 << uint(k-1)}
+}
+
+// OnShadowHit applies the shadow-hit counter rule and reports whether ScT
+// saturated (the caller then swaps policies and resets ScT).
+func (m *Monitor) OnShadowHit(g CounterGeom) (swapNeeded bool) {
+	if m.ScS < g.Max {
+		m.ScS++
 	}
-	if m.scT < g.max {
-		m.scT++
+	if m.ScT < g.Max {
+		m.ScT++
 	}
-	return m.scT == g.max
+	return m.ScT == g.Max
 }
 
-// onLLCHit applies the LLC-hit counter rule; decS tells whether the 1/2^n
+// OnLLCHit applies the LLC-hit counter rule; decS tells whether the 1/2^n
 // probabilistic event fired for the spatial counter.
-func (m *monitor) onLLCHit(decS bool) {
-	if m.scT > 0 {
-		m.scT--
+func (m *Monitor) OnLLCHit(decS bool) {
+	if m.ScT > 0 {
+		m.ScT--
 	}
-	if decS && m.scS > 0 {
-		m.scS--
+	if decS && m.ScS > 0 {
+		m.ScS--
 	}
 }
 
-// isTaker reports whether the set's spatial counter marks it as demanding
+// IsTaker reports whether the set's spatial counter marks it as demanding
 // extra capacity.
-func (m *monitor) isTaker(g counterGeom) bool { return m.scS == g.max }
+func (m *Monitor) IsTaker(g CounterGeom) bool { return m.ScS == g.Max }
 
-// isGiver reports whether the spatial counter's MSB is clear: the set hits
+// IsGiver reports whether the spatial counter's MSB is clear: the set hits
 // frequently within its local capacity and can contribute space.
-func (m *monitor) isGiver(g counterGeom) bool { return m.scS < g.msb }
+func (m *Monitor) IsGiver(g CounterGeom) bool { return m.ScS < g.MSB }
 
 // sig computes the m-bit signature of a block's tag for the shadow sets.
 func sig(h *hashfn.Hash, tag uint64) uint32 { return h.Sum(tag) }

@@ -8,57 +8,57 @@ import (
 	"repro/internal/sim"
 )
 
-func newShadow(t *testing.T, ways int) *shadowSet {
+func newShadow(t *testing.T, ways int) *ShadowSet {
 	t.Helper()
-	s := newShadowSet(ways, policy.LRU, sim.NewRNG(1))
+	s := NewShadowSet(ways, policy.LRU, sim.NewRNG(1))
 	return &s
 }
 
 func TestShadowOppositePolicy(t *testing.T) {
-	s := newShadowSet(4, policy.LRU, sim.NewRNG(1))
-	if s.pol.Kind() != policy.BIP {
-		t.Fatalf("shadow of an LRU set runs %v, want BIP", s.pol.Kind())
+	s := NewShadowSet(4, policy.LRU, sim.NewRNG(1))
+	if s.PolicyKind() != policy.BIP {
+		t.Fatalf("shadow of an LRU set runs %v, want BIP", s.PolicyKind())
 	}
-	s = newShadowSet(4, policy.BIP, sim.NewRNG(1))
-	if s.pol.Kind() != policy.LRU {
-		t.Fatalf("shadow of a BIP set runs %v, want LRU", s.pol.Kind())
+	s = NewShadowSet(4, policy.BIP, sim.NewRNG(1))
+	if s.PolicyKind() != policy.LRU {
+		t.Fatalf("shadow of a BIP set runs %v, want LRU", s.PolicyKind())
 	}
 }
 
 func TestShadowInsertLookup(t *testing.T) {
 	s := newShadow(t, 4)
-	s.insert(0xAB)
-	if !s.lookupInvalidate(0xAB) {
+	s.Insert(0xAB)
+	if !s.LookupInvalidate(0xAB) {
 		t.Fatal("inserted signature not found")
 	}
-	if s.lookupInvalidate(0xAB) {
+	if s.LookupInvalidate(0xAB) {
 		t.Fatal("signature survived its own lookup (must invalidate)")
 	}
-	if s.occupancy() != 0 {
-		t.Fatalf("occupancy %d after drain", s.occupancy())
+	if s.Occupancy() != 0 {
+		t.Fatalf("occupancy %d after drain", s.Occupancy())
 	}
 }
 
 func TestShadowDuplicateInsertRefreshes(t *testing.T) {
 	s := newShadow(t, 4)
-	s.insert(1)
-	s.insert(1)
-	if s.occupancy() != 1 {
-		t.Fatalf("duplicate insert created %d entries", s.occupancy())
+	s.Insert(1)
+	s.Insert(1)
+	if s.Occupancy() != 1 {
+		t.Fatalf("duplicate insert created %d entries", s.Occupancy())
 	}
 }
 
 func TestShadowReplacesWhenFull(t *testing.T) {
 	s := newShadow(t, 2)
-	s.insert(1)
-	s.insert(2)
-	s.insert(3) // evicts per the shadow's (BIP) policy
-	if s.occupancy() != 2 {
-		t.Fatalf("occupancy %d, want 2", s.occupancy())
+	s.Insert(1)
+	s.Insert(2)
+	s.Insert(3) // evicts per the shadow's (BIP) policy
+	if s.Occupancy() != 2 {
+		t.Fatalf("occupancy %d, want 2", s.Occupancy())
 	}
 	found := 0
 	for _, sig := range []uint32{1, 2, 3} {
-		if s.lookupInvalidate(sig) {
+		if s.LookupInvalidate(sig) {
 			found++
 		}
 	}
@@ -69,14 +69,14 @@ func TestShadowReplacesWhenFull(t *testing.T) {
 
 func TestShadowQuickOccupancyBound(t *testing.T) {
 	f := func(sigs []uint16) bool {
-		s := newShadowSet(4, policy.LRU, sim.NewRNG(3))
+		s := NewShadowSet(4, policy.LRU, sim.NewRNG(3))
 		for _, g := range sigs {
 			if g%3 == 0 {
-				s.lookupInvalidate(uint32(g % 64))
+				s.LookupInvalidate(uint32(g % 64))
 			} else {
-				s.insert(uint32(g % 64))
+				s.Insert(uint32(g % 64))
 			}
-			if s.occupancy() > 4 {
+			if s.Occupancy() > 4 {
 				return false
 			}
 		}
@@ -88,45 +88,45 @@ func TestShadowQuickOccupancyBound(t *testing.T) {
 }
 
 func TestMonitorCounterRules(t *testing.T) {
-	g := counterGeom{max: 15, msb: 8}
-	var m monitor
+	g := CounterGeom{Max: 15, MSB: 8}
+	var m Monitor
 	// Shadow hits increment both counters, saturating.
 	for i := 0; i < 20; i++ {
-		m.onShadowHit(g)
+		m.OnShadowHit(g)
 	}
-	if m.scS != 15 || m.scT != 15 {
-		t.Fatalf("counters (%d,%d), want saturation", m.scS, m.scT)
+	if m.ScS != 15 || m.ScT != 15 {
+		t.Fatalf("counters (%d,%d), want saturation", m.ScS, m.ScT)
 	}
-	if !m.isTaker(g) || m.isGiver(g) {
+	if !m.IsTaker(g) || m.IsGiver(g) {
 		t.Fatal("saturated counter must mark a taker, not a giver")
 	}
 	// LLC hits always decrement SC_T, SC_S only when the 1/2^n event fires.
-	m.onLLCHit(false)
-	if m.scT != 14 || m.scS != 15 {
-		t.Fatalf("counters (%d,%d) after plain hit", m.scS, m.scT)
+	m.OnLLCHit(false)
+	if m.ScT != 14 || m.ScS != 15 {
+		t.Fatalf("counters (%d,%d) after plain hit", m.ScS, m.ScT)
 	}
-	m.onLLCHit(true)
-	if m.scT != 13 || m.scS != 14 {
-		t.Fatalf("counters (%d,%d) after decS hit", m.scS, m.scT)
+	m.OnLLCHit(true)
+	if m.ScT != 13 || m.ScS != 14 {
+		t.Fatalf("counters (%d,%d) after decS hit", m.ScS, m.ScT)
 	}
 	// Floor at zero.
 	for i := 0; i < 40; i++ {
-		m.onLLCHit(true)
+		m.OnLLCHit(true)
 	}
-	if m.scS != 0 || m.scT != 0 {
-		t.Fatalf("counters (%d,%d), want floor 0", m.scS, m.scT)
+	if m.ScS != 0 || m.ScT != 0 {
+		t.Fatalf("counters (%d,%d), want floor 0", m.ScS, m.ScT)
 	}
-	if !m.isGiver(g) || m.isTaker(g) {
+	if !m.IsGiver(g) || m.IsTaker(g) {
 		t.Fatal("zero counter must mark a giver")
 	}
 }
 
 func TestMonitorSwapSignal(t *testing.T) {
-	g := counterGeom{max: 15, msb: 8}
-	var m monitor
+	g := CounterGeom{Max: 15, MSB: 8}
+	var m Monitor
 	swaps := 0
 	for i := 0; i < 15; i++ {
-		if m.onShadowHit(g) {
+		if m.OnShadowHit(g) {
 			swaps++
 		}
 	}
@@ -136,9 +136,9 @@ func TestMonitorSwapSignal(t *testing.T) {
 }
 
 func TestMonitorMidRangeIsNeither(t *testing.T) {
-	g := counterGeom{max: 15, msb: 8}
-	m := monitor{scS: 10}
-	if m.isTaker(g) || m.isGiver(g) {
+	g := CounterGeom{Max: 15, MSB: 8}
+	m := Monitor{ScS: 10}
+	if m.IsTaker(g) || m.IsGiver(g) {
 		t.Fatal("SC_S=10 must be neither taker nor giver")
 	}
 }

@@ -1,0 +1,114 @@
+package stemcache
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Benchmarks compare the STEM-managed cache against the sharded-LRU
+// baseline (same structure, mechanisms off) under two key streams and
+// report the steady-state Get hit rate as the "hitrate" metric:
+//
+//	go test -bench=StemCache -benchtime=10000000x ./internal/stemcache
+//
+// The cache-aside loop is the one real users run: Get, and on a miss fetch
+// (here: materialize) and Set.
+
+const (
+	benchCapacity = 1 << 15 // 32768 entries
+	benchSeed     = 42
+)
+
+func benchConfig() Config {
+	return Config{Capacity: benchCapacity, Shards: 16, Ways: 8, Seed: benchSeed}
+}
+
+// zipfRank draws an approximately Zipf(s≈1)-distributed rank in [0, n):
+// inverse-CDF sampling of 1/x via a log-uniform draw.
+func zipfRank(r *sim.RNG, n int) int {
+	u := r.Float64()
+	rank := int(math.Exp(u*math.Log(float64(n)))) - 1
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}
+
+// zipfStream aims a skewed stream at a keyspace 8x the cache.
+func zipfStream(r *sim.RNG) func() int {
+	n := benchCapacity * 8
+	return func() int { return zipfRank(r, n) }
+}
+
+// scanMixStream interleaves a Zipfian hot set (keyed disjointly from the
+// scan range) with a relentless sequential scan over twice the cache's
+// capacity — the access mix that thrashes LRU and that BIP dueling is
+// built for.
+func scanMixStream(r *sim.RNG) func() int {
+	hot := benchCapacity / 4
+	scanSpan := benchCapacity * 2
+	scan := 0
+	return func() int {
+		if r.OneIn(2) {
+			return 1<<30 + zipfRank(r, hot)
+		}
+		scan++
+		return scan % scanSpan
+	}
+}
+
+func runKV(b *testing.B, c *Cache[int, int], next func() int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := next()
+		if _, ok := c.Get(k); !ok {
+			c.Set(k, k)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(c.Stats().HitRate(), "hitrate")
+}
+
+func BenchmarkStemCacheZipf(b *testing.B) {
+	r := sim.NewRNG(benchSeed)
+	runKV(b, New[int, int](benchConfig()), zipfStream(r))
+}
+
+func BenchmarkStemCacheZipfLRUBaseline(b *testing.B) {
+	r := sim.NewRNG(benchSeed)
+	runKV(b, NewShardedLRU[int, int](benchConfig()), zipfStream(r))
+}
+
+func BenchmarkStemCacheScanMix(b *testing.B) {
+	r := sim.NewRNG(benchSeed)
+	runKV(b, New[int, int](benchConfig()), scanMixStream(r))
+}
+
+func BenchmarkStemCacheScanMixLRUBaseline(b *testing.B) {
+	r := sim.NewRNG(benchSeed)
+	runKV(b, NewShardedLRU[int, int](benchConfig()), scanMixStream(r))
+}
+
+// BenchmarkStemCacheParallel measures lock-striped throughput: GOMAXPROCS
+// goroutines in a Zipfian cache-aside loop over one shared cache.
+func BenchmarkStemCacheParallel(b *testing.B) {
+	c := New[int, int](benchConfig())
+	b.ReportAllocs()
+	var id atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		r := sim.NewRNG(benchSeed ^ (id.Add(1) << 32) ^ uint64(b.N))
+		n := benchCapacity * 8
+		for pb.Next() {
+			k := zipfRank(r, n)
+			if _, ok := c.Get(k); !ok {
+				c.Set(k, k)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(c.Stats().HitRate(), "hitrate")
+}

@@ -1,0 +1,344 @@
+package stemcache
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/policy"
+	"repro/internal/selector"
+	"repro/internal/sim"
+)
+
+// initialKind is the replacement policy every set starts with; the temporal
+// mechanism may swap it to BIP per set.
+const initialKind = policy.LRU
+
+func policyNew(cfg Config, rng *sim.RNG) policy.Policy {
+	return policy.New(initialKind, cfg.Ways, rng)
+}
+
+// role of a set in a spatial association (the software analogue of the
+// paper's association table).
+type role uint8
+
+const (
+	uncoupled role = iota
+	taker
+	giver
+)
+
+// entry is one resident key-value pair. A giver set may hold entries whose
+// hash maps to its coupled taker; those carry the cc ("cooperatively
+// cached") bit, the software form of the paper's CC bit.
+type entry[K comparable, V any] struct {
+	key   K
+	val   V
+	hash  uint64
+	exp   int64 // expiry in unix nanoseconds; 0 = never
+	valid bool
+	cc    bool
+}
+
+// kvSet is one cache set: Ways entries, a replacement policy, and the
+// paper's per-set demand monitor (shadow signatures + SC_S/SC_T).
+type kvSet[K comparable, V any] struct {
+	entries []entry[K, V]
+	pol     policy.Policy
+	mon     core.Monitor
+	// partner is the coupled set's index within the shard, or the set's own
+	// index when uncoupled.
+	partner   int
+	role      role
+	foreign   int // valid cc entries resident here (givers only)
+	coupledAt uint64
+}
+
+// shard is one lock-striped slice of the cache: its own mutex, sets, giver
+// heap, RNG and statistics. All fields are guarded by mu.
+type shard[K comparable, V any] struct {
+	mu    sync.Mutex
+	sets  []kvSet[K, V]
+	heap  *selector.Heap
+	rng   *sim.RNG
+	live  int
+	tick  uint64
+	stats Stats
+}
+
+// freeWay returns the first invalid way of s, or -1 when the set is full.
+func freeWay[K comparable, V any](s *kvSet[K, V]) int {
+	for w := range s.entries {
+		if !s.entries[w].valid {
+			return w
+		}
+	}
+	return -1
+}
+
+// gid translates a shard-local set index to the global set id reported in
+// events.
+func (c *Cache[K, V]) gid(shIdx, idx int) int { return shIdx*c.sets + idx }
+
+// findLocal returns the way of set idx holding key as a local (non-cc)
+// entry, or -1. A matching entry that has expired is collected on the spot
+// and reported as absent (lazy expiry).
+func (c *Cache[K, V]) findLocal(sh *shard[K, V], idx int, key K, h uint64, nowN int64) int {
+	s := &sh.sets[idx]
+	for w := range s.entries {
+		e := &s.entries[w]
+		if e.valid && !e.cc && e.hash == h && e.key == key {
+			if e.exp != 0 && nowN > e.exp {
+				c.expireLocal(sh, idx, w)
+				return -1
+			}
+			return w
+		}
+	}
+	return -1
+}
+
+// findCC returns the way of giver set gidx holding key as a cooperatively
+// cached entry, or -1, collecting it if expired.
+func (c *Cache[K, V]) findCC(sh *shard[K, V], shIdx, gidx int, key K, h uint64, nowN int64) int {
+	g := &sh.sets[gidx]
+	for w := range g.entries {
+		e := &g.entries[w]
+		if e.valid && e.cc && e.hash == h && e.key == key {
+			if e.exp != 0 && nowN > e.exp {
+				c.dropCC(sh, shIdx, gidx, w)
+				sh.stats.Expirations++
+				c.met.expired.Inc()
+				return -1
+			}
+			return w
+		}
+	}
+	return -1
+}
+
+// expireLocal collects the expired local entry at (idx, w).
+func (c *Cache[K, V]) expireLocal(sh *shard[K, V], idx, w int) {
+	s := &sh.sets[idx]
+	s.entries[w] = entry[K, V]{}
+	s.pol.OnInvalidate(w)
+	sh.live--
+	sh.stats.Expirations++
+	c.met.expired.Inc()
+}
+
+// dropCC removes the cooperatively cached entry at (gidx, w) — on deletion
+// or expiry — and dissolves the association if it was the giver's last one.
+func (c *Cache[K, V]) dropCC(sh *shard[K, V], shIdx, gidx, w int) {
+	g := &sh.sets[gidx]
+	g.entries[w] = entry[K, V]{}
+	g.pol.OnInvalidate(w)
+	g.foreign--
+	sh.live--
+	if g.foreign == 0 && g.role == giver {
+		c.decouple(sh, shIdx, gidx)
+	}
+}
+
+// consultShadow runs the miss path's demand update for set idx: a shadow
+// lookup for the missing key's signature, the SC_S/SC_T counter rules, a
+// policy swap when SC_T saturates, and giver-heap maintenance (paper
+// §4.3-4.4).
+func (c *Cache[K, V]) consultShadow(sh *shard[K, V], shIdx, idx int, h uint64) {
+	s := &sh.sets[idx]
+	if s.mon.Shadow.LookupInvalidate(c.sigOf(h)) {
+		swap := s.mon.OnShadowHit(c.cgeom)
+		sh.stats.ShadowHits++
+		c.met.shadowHits.Inc()
+		if c.observer != nil {
+			c.emit(obs.Event{
+				Type: obs.EvShadowHit, Tick: sh.tick, Set: c.gid(shIdx, idx),
+				ScS: s.mon.ScS, ScT: s.mon.ScT,
+			})
+		}
+		if swap && !c.cfg.DisableSwap {
+			c.swapPolicies(sh, shIdx, idx)
+		}
+	}
+	c.reconsiderGiver(sh, idx)
+}
+
+// onLocalHit applies the hit-side counter rules for set idx: SC_T always
+// decrements, SC_S with probability 1/2^n.
+func (c *Cache[K, V]) onLocalHit(sh *shard[K, V], shIdx, idx int) {
+	s := &sh.sets[idx]
+	decS := sh.rng.OneIn(1 << uint(c.cfg.SpatialShift))
+	s.mon.OnLLCHit(decS)
+	if decS {
+		c.reconsiderGiver(sh, idx)
+	}
+}
+
+// reconsiderGiver keeps the shard's giver heap consistent with set idx's
+// counter state: uncoupled sets with a clear MSB are posted (or re-keyed);
+// everything else is withdrawn.
+func (c *Cache[K, V]) reconsiderGiver(sh *shard[K, V], idx int) {
+	if c.cfg.DisableCoupling {
+		return
+	}
+	s := &sh.sets[idx]
+	if s.role == uncoupled && s.mon.IsGiver(c.cgeom) {
+		sh.heap.Post(idx, s.mon.ScS)
+		return
+	}
+	sh.heap.Remove(idx)
+}
+
+// swapPolicies exchanges set idx's policy with its shadow's opposite (paper
+// §4.4), preserving both rankings, and resets SC_T.
+func (c *Cache[K, V]) swapPolicies(sh *shard[K, V], shIdx, idx int) {
+	s := &sh.sets[idx]
+	next := policy.Opposite(s.pol.Kind())
+	policy.SwapKind(s.pol, next)
+	s.mon.Shadow.SwapPolicy(policy.Opposite(next))
+	s.mon.ScT = 0
+	sh.stats.PolicySwaps++
+	c.met.policySwaps.Inc()
+	if c.observer != nil {
+		c.emit(obs.Event{
+			Type: obs.EvPolicySwap, Tick: sh.tick, Set: c.gid(shIdx, idx),
+			ScS: s.mon.ScS, ScT: s.mon.ScT, Policy: next.String(),
+		})
+	}
+}
+
+// tryCouple pairs taker set idx with the shard's least-saturated live giver
+// (paper §4.5: coupling is triggered by a taker's eviction).
+func (c *Cache[K, V]) tryCouple(sh *shard[K, V], shIdx, idx int) {
+	for tries := 0; tries < c.cfg.SelectorSize; tries++ {
+		cand, _, ok := sh.heap.PopMin()
+		if !ok {
+			return
+		}
+		if cand == idx {
+			continue
+		}
+		g := &sh.sets[cand]
+		// Heap entries can be stale; re-validate against the live monitor.
+		if g.role != uncoupled || !g.mon.IsGiver(c.cgeom) {
+			continue
+		}
+		s := &sh.sets[idx]
+		s.partner, s.role = cand, taker
+		g.partner, g.role = idx, giver
+		s.coupledAt, g.coupledAt = sh.tick, sh.tick
+		sh.heap.Remove(idx)
+		sh.stats.Couplings++
+		c.met.couplings.Inc()
+		if c.observer != nil {
+			c.emit(obs.Event{
+				Type: obs.EvCouple, Tick: sh.tick,
+				Set: c.gid(shIdx, idx), Partner: c.gid(shIdx, cand),
+				ScS: s.mon.ScS, ScT: s.mon.ScT,
+			})
+		}
+		return
+	}
+}
+
+// routeVictim decides what happens to an entry evicted from set idx: a cc
+// entry leaves the cache (possibly dissolving the association); a local
+// victim of a spilling-eligible taker is cooperatively cached in the giver;
+// everything else leaves the cache with its signature recorded in the
+// owner's shadow directory.
+func (c *Cache[K, V]) routeVictim(sh *shard[K, V], shIdx, idx int, v entry[K, V]) {
+	s := &sh.sets[idx]
+	if v.cc {
+		s.foreign--
+		c.evict(sh, v)
+		if s.foreign == 0 && s.role == giver {
+			c.decouple(sh, shIdx, idx)
+		}
+		return
+	}
+	if s.role == taker && s.mon.ScS >= c.cgeom.MSB {
+		// Spilling allowed only while the taker still demands capacity
+		// (§4.6/4.7) and the giver can still receive (§4.6).
+		g := &sh.sets[s.partner]
+		if g.mon.IsGiver(c.cgeom) {
+			c.receive(sh, shIdx, s.partner, v)
+			return
+		}
+	}
+	c.evict(sh, v)
+}
+
+// receive inserts taker victim v into giver set gidx as a cooperatively
+// cached entry, at the position the giver's current policy dictates.
+func (c *Cache[K, V]) receive(sh *shard[K, V], shIdx, gidx int, v entry[K, V]) {
+	g := &sh.sets[gidx]
+	v.cc = true
+	way := freeWay(g)
+	if way < 0 {
+		way = g.pol.Victim()
+		if way < 0 {
+			panic("stemcache: full giver set but policy reports no victim")
+		}
+		gv := g.entries[way]
+		g.entries[way].valid = false
+		g.pol.OnInvalidate(way)
+		if gv.cc {
+			g.foreign--
+		}
+		c.evict(sh, gv)
+	}
+	g.entries[way] = v
+	g.pol.OnInsert(way)
+	g.foreign++
+	sh.stats.Spills++
+	sh.stats.Receives++
+	c.met.spills.Inc()
+	c.met.receives.Inc()
+	if c.observer != nil {
+		t := g.partner
+		ts := &sh.sets[t]
+		c.emit(obs.Event{
+			Type: obs.EvSpill, Tick: sh.tick,
+			Set: c.gid(shIdx, t), Partner: c.gid(shIdx, gidx),
+			ScS: ts.mon.ScS, ScT: ts.mon.ScT,
+		})
+		c.emit(obs.Event{
+			Type: obs.EvReceive, Tick: sh.tick,
+			Set: c.gid(shIdx, gidx), Partner: c.gid(shIdx, t),
+			ScS: g.mon.ScS, ScT: g.mon.ScT,
+		})
+	}
+}
+
+// evict handles an entry truly leaving the cache: the resident count drops
+// and the owner set's shadow directory records the signature, so a future
+// miss on the same key becomes demand evidence.
+func (c *Cache[K, V]) evict(sh *shard[K, V], v entry[K, V]) {
+	sh.live--
+	sh.stats.Evictions++
+	c.met.evictions.Inc()
+	owner := c.setOf(v.hash)
+	sh.sets[owner].mon.Shadow.Insert(c.sigOf(v.hash))
+}
+
+// decouple dissolves the association of giver set gidx with its taker
+// (paper §4.7), resetting both association entries to self.
+func (c *Cache[K, V]) decouple(sh *shard[K, V], shIdx, gidx int) {
+	g := &sh.sets[gidx]
+	tIdx := g.partner
+	t := &sh.sets[tIdx]
+	t.partner, t.role = tIdx, uncoupled
+	g.partner, g.role = gidx, uncoupled
+	sh.stats.Decouplings++
+	c.met.decouplings.Inc()
+	if c.observer != nil {
+		c.emit(obs.Event{
+			Type: obs.EvDecouple, Tick: sh.tick,
+			Set: c.gid(shIdx, gidx), Partner: c.gid(shIdx, tIdx),
+			ScS: g.mon.ScS, ScT: g.mon.ScT, Life: sh.tick - g.coupledAt,
+		})
+	}
+	// Both ends may immediately qualify as givers again.
+	c.reconsiderGiver(sh, gidx)
+	c.reconsiderGiver(sh, tIdx)
+}

@@ -1,0 +1,101 @@
+package stemcache
+
+import "repro/internal/obs"
+
+// Stats aggregates a Cache's counters. It is a flat comparable struct, so
+// two runs can be compared with ==; Hits/Misses tally Get outcomes only
+// (stores and deletes are counted separately), which makes
+// HitRate the figure the benchmarks report.
+type Stats struct {
+	// Gets is the number of Get calls; Gets == Hits + Misses.
+	Gets uint64
+	// Hits counts Gets that found an unexpired entry (locally or in a
+	// coupled giver set).
+	Hits uint64
+	// Misses counts Gets that found nothing.
+	Misses uint64
+	// Puts is the number of Set/SetWithTTL calls (inserts and overwrites).
+	Puts uint64
+	// Deletes counts Delete calls that removed a resident entry.
+	Deletes uint64
+	// Evictions counts entries dropped from the cache by capacity pressure
+	// (spilled entries are moved, not evicted, and are not counted here).
+	Evictions uint64
+	// Expirations counts entries collected lazily after their TTL passed.
+	Expirations uint64
+	// SecondaryHits counts Get hits served from a coupled giver set
+	// (a subset of Hits) — capacity the spatial mechanism recovered.
+	SecondaryHits uint64
+	// ShadowHits counts misses whose signature was present in the set's
+	// shadow directory: the paper's "this set would have hit with more
+	// capacity or the opposite policy" evidence.
+	ShadowHits uint64
+	// PolicySwaps counts set-level LRU<->BIP swaps (temporal management).
+	PolicySwaps uint64
+	// Couplings counts taker-giver pairs formed (spatial management).
+	Couplings uint64
+	// Decouplings counts pairs dissolved after the giver drained.
+	Decouplings uint64
+	// Spills counts victims placed cooperatively instead of evicted.
+	Spills uint64
+	// Receives counts entries accepted by giver sets; equals Spills.
+	Receives uint64
+}
+
+// HitRate returns Hits/Gets, or 0 for a cache that has seen no Gets.
+func (s Stats) HitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Gets)
+}
+
+// add accumulates o into s (used by the per-shard aggregation).
+func (s *Stats) add(o Stats) {
+	s.Gets += o.Gets
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Puts += o.Puts
+	s.Deletes += o.Deletes
+	s.Evictions += o.Evictions
+	s.Expirations += o.Expirations
+	s.SecondaryHits += o.SecondaryHits
+	s.ShadowHits += o.ShadowHits
+	s.PolicySwaps += o.PolicySwaps
+	s.Couplings += o.Couplings
+	s.Decouplings += o.Decouplings
+	s.Spills += o.Spills
+	s.Receives += o.Receives
+}
+
+// metrics holds the obs.Registry counters the cache feeds. With no registry
+// configured every field is nil, and obs.Counter's nil-receiver methods
+// make each update a single branch — same convention as the simulators.
+type metrics struct {
+	gets, hits, misses, puts, deletes   *obs.Counter
+	evictions, expired                  *obs.Counter
+	secondaryHits, shadowHits           *obs.Counter
+	policySwaps, couplings, decouplings *obs.Counter
+	spills, receives                    *obs.Counter
+}
+
+// newMetrics registers the cache's counters under "stemcache.*". A nil
+// registry yields all-nil (no-op) counters.
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		gets:          reg.Counter("stemcache.gets"),
+		hits:          reg.Counter("stemcache.hits"),
+		misses:        reg.Counter("stemcache.misses"),
+		puts:          reg.Counter("stemcache.puts"),
+		deletes:       reg.Counter("stemcache.deletes"),
+		evictions:     reg.Counter("stemcache.evictions"),
+		expired:       reg.Counter("stemcache.expirations"),
+		secondaryHits: reg.Counter("stemcache.secondary_hits"),
+		shadowHits:    reg.Counter("stemcache.shadow_hits"),
+		policySwaps:   reg.Counter("stemcache.policy_swaps"),
+		couplings:     reg.Counter("stemcache.couplings"),
+		decouplings:   reg.Counter("stemcache.decouplings"),
+		spills:        reg.Counter("stemcache.spills"),
+		receives:      reg.Counter("stemcache.receives"),
+	}
+}

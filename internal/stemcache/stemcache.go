@@ -1,0 +1,470 @@
+// Package stemcache is a concurrent, sharded, generic in-memory key-value
+// cache whose eviction engine is STEM — the set-level spatiotemporal
+// capacity manager of Zhan, Jiang and Seth (MICRO 2010) — lifted from the
+// hardware simulator in internal/core into a software library.
+//
+// The cache hashes every key to a 64-bit value and splits the bits three
+// ways: the low bits select a shard (each shard has its own mutex — lock
+// striping), the next bits select a set inside the shard (each set holds
+// Ways entries), and the rest is the tag. Each set carries the paper's
+// Set-level Capacity Demand Monitor (core.Monitor): a shadow directory of
+// m-bit signatures of the set's evicted keys plus two k-bit saturating
+// counters.
+//
+//   - Temporal management (§4.3-4.4): every set duels LRU against BIP
+//     individually. When the temporal counter shows the shadow's opposite
+//     policy winning, the set swaps — so scan-thrashed sets converge to BIP
+//     and protect their resident entries while recency-friendly sets stay
+//     LRU.
+//   - Spatial management (§4.5-4.7): sets whose spatial counter saturates
+//     (takers) couple with the least-demanding set of the same shard
+//     (givers, tracked in a small heap) and spill their victims there
+//     instead of dropping them; spilled entries are found by a secondary
+//     probe. A giver receives only while its own counter shows slack, and
+//     the pair dissolves once the giver has evicted every spilled entry.
+//
+// All operations are safe for concurrent use. A single shard is a
+// single-writer state machine guarded by its mutex; the only cross-shard
+// state is the aggregate Stats view and the optional observability sinks,
+// which are atomic (obs.Registry) or serialized (obs.Observer).
+//
+// Entries may carry a TTL. Expiry is lazy: an expired entry is collected by
+// whichever operation next touches it (and counts as a miss), never by a
+// background goroutine — the cache starts no goroutines at all.
+//
+// With default hashing, caches keyed by strings or integers are fully
+// deterministic for a fixed Config.Seed: a single-goroutine run produces
+// bit-identical Stats across processes. Other key types fall back to
+// hash/maphash, which is deterministic within one process only.
+package stemcache
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hashfn"
+	"repro/internal/obs"
+	"repro/internal/selector"
+	"repro/internal/sim"
+)
+
+// Config parameterizes a Cache. The zero value is usable: every field has a
+// documented default, and sizes are normalized (rounded up to powers of two
+// where the bit-slicing scheme requires it).
+type Config struct {
+	// Capacity is the requested maximum number of resident entries across
+	// all shards. It is rounded up so that Capacity = Shards × sets × Ways
+	// with a power-of-two set count; Cache.Capacity reports the actual
+	// value. Default: 65536.
+	Capacity int
+	// Shards is the number of independently locked shards; rounded up to a
+	// power of two. More shards mean less lock contention and a smaller
+	// spatial-coupling domain (takers only couple with givers of the same
+	// shard). Default: 16.
+	Shards int
+	// Ways is the associativity of each set — how many entries share one
+	// eviction pool and one demand monitor. Default: 8.
+	Ways int
+	// DefaultTTL is applied by Set; zero means entries never expire.
+	// SetWithTTL overrides it per entry.
+	DefaultTTL time.Duration
+	// Seed drives every probabilistic device (BIP insertion, the 1/2^n
+	// spatial decrement) and the default key hash mixing. Runs with equal
+	// seeds and equal single-goroutine op sequences are identical.
+	Seed uint64
+
+	// STEM engine parameters, as in the paper's Table 3 (see core.Config).
+
+	// CounterBits is k, the width of the SC_S/SC_T saturating counters.
+	// Default: 4.
+	CounterBits int
+	// SpatialShift is n: SC_S is decremented once per 2^n hits in
+	// expectation. Default: 3.
+	SpatialShift int
+	// SignatureBits is m, the shadow-signature width. Default: 10.
+	SignatureBits int
+	// SelectorSize is the per-shard giver-heap capacity. Default: 16.
+	SelectorSize int
+
+	// DisableCoupling turns off spatial management (no spilling); what
+	// remains is per-set LRU/BIP dueling.
+	DisableCoupling bool
+	// DisableSwap turns off temporal management (sets keep their initial
+	// LRU policy). With DisableCoupling also set, the cache degenerates to
+	// a plain sharded set-associative LRU — the baseline NewShardedLRU
+	// builds.
+	DisableSwap bool
+
+	// Metrics, when non-nil, receives atomic counters under "stemcache.*"
+	// (hits, misses, evictions, spills, policy_swaps, ...). Safe to share
+	// with a live obs.Server.
+	Metrics *obs.Registry
+	// Observer, when non-nil, receives one obs.Event per mechanism action
+	// (shadow_hit, policy_swap, couple, decouple, spill, receive), exactly
+	// like the simulator's event trace. Events carry the global set id
+	// (shard × setsPerShard + set) and the emitting shard's op tick; calls
+	// are serialized across shards by an internal mutex.
+	Observer obs.Observer
+}
+
+func (c *Config) normalize() {
+	if c.Capacity <= 0 {
+		c.Capacity = 1 << 16
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	c.Shards = nextPow2(c.Shards)
+	if c.Ways <= 0 {
+		c.Ways = 8
+	}
+	if c.CounterBits <= 0 {
+		c.CounterBits = 4
+	}
+	if c.SpatialShift <= 0 {
+		c.SpatialShift = 3
+	}
+	if c.SignatureBits <= 0 {
+		c.SignatureBits = 10
+	}
+	if c.SelectorSize <= 0 {
+		c.SelectorSize = 16
+	}
+}
+
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Cache is a thread-safe, sharded, STEM-managed key-value cache. Construct
+// with New, NewWithHasher or NewShardedLRU; the zero value is not usable.
+type Cache[K comparable, V any] struct {
+	cfg    Config
+	hasher func(K) uint64
+	shards []shard[K, V]
+
+	shardBits uint
+	setBits   uint
+	sets      int // sets per shard
+
+	cgeom core.CounterGeom
+	sig   *hashfn.Hash // read-only after construction; safe concurrently
+
+	met      metrics
+	obsMu    sync.Mutex // serializes Observer calls across shards
+	observer obs.Observer
+
+	now func() int64 // nanoseconds; swapped out by TTL tests
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// New builds a cache for any comparable key type using the built-in hasher:
+// deterministic (seeded FNV/mix) for string and integer keys, hash/maphash
+// for everything else. See NewWithHasher to supply your own.
+func New[K comparable, V any](cfg Config) *Cache[K, V] {
+	cfg.normalize()
+	return newCache[K, V](cfg, defaultHasher[K](cfg.Seed))
+}
+
+// NewWithHasher builds a cache whose key hash is supplied by the caller.
+// The hash must be deterministic and spread keys uniformly over 64 bits —
+// shard, set and shadow-signature selection all consume its bits. It panics
+// on a nil hasher.
+func NewWithHasher[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, V] {
+	if hasher == nil {
+		panic("stemcache: nil hasher")
+	}
+	cfg.normalize()
+	return newCache[K, V](cfg, hasher)
+}
+
+// NewShardedLRU builds the baseline the benchmarks compare against: the
+// same sharded set-associative structure with both STEM mechanisms disabled,
+// i.e. a plain lock-striped LRU cache. Geometry fields of cfg are honored;
+// the STEM switches are forced off.
+func NewShardedLRU[K comparable, V any](cfg Config) *Cache[K, V] {
+	cfg.DisableCoupling = true
+	cfg.DisableSwap = true
+	return New[K, V](cfg)
+}
+
+func newCache[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, V] {
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	sets := nextPow2((perShard + cfg.Ways - 1) / cfg.Ways)
+	c := &Cache[K, V]{
+		cfg:       cfg,
+		hasher:    hasher,
+		shards:    make([]shard[K, V], cfg.Shards),
+		shardBits: uint(log2(cfg.Shards)),
+		setBits:   uint(log2(sets)),
+		sets:      sets,
+		cgeom:     core.NewCounterGeom(cfg.CounterBits),
+		sig:       hashfn.New(cfg.SignatureBits, cfg.Seed^0x5717),
+		met:       newMetrics(cfg.Metrics),
+		observer:  cfg.Observer,
+		now:       func() int64 { return time.Now().UnixNano() },
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.heap = selector.New(cfg.SelectorSize)
+		sh.rng = sim.NewRNG(cfg.Seed ^ 0xdecaf ^ uint64(i)*0x9e3779b97f4a7c15)
+		sh.sets = make([]kvSet[K, V], sets)
+		for s := range sh.sets {
+			rng := sim.NewRNG(cfg.Seed ^ uint64(i*sets+s)*0x9e3779b97f4a7c15)
+			sh.sets[s] = kvSet[K, V]{
+				entries: make([]entry[K, V], cfg.Ways),
+				pol:     policyNew(cfg, rng),
+				mon:     core.Monitor{Shadow: core.NewShadowSet(cfg.Ways, initialKind, rng)},
+				partner: s,
+			}
+		}
+	}
+	return c
+}
+
+func log2(v int) uint {
+	n := uint(0)
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Get returns the value cached under key. The second result reports whether
+// the key was resident (and unexpired). A miss whose key was recently
+// evicted registers as a shadow hit and feeds the set's demand counters —
+// exactly the evidence stream the simulator derives from its miss path.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	var zero V
+	h := c.hasher(key)
+	sh, shIdx := c.shardOf(h)
+	nowN := c.now()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tick++
+	sh.stats.Gets++
+	c.met.gets.Inc()
+
+	idx := c.setOf(h)
+	s := &sh.sets[idx]
+	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		sh.stats.Hits++
+		c.met.hits.Inc()
+		s.pol.OnHit(w)
+		c.onLocalHit(sh, shIdx, idx)
+		return s.entries[w].val, true
+	}
+	if s.role == taker {
+		p := &sh.sets[s.partner]
+		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			sh.stats.Hits++
+			sh.stats.SecondaryHits++
+			c.met.hits.Inc()
+			c.met.secondaryHits.Inc()
+			p.pol.OnHit(w)
+			// Cooperative hits update neither set's counters: they are not
+			// local-capacity evidence for either working set.
+			return p.entries[w].val, true
+		}
+	}
+	sh.stats.Misses++
+	c.met.misses.Inc()
+	c.consultShadow(sh, shIdx, idx, h)
+	return zero, false
+}
+
+// Set stores value under key with the cache's DefaultTTL, inserting or
+// overwriting. On insert into a full set the STEM engine picks the victim:
+// it is spilled to the set's coupled giver when the spatial state allows,
+// and otherwise evicted with its signature recorded in the set's shadow
+// directory.
+func (c *Cache[K, V]) Set(key K, value V) {
+	c.SetWithTTL(key, value, c.cfg.DefaultTTL)
+}
+
+// SetWithTTL is Set with an explicit time-to-live for this entry; ttl <= 0
+// means the entry never expires.
+func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
+	h := c.hasher(key)
+	sh, shIdx := c.shardOf(h)
+	nowN := c.now()
+	var exp int64
+	if ttl > 0 {
+		exp = nowN + int64(ttl)
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tick++
+	sh.stats.Puts++
+	c.met.puts.Inc()
+
+	idx := c.setOf(h)
+	s := &sh.sets[idx]
+	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		s.entries[w].val, s.entries[w].exp = value, exp
+		s.pol.OnHit(w)
+		// An overwrite touches a resident entry: local-capacity evidence
+		// for the demand counters, though not a Get hit for Stats.
+		c.onLocalHit(sh, shIdx, idx)
+		return
+	}
+	if s.role == taker {
+		p := &sh.sets[s.partner]
+		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			p.entries[w].val, p.entries[w].exp = value, exp
+			p.pol.OnHit(w)
+			return
+		}
+	}
+
+	// Miss: consult the shadow directory, then fill locally (the library
+	// analogue of the simulator's miss path).
+	c.consultShadow(sh, shIdx, idx, h)
+
+	way := freeWay(s)
+	if way < 0 {
+		if s.role == uncoupled && s.mon.IsTaker(c.cgeom) && !c.cfg.DisableCoupling {
+			c.tryCouple(sh, shIdx, idx)
+		}
+		way = s.pol.Victim()
+		if way < 0 {
+			panic("stemcache: full set but policy reports no victim")
+		}
+		victim := s.entries[way]
+		s.entries[way].valid = false
+		s.pol.OnInvalidate(way)
+		c.routeVictim(sh, shIdx, idx, victim)
+	}
+	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, valid: true}
+	s.pol.OnInsert(way)
+	sh.live++
+}
+
+// Delete removes key and reports whether it was resident (an already-expired
+// entry counts as absent). Deletion is not demand evidence: the key's
+// signature is not entered into the shadow directory.
+func (c *Cache[K, V]) Delete(key K) bool {
+	h := c.hasher(key)
+	sh, shIdx := c.shardOf(h)
+	nowN := c.now()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tick++
+	idx := c.setOf(h)
+	s := &sh.sets[idx]
+	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		s.entries[w] = entry[K, V]{}
+		s.pol.OnInvalidate(w)
+		sh.live--
+		sh.stats.Deletes++
+		c.met.deletes.Inc()
+		return true
+	}
+	if s.role == taker {
+		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			c.dropCC(sh, shIdx, s.partner, w)
+			sh.stats.Deletes++
+			c.met.deletes.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of resident entries, including any that have
+// expired but not yet been lazily collected.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.live
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity returns the actual entry capacity after Config normalization:
+// Shards × sets-per-shard × Ways, which is at least Config.Capacity.
+func (c *Cache[K, V]) Capacity() int { return len(c.shards) * c.sets * c.cfg.Ways }
+
+// Shards returns the shard count after normalization.
+func (c *Cache[K, V]) Shards() int { return len(c.shards) }
+
+// Stats aggregates every shard's counters into one consistent-per-shard
+// snapshot (shards are locked one at a time, so cross-shard totals may
+// straddle concurrent operations).
+func (c *Cache[K, V]) Stats() Stats {
+	var out Stats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Close empties the cache — every entry is released and every set
+// association dissolved — so large cached values become collectable
+// immediately. The cache runs no background goroutines, so Close never
+// blocks; it is idempotent, and the Cache remains structurally usable
+// afterwards (a subsequent Set simply starts refilling it). Demand state
+// (saturating counters, shadow signatures) and statistics persist.
+func (c *Cache[K, V]) Close() {
+	c.closeMu.Lock()
+	defer c.closeMu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for s := range sh.sets {
+			set := &sh.sets[s]
+			for w := range set.entries {
+				set.entries[w] = entry[K, V]{}
+			}
+			set.pol.Reset()
+			set.role, set.partner, set.foreign = uncoupled, s, 0
+		}
+		sh.live = 0
+		sh.mu.Unlock()
+	}
+}
+
+func (c *Cache[K, V]) shardOf(h uint64) (*shard[K, V], int) {
+	i := int(h & uint64(len(c.shards)-1))
+	return &c.shards[i], i
+}
+
+func (c *Cache[K, V]) setOf(h uint64) int {
+	return int((h >> c.shardBits) & uint64(c.sets-1))
+}
+
+// sigOf computes the shadow signature from the tag bits (those not consumed
+// by shard or set selection).
+func (c *Cache[K, V]) sigOf(h uint64) uint32 {
+	return c.sig.Sum(h >> (c.shardBits + c.setBits))
+}
+
+// emit forwards a mechanism event (already carrying global set ids) to the
+// observer, serializing across shards. Callers guard on c.observer != nil;
+// the observer is immutable after construction, so the guard is race-free.
+func (c *Cache[K, V]) emit(e obs.Event) {
+	c.obsMu.Lock()
+	c.observer.Event(e)
+	c.obsMu.Unlock()
+}

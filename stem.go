@@ -13,7 +13,10 @@
 //   - the per-set capacity-demand profiler of the paper's §3.1;
 //   - the timing model (AMAT/CPI) and run harness;
 //   - one experiment runner per table and figure of the paper (Figure1,
-//     Figure2, Sweep, MainComparison, Table3).
+//     Figure2, Sweep, MainComparison, Table3);
+//   - a production-style concurrent key-value cache (Cache, NewCache) whose
+//     eviction engine is the paper's mechanism — the reproduction turned
+//     into a usable library.
 //
 // # Quickstart
 //
@@ -39,6 +42,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/stemcache"
 	"repro/internal/trace"
 	"repro/internal/tracefile"
 	"repro/internal/workloads"
@@ -375,6 +379,8 @@ type (
 	// Observer consumes mechanism events (couple, decouple, spill, receive,
 	// policy swap, shadow hit, class change) emitted by STEM and SBC.
 	Observer = obs.Observer
+	// ObserverFunc adapts a plain function to the Observer interface.
+	ObserverFunc = obs.ObserverFunc
 	// Event is one structured trace record (JSONL on disk).
 	Event = obs.Event
 	// EventType names a mechanism event.
@@ -421,4 +427,43 @@ func ReadEvents(r io.Reader) ([]Event, error) { return obs.ReadEvents(r) }
 // is set); it returns the running server, whose Close stops it.
 func ServeMetrics(addr string, reg *Registry, withPprof bool) (*MetricsServer, error) {
 	return obs.Serve(addr, reg, withPprof)
+}
+
+// In-process cache library (see internal/stemcache): the paper's mechanism
+// lifted out of the simulator into a concurrent, sharded, generic key-value
+// cache. Each shard is lock-striped; each set inside a shard carries the
+// SCDM (shadow signatures + SC_S/SC_T), duels LRU against BIP individually,
+// and spills victims to a coupled giver set under the paper's receiving
+// constraints. See the Example functions and the "stemcache" section of
+// README.md.
+type (
+	// Cache is the concurrent, sharded, STEM-managed in-memory KV cache.
+	Cache[K comparable, V any] = stemcache.Cache[K, V]
+	// CacheConfig parameterizes a Cache (capacity, shards, ways, TTL, the
+	// paper's Table 3 engine parameters, and observability sinks). The zero
+	// value is usable.
+	CacheConfig = stemcache.Config
+	// CacheStats aggregates a Cache's counters; comparable with ==.
+	CacheStats = stemcache.Stats
+)
+
+// NewCache builds a STEM-managed key-value cache for any comparable key
+// type. String and integer keys hash deterministically from cfg.Seed; other
+// key types use hash/maphash (deterministic within one process).
+func NewCache[K comparable, V any](cfg CacheConfig) *Cache[K, V] {
+	return stemcache.New[K, V](cfg)
+}
+
+// NewCacheWithHasher builds a Cache whose 64-bit key hash is supplied by
+// the caller; shard, set and shadow-signature selection all consume its
+// bits, so it must spread keys uniformly.
+func NewCacheWithHasher[K comparable, V any](cfg CacheConfig, hasher func(K) uint64) *Cache[K, V] {
+	return stemcache.NewWithHasher[K, V](cfg, hasher)
+}
+
+// NewShardedLRUCache builds the baseline the stemcache benchmarks compare
+// against: the same sharded structure with both STEM mechanisms disabled —
+// a plain lock-striped set-associative LRU cache.
+func NewShardedLRUCache[K comparable, V any](cfg CacheConfig) *Cache[K, V] {
+	return stemcache.NewShardedLRU[K, V](cfg)
 }
