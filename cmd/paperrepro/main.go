@@ -28,6 +28,22 @@ import (
 	"repro/internal/obs"
 )
 
+// now is the tool's injectable wall clock (nanoseconds). All simulation
+// results are seed-deterministic; the clock only times report sections, and
+// tests swap it for a fake to pin the printed durations.
+var now = func() int64 { return time.Now().UnixNano() } //lint:allow(determinism) tool boundary: wall-clock section timing only, never simulation state
+
+// sectionTimer returns the report's section helper: it prints the banner
+// for title and returns a closure that prints the elapsed wall time taken
+// from clock when the section finishes.
+func sectionTimer(out io.Writer, clock func() int64) func(title string) func() {
+	return func(title string) func() {
+		start := clock()
+		fmt.Fprintf(out, "==== %s ====\n", title)
+		return func() { fmt.Fprintf(out, "(%.1fs)\n\n", float64(clock()-start)/1e9) }
+	}
+}
+
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "scaled-down run for a fast end-to-end check")
@@ -102,11 +118,7 @@ func main() {
 	want := func(name string) bool {
 		return *only == "" || strings.EqualFold(*only, name)
 	}
-	section := func(title string) func() {
-		start := time.Now()
-		fmt.Fprintf(out, "==== %s ====\n", title)
-		return func() { fmt.Fprintf(out, "(%.1fs)\n\n", time.Since(start).Seconds()) }
-	}
+	section := sectionTimer(out, now)
 
 	if want("fig1") {
 		done := section("Figure 1: set-level capacity demand distributions")

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSectionTimerUsesInjectedClock(t *testing.T) {
+	var buf strings.Builder
+	tick := int64(0)
+	section := sectionTimer(&buf, func() int64 {
+		tick += 1_500_000_000 // each clock read advances 1.5s
+		return tick
+	})
+	done := section("Example section")
+	done()
+	got := buf.String()
+	want := "==== Example section ====\n(1.5s)\n\n"
+	if got != want {
+		t.Fatalf("sectionTimer output = %q, want %q", got, want)
+	}
+}

@@ -68,7 +68,10 @@ func ExampleRunWorkload() {
 
 // Quickstart for the key-value cache layer: a cache-aside Get/Set loop.
 func ExampleNewCache() {
-	c := stem.NewCache[string, string](stem.CacheConfig{Capacity: 1024, Seed: 1})
+	c, err := stem.NewCache[string, string](stem.CacheConfig{Capacity: 1024, Seed: 1})
+	if err != nil {
+		panic(err) // only an invalid CacheConfig errors; this one is static
+	}
 	defer c.Close()
 
 	if _, ok := c.Get("user:42"); !ok {
@@ -84,7 +87,7 @@ func ExampleNewCache() {
 // Shard count and geometry are configurable: shards bound lock contention
 // (and the spatial-coupling domain), ways set the per-set eviction pool.
 func ExampleNewCache_shards() {
-	c := stem.NewCache[int, int](stem.CacheConfig{
+	c, _ := stem.NewCache[int, int](stem.CacheConfig{
 		Capacity: 10_000, // rounded up to shards × sets × ways
 		Shards:   4,      // four independent mutexes
 		Ways:     16,     // 16 entries share one demand monitor
@@ -99,7 +102,7 @@ func ExampleNewCache_shards() {
 // Reading CacheStats: drive a scan larger than the cache and watch the
 // STEM engine's counters alongside the hit/miss totals.
 func ExampleCache_stats() {
-	c := stem.NewCache[int, int](stem.CacheConfig{Capacity: 512, Shards: 1, Seed: 3})
+	c, _ := stem.NewCache[int, int](stem.CacheConfig{Capacity: 512, Shards: 1, Seed: 3})
 	defer c.Close()
 	for pass := 0; pass < 40; pass++ {
 		for k := 0; k < 1024; k++ { // twice the capacity: LRU alone would thrash

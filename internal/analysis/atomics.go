@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomics enforces internal/obs's concurrency contract: metric cells are
+// read by the HTTP endpoint while the simulation mutates them, so every cell
+// must be manipulated exclusively through sync/atomic. The race detector
+// only catches a mixed access when a test happens to exercise both sides
+// concurrently; this analyzer rejects the mix at compile time.
+//
+// Three rules, derived from the obs package doc:
+//
+//  1. A field of a sync/atomic cell type (atomic.Uint64, ...) declared on an
+//     obs struct may only be used as a method-call receiver (x.v.Add(1)) or
+//     have its address taken — never copied, reassigned or compared.
+//  2. A plain field that is touched through the sync/atomic functions
+//     (atomic.AddUint64(&x.f, 1)) anywhere must never be read or written
+//     non-atomically anywhere else.
+//  3. Every exported pointer-receiver method on a metric cell type, or on a
+//     type that hands out cell pointers (Registry), must start with the
+//     documented nil-receiver guard — instrumented code holds possibly-nil
+//     metric pointers and relies on it.
+var Atomics = &Analyzer{
+	Name:      "atomics",
+	Doc:       "fields of internal/obs metric types must be accessed only through sync/atomic, and metric methods must keep the nil-receiver guarantee",
+	RunModule: runAtomics,
+}
+
+// isObsPackage matches the real internal/obs package and fixtures bound to
+// an .../internal/obs import path.
+func isObsPackage(path string) bool {
+	return path == "internal/obs" || strings.HasSuffix(path, "/internal/obs")
+}
+
+type atomicsState struct {
+	pass *ModulePass
+	// cellFields are atomic-typed (or array-of-atomic) fields of obs structs.
+	cellFields map[*types.Var]string // field -> "Type.field" label
+	// cellTypes are obs struct types with at least one cell field.
+	cellTypes map[*types.Named]bool
+	// providerTypes are obs types with a method returning a *cellType.
+	providerTypes map[*types.Named]bool
+	// atomicOps maps plain obs fields to one position where they are passed
+	// to a sync/atomic function.
+	atomicOps map[*types.Var]token.Pos
+	// atomicArgSites are the selector nodes appearing inside those calls,
+	// which are legal by definition.
+	atomicArgSites map[*ast.SelectorExpr]bool
+	// obsFields labels every field of every obs struct type.
+	obsFields map[*types.Var]string
+}
+
+func runAtomics(pass *ModulePass) {
+	st := &atomicsState{
+		pass:           pass,
+		cellFields:     map[*types.Var]string{},
+		cellTypes:      map[*types.Named]bool{},
+		providerTypes:  map[*types.Named]bool{},
+		atomicOps:      map[*types.Var]token.Pos{},
+		atomicArgSites: map[*ast.SelectorExpr]bool{},
+		obsFields:      map[*types.Var]string{},
+	}
+
+	for _, pkg := range pass.Packages {
+		if isObsPackage(pkg.Path) {
+			st.collectObsTypes(pkg)
+		}
+	}
+	if len(st.obsFields) == 0 {
+		return // no obs package in this load; nothing to check
+	}
+	for _, pkg := range pass.Packages {
+		st.collectAtomicOps(pkg)
+	}
+	for _, pkg := range pass.Packages {
+		st.checkAccesses(pkg)
+	}
+	for _, pkg := range pass.Packages {
+		if isObsPackage(pkg.Path) {
+			st.checkNilGuards(pkg)
+		}
+	}
+}
+
+// collectObsTypes inventories the obs package: struct fields, cell fields,
+// cell types and provider types.
+func (st *atomicsState) collectObsTypes(pkg *Package) {
+	scope := pkg.Types.Scope()
+	var cellNamed []*types.Named
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		strct, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < strct.NumFields(); i++ {
+			f := strct.Field(i)
+			label := named.Obj().Name() + "." + f.Name()
+			st.obsFields[f] = label
+			ft := f.Type()
+			if arr, ok := types.Unalias(ft).(*types.Array); ok {
+				ft = arr.Elem()
+			}
+			if isAtomicType(ft) {
+				st.cellFields[f] = label
+				st.cellTypes[named] = true
+			}
+		}
+		cellNamed = append(cellNamed, named)
+	}
+	// Providers: types with a method whose results include a pointer to a
+	// cell type.
+	for _, named := range cellNamed {
+		for i := 0; i < named.NumMethods(); i++ {
+			sig := named.Method(i).Type().(*types.Signature)
+			res := sig.Results()
+			for j := 0; j < res.Len(); j++ {
+				ptr, ok := types.Unalias(res.At(j).Type()).(*types.Pointer)
+				if !ok {
+					continue
+				}
+				if elem, ok := types.Unalias(ptr.Elem()).(*types.Named); ok && st.cellTypes[elem] {
+					st.providerTypes[named] = true
+				}
+			}
+		}
+	}
+}
+
+// isAtomicFnCall reports whether call invokes a package-level function of
+// sync/atomic.
+func isAtomicFnCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn := funcFor(info, sel.Sel)
+	return fn != nil && pkgPathOf(fn) == "sync/atomic" && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// fieldOf resolves a selector expression to the struct field it selects.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if f, ok := s.Obj().(*types.Var); ok {
+			return originVar(f)
+		}
+	}
+	return nil
+}
+
+// originVar maps an instantiated generic field back to its declaration.
+func originVar(v *types.Var) *types.Var { return v.Origin() }
+
+// collectAtomicOps records obs fields passed by address into sync/atomic
+// functions, and remembers those selector sites as legal.
+func (st *atomicsState) collectAtomicOps(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFnCall(pkg.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(pkg.Info, sel); fv != nil {
+					if _, isObs := st.obsFields[fv]; isObs {
+						st.atomicOps[fv] = call.Pos()
+						st.atomicArgSites[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkAccesses flags illegal touches of cell fields (rule 1) and mixed
+// plain/atomic access to ordinary fields (rule 2).
+func (st *atomicsState) checkAccesses(pkg *Package) {
+	for _, f := range pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldOf(pkg.Info, sel)
+			if fv == nil {
+				return true
+			}
+			if label, isCell := st.cellFields[fv]; isCell {
+				if !st.cellUseLegal(sel, parents) {
+					st.pass.Reportf(sel.Sel.Pos(),
+						"metric cell %s must be touched only through its atomic methods (or by address); copying or reassigning it races with concurrent readers", label)
+				}
+				return true
+			}
+			if _, atomically := st.atomicOps[fv]; atomically && !st.atomicArgSites[sel] {
+				st.pass.Reportf(sel.Sel.Pos(),
+					"non-atomic access to %s, which is updated through sync/atomic elsewhere; every access must go through sync/atomic", st.obsFields[fv])
+			}
+			return true
+		})
+	}
+}
+
+// cellUseLegal walks up from a cell-field selector deciding whether the use
+// is one of the sanctioned forms: receiver of a method call (possibly after
+// indexing into an array of cells), operand of &, or an index-only range.
+func (st *atomicsState) cellUseLegal(sel *ast.SelectorExpr, parents map[ast.Node]ast.Node) bool {
+	var n ast.Node = sel
+	for {
+		p := parents[n]
+		switch pp := p.(type) {
+		case *ast.IndexExpr:
+			if pp.X != n {
+				return false
+			}
+			n = pp
+		case *ast.ParenExpr:
+			n = pp
+		case *ast.SelectorExpr:
+			// x.cell.Method(...) — legal iff this selector is being called.
+			call, ok := parents[pp].(*ast.CallExpr)
+			return ok && call.Fun == pp
+		case *ast.UnaryExpr:
+			return pp.Op == token.AND
+		case *ast.RangeStmt:
+			// `for i := range x.cells` reads only the length.
+			return pp.X == n && pp.Value == nil
+		case *ast.CallExpr:
+			// len(x.cells) / cap(x.cells) read only the length.
+			if id, ok := pp.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {
+				return true
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}
+
+// checkNilGuards enforces rule 3 on the obs package itself.
+func (st *atomicsState) checkNilGuards(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			recv := sig.Recv()
+			if recv == nil {
+				continue
+			}
+			rt := recv.Type()
+			_, isPtr := types.Unalias(rt).(*types.Pointer)
+			named, _ := recvNamed(rt)
+			if named == nil || (!st.cellTypes[named] && !st.providerTypes[named]) {
+				continue
+			}
+			if !isPtr {
+				st.pass.Reportf(fd.Name.Pos(),
+					"method %s.%s copies its metric receiver by value; use a pointer receiver", named.Obj().Name(), fd.Name.Name)
+				continue
+			}
+			if !startsWithNilGuard(fd) {
+				st.pass.Reportf(fd.Name.Pos(),
+					"exported method %s.%s must begin with a nil-receiver guard: instrumented code holds nil metric pointers when observability is off", named.Obj().Name(), fd.Name.Name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement of fd is an if
+// whose condition compares the receiver against nil (possibly as part of a
+// larger boolean expression, as in `if h == nil || i < 0`).
+func startsWithNilGuard(fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false // anonymous receiver cannot be guarded
+	}
+	recvName := fd.Recv.List[0].Names[0].Name
+	if len(fd.Body.List) == 0 {
+		return false
+	}
+	ifs, ok := fd.Body.List[0].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recvName
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		if bin, ok := n.(*ast.BinaryExpr); ok && (bin.Op == token.EQL || bin.Op == token.NEQ) {
+			if (isRecv(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRecv(bin.Y)) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,218 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule materializes a throwaway module in a temp dir: files maps
+// module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module m\n\ngo 1.24\n"
+	for rel, content := range files {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoaderExpand(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go":             "package a\n",
+		"b/sub/s.go":         "package sub\n",
+		"b/sub/s_test.go":    "package sub\n", // test files never count
+		"testdata/x/x.go":    "package x\n",   // skipped like the go tool
+		"_attic/old.go":      "package old\n", // underscore dirs skipped
+		"c/README.md":        "no go files here\n",
+		"root.go":            "package m\n",
+		"a/deep/testonly.go": "package deep\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.Module() != "m" {
+		t.Fatalf("Module() = %q, want m", loader.Module())
+	}
+
+	paths, err := loader.Expand("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(paths)
+	want := []string{"m", "m/a", "m/a/deep", "m/b/sub"}
+	if strings.Join(paths, " ") != strings.Join(want, " ") {
+		t.Fatalf("Expand(./...) = %v, want %v", paths, want)
+	}
+
+	for pattern, want := range map[string]string{
+		".":       "m",
+		"./a":     "m/a",
+		"m/b/sub": "m/b/sub",
+	} {
+		got, err := loader.Expand(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != want {
+			t.Errorf("Expand(%q) = %v, want [%s]", pattern, got, want)
+		}
+	}
+}
+
+func TestLoadAndTypecheck(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"m/b\"\n\n// V re-exports b's value.\nvar V = b.V\n",
+		"b/b.go": "package b\n\n// V is a fixture value.\nvar V = 42\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Name != "a" || pkgs[0].Types == nil {
+		t.Fatalf("Load(m/a) = %+v", pkgs)
+	}
+
+	if _, err := loader.Load("m/missing"); err == nil {
+		t.Error("Load of a nonexistent package did not error")
+	}
+}
+
+func TestLoadReportsTypeErrors(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nvar V int = \"not an int\"\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load("m/a"); err == nil {
+		t.Fatal("Load of an ill-typed package did not error")
+	}
+}
+
+func TestSuppressionProblems(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": strings.Join([]string{
+			"package a",
+			"",
+			"func f() {",
+			"\t//lint:allow(determinism)", // missing reason
+			"\t_ = 1",
+			"\t//lint:allow(bogus) some reason", // unknown analyzer
+			"\t_ = 2",
+			"}",
+			"",
+		}, "\n"),
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset, pkgs, analysis.All())
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("diagnostic attributed to %q, want lint", d.Analyzer)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "missing a reason") {
+		t.Errorf("first message = %q, want missing-reason complaint", diags[0].Message)
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "bogus"`) {
+		t.Errorf("second message = %q, want unknown-analyzer complaint", diags[1].Message)
+	}
+}
+
+func TestWriteOutputs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"a/a.go": "package a\n\nimport \"time\"\n\n// T reads the clock.\nvar T = time.Now\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("m/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset, pkgs, analysis.All())
+	if len(diags) != 1 || diags[0].Analyzer != "determinism" {
+		t.Fatalf("diags = %+v, want one determinism finding", diags)
+	}
+
+	var text strings.Builder
+	analysis.WriteText(&text, diags, root)
+	if want := "a/a.go:6:14: [determinism]"; !strings.HasPrefix(text.String(), want) {
+		t.Errorf("WriteText = %q, want prefix %q", text.String(), want)
+	}
+
+	var jsonOut strings.Builder
+	if err := analysis.WriteJSON(&jsonOut, diags, root); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{`"analyzer": "determinism"`, `"file": "a/a.go"`, `"line": 6`} {
+		if !strings.Contains(jsonOut.String(), frag) {
+			t.Errorf("WriteJSON output missing %s:\n%s", frag, jsonOut.String())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"determinism", "atomics", "lockorder", "apidoc"} {
+		if a := analysis.ByName(name); a == nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v", name, a)
+		}
+	}
+	if a := analysis.ByName("nope"); a != nil {
+		t.Errorf("ByName(nope) = %v, want nil", a)
+	}
+}
+
+// TestRepoIsClean is the in-tree version of the CI gate: the full analyzer
+// suite over the real module must be silent.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module typecheck is slow; run without -short")
+	}
+	loader, err := analysis.NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(loader.Fset, pkgs, analysis.All())
+	if len(diags) != 0 {
+		var sb strings.Builder
+		analysis.WriteText(&sb, diags, loader.Root())
+		t.Errorf("the repository has %d unsuppressed findings:\n%s", len(diags), sb.String())
+	}
+}

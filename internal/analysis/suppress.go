@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRe matches the repository's suppression comment form:
+//
+//	//lint:allow(analyzer) reason
+//	//lint:allow(analyzer,other) reason
+var allowRe = regexp.MustCompile(`^//lint:allow\(([^)]*)\)\s*(.*)$`)
+
+// suppressions indexes //lint:allow comments: file → line → analyzer names
+// allowed on that line. A comment covers its own line and the line directly
+// below it, so both trailing and line-above placement work.
+type suppressions struct {
+	allowed map[string]map[int]map[string]bool
+	// problems are findings about the suppression comments themselves
+	// (missing reason, unknown analyzer), reported under the "lint" name.
+	problems []Diagnostic
+}
+
+// collectSuppressions scans every comment of every file. known is the set of
+// valid analyzer names; anything else in an allow list is reported.
+func collectSuppressions(fset *token.FileSet, pkgs []*Package, known map[string]bool) *suppressions {
+	s := &suppressions{allowed: map[string]map[int]map[string]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					s.scan(fset, c, known)
+				}
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) scan(fset *token.FileSet, c *ast.Comment, known map[string]bool) {
+	m := allowRe.FindStringSubmatch(c.Text)
+	if m == nil {
+		return
+	}
+	pos := fset.Position(c.Pos())
+	names := strings.Split(m[1], ",")
+	reason := strings.TrimSpace(m[2])
+	if reason == "" {
+		s.problems = append(s.problems, Diagnostic{
+			Analyzer: "lint",
+			Pos:      pos,
+			Message:  "suppression is missing a reason: write //lint:allow(analyzer) <why this is safe>",
+		})
+	}
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			s.problems = append(s.problems, Diagnostic{
+				Analyzer: "lint",
+				Pos:      pos,
+				Message:  fmt.Sprintf("suppression names unknown analyzer %q", name),
+			})
+			continue
+		}
+		file := s.allowed[pos.Filename]
+		if file == nil {
+			file = map[int]map[string]bool{}
+			s.allowed[pos.Filename] = file
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			set := file[line]
+			if set == nil {
+				set = map[string]bool{}
+				file[line] = set
+			}
+			set[name] = true
+		}
+	}
+}
+
+// allows reports whether a diagnostic from analyzer at pos is suppressed.
+func (s *suppressions) allows(analyzer string, pos token.Position) bool {
+	file := s.allowed[pos.Filename]
+	if file == nil {
+		return false
+	}
+	return file[pos.Line][analyzer]
+}

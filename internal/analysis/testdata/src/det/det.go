@@ -1,0 +1,62 @@
+// Package sim is the determinism-analyzer fixture. It is bound by the tests
+// to the import path fixture/internal/sim, which places it inside the
+// map-range scope (see determinismMapRangePkgs).
+package sim
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// wallClock trips the time.Now rule.
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+// allowedClock shows the sanctioned escape hatch at a tool boundary.
+func allowedClock() int64 {
+	//lint:allow(determinism) fixture: tool-boundary timing only
+	return time.Now().UnixNano()
+}
+
+// globalRand trips the global-source rule for both rand generations.
+func globalRand() int {
+	n := rand.Intn(10)
+	n += int(randv2.Uint64() % 3)
+	return n
+}
+
+// privateRand is legal: a seeded private source, methods not package funcs.
+func privateRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// foldMap trips the map-range rule: the accumulation order follows Go's
+// randomized map iteration order, so the float sum differs run to run.
+func foldMap(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// readMap is legal: nothing outside the loop is mutated.
+func readMap(m map[int]int) {
+	for k, v := range m {
+		local := k + v
+		_ = local
+	}
+}
+
+// collectKeys shows the sanctioned collect-then-sort suppression.
+func collectKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	//lint:allow(determinism) key collection is order-insensitive; callers sort
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

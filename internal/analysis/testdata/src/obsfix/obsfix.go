@@ -1,0 +1,70 @@
+// Package obs is the atomics-analyzer fixture. The tests bind it to the
+// import path fixture/internal/obs so the obs-package rules fire on it.
+package obs
+
+import "sync/atomic"
+
+// Counter is a metric cell: its field is an atomic and its methods must be
+// nil-receiver safe.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc is the sanctioned shape: pointer receiver, nil guard first.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value is missing the nil-receiver guard.
+func (c *Counter) Value() uint64 {
+	return c.v.Load()
+}
+
+// Snapshot has a value receiver, which copies the atomic cell.
+func (c Counter) Snapshot() uint64 {
+	return 0
+}
+
+// CopyCell copies a cell field out of its struct — an unsynchronized read.
+func CopyCell(c *Counter) atomic.Uint64 {
+	return c.v
+}
+
+// AddrCell takes the address, which is legal.
+func AddrCell(c *Counter) *atomic.Uint64 {
+	return &c.v
+}
+
+// Tracker mixes sync/atomic calls with plain access on the same field.
+type Tracker struct {
+	hits uint64
+}
+
+func bump(t *Tracker) {
+	atomic.AddUint64(&t.hits, 1)
+}
+
+func read(t *Tracker) uint64 {
+	return t.hits
+}
+
+// Registry hands out cell pointers, so it too must keep the nil contract.
+type Registry struct {
+	c Counter
+}
+
+// Counter is guarded, as required.
+func (r *Registry) Counter() *Counter {
+	if r == nil {
+		return nil
+	}
+	return &r.c
+}
+
+// Reset is exported but unguarded.
+func (r *Registry) Reset() {
+	r.c.v.Store(0)
+}

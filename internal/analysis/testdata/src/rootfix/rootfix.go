@@ -1,0 +1,43 @@
+// Package rootfix is the apidoc-analyzer fixture. The tests bind it to the
+// slash-free import path "rootfix", which the analyzer treats as the
+// module's public root package.
+package rootfix
+
+// Documented is the sanctioned form: a doc comment opening with the name.
+func Documented() {}
+
+func Undocumented() {}
+
+// This comment does not open with the symbol name.
+func Misnamed() {}
+
+// A Wrapper may start with an article.
+type Wrapper struct{}
+
+type Bare struct{}
+
+// String is documented, and methods on unexported receivers are exempt.
+func (w *Wrapper) String() string { return "" }
+
+func (w *Wrapper) Undoc() {}
+
+type hidden struct{}
+
+func (h hidden) Exported() {} // exempt: unexported receiver
+
+// Grouped constants may share one block comment.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+const (
+	LooseA = iota
+	// LooseB is individually documented.
+	LooseB
+)
+
+var Loose int
+
+// Deprecated: OldName has been replaced by Documented.
+func OldName() {}

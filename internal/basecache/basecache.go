@@ -59,9 +59,11 @@ type PolicyFactory func(set int, ways int, rng *sim.RNG) policy.Policy
 // or a nil factory.
 func New(name string, geom sim.Geometry, seed uint64, factory PolicyFactory) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("basecache: %v", err))
 	}
 	if factory == nil {
+		// invariant: every caller supplies a policy factory; nil is a harness bug.
 		panic("basecache: nil policy factory")
 	}
 	c := &Cache{name: name, geom: geom, sets: make([]cacheSet, geom.Sets)}
@@ -181,8 +183,9 @@ func (s *cacheSet) victimWay() int {
 	}
 	v := s.pol.Victim()
 	if v < 0 {
-		// A full set whose policy lost track of its ways indicates a scheme
-		// bug; fail loudly rather than corrupt state.
+		// invariant: a full set always has a victim; a policy that lost
+		// track of its ways is a scheme bug — fail loudly rather than
+		// corrupt state.
 		panic("basecache: full set but policy reports no victim")
 	}
 	return v

@@ -159,6 +159,7 @@ type Cache struct {
 // New constructs a STEM cache. It panics on invalid geometry.
 func New(geom sim.Geometry, cfg Config) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	cfg.applyDefaults()

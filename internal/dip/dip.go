@@ -59,6 +59,7 @@ type Cache struct {
 // New constructs a DIP cache. It panics on invalid geometry.
 func New(geom sim.Geometry, cfg Config) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("dip: %v", err))
 	}
 	if cfg.LeadersPerPolicy <= 0 {
@@ -68,6 +69,7 @@ func New(geom sim.Geometry, cfg Config) *Cache {
 		}
 	}
 	if 2*cfg.LeadersPerPolicy > geom.Sets {
+		// invariant: applyDefaults caps leader sets at Sets/64, so only an explicit bad config reaches here.
 		panic("dip: more leader sets than cache sets")
 	}
 	if cfg.PSELBits <= 0 {

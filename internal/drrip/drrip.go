@@ -47,6 +47,7 @@ type Cache struct {
 // New constructs a DRRIP cache. It panics on invalid geometry.
 func New(geom sim.Geometry, cfg Config) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("drrip: %v", err))
 	}
 	if cfg.LeadersPerPolicy <= 0 {
@@ -56,6 +57,7 @@ func New(geom sim.Geometry, cfg Config) *Cache {
 		}
 	}
 	if 2*cfg.LeadersPerPolicy > geom.Sets {
+		// invariant: applyDefaults caps leader sets at Sets/64, so only an explicit bad config reaches here.
 		panic("drrip: more leader sets than cache sets")
 	}
 	if cfg.PSELBits <= 0 {

@@ -121,7 +121,7 @@ func Figure2(seed uint64) []Fig2Row {
 		for _, scheme := range []string{"LRU", "DIP", "SBC", "STEM"} {
 			s, err := NewScheme(scheme, trace.Figure2Geometry, seed)
 			if err != nil {
-				panic(err) // static scheme list; unreachable
+				panic(err) // invariant: static scheme list; unreachable
 			}
 			gen := trace.Figure2(ex)
 			// Long warmup lets the adaptive schemes converge, then measure

@@ -34,6 +34,7 @@ type Hash struct {
 // It panics if bits is outside [1, MaxBits].
 func New(bits int, seed uint64) *Hash {
 	if bits < 1 || bits > MaxBits {
+		// invariant: signature widths are fixed small constants (paper Table 3); out-of-range bits is a config-plumbing bug.
 		panic("hashfn: bits out of range")
 	}
 	h := &Hash{bits: bits, mask: uint32(1<<uint(bits)) - 1}

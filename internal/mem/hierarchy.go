@@ -79,9 +79,11 @@ type Hierarchy struct {
 func NewHierarchy(l2 sim.Simulator, cfg HierarchyConfig) *Hierarchy {
 	cfg.applyDefaults()
 	if err := cfg.Timing.Validate(); err != nil {
+		// invariant: timing tables are static (paper Table 1) and validated here once.
 		panic(err)
 	}
 	if cfg.L1I.LineSize != l2.Geometry().LineSize || cfg.L1D.LineSize != l2.Geometry().LineSize {
+		// invariant: the harness derives both line sizes from one geometry, so they always agree.
 		panic(fmt.Sprintf("mem: L1 line sizes (%d/%d) must match L2 (%d)",
 			cfg.L1I.LineSize, cfg.L1D.LineSize, l2.Geometry().LineSize))
 	}

@@ -87,6 +87,7 @@ type Account struct {
 // NewAccount builds an accounting sink. It panics on invalid timing.
 func NewAccount(t Timing) *Account {
 	if err := t.Validate(); err != nil {
+		// invariant: timing tables are static (paper Table 1) and validated here once.
 		panic(err)
 	}
 	return &Account{t: t}

@@ -178,6 +178,7 @@ func lookup[T any](r *Registry, name string, make func() T) T {
 	if m, ok := r.metrics[name]; ok {
 		t, ok := m.(T)
 		if !ok {
+			// invariant: a metric name maps to one cell type for the life of the registry; re-registering under another type is caller corruption.
 			panic(fmt.Sprintf("obs: metric %q already registered with a different type (%T)", name, m))
 		}
 		return t
@@ -285,16 +286,27 @@ func (r *Registry) Snapshot() map[string]any {
 	return out
 }
 
-// WriteJSON writes the registry snapshot as indented JSON.
+// WriteJSON writes the registry snapshot as indented JSON ("null" for a nil
+// registry, mirroring Snapshot).
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "null\n")
+		return err
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r.Snapshot())
 }
 
 // ServeHTTP implements http.Handler, serving the registry as JSON — the
-// expvar-style live view behind the cmd tools' -metrics flag.
+// expvar-style live view behind the cmd tools' -metrics flag. A nil registry
+// serves "null", keeping the package's nil-receiver guarantee.
 func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	if r == nil {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = io.WriteString(w, "null\n")
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	_ = r.WriteJSON(w)
 }

@@ -28,6 +28,7 @@ const infinity = int(^uint(0) >> 1)
 // and ignored. It panics on invalid geometry.
 func Simulate(geom sim.Geometry, blocks []uint64) sim.Stats {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("opt: %v", err))
 	}
 
@@ -110,5 +111,6 @@ func (s *optSet) evictFarthest() {
 		}
 		// Stale heap entry (block re-referenced or already evicted): skip.
 	}
+	// invariant: an eviction is only requested for a full set, whose heap must hold at least one live entry.
 	panic("opt: eviction requested from an empty set")
 }

@@ -99,6 +99,7 @@ type Cache struct {
 // New constructs a PeLIFO cache. It panics on invalid geometry.
 func New(geom sim.Geometry, cfg Config) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("pelifo: %v", err))
 	}
 	if cfg.EpochFills <= 0 {
@@ -114,6 +115,7 @@ func New(geom sim.Geometry, cfg Config) *Cache {
 		}
 	}
 	if 2*cfg.LeadersPerPolicy > geom.Sets {
+		// invariant: applyDefaults caps leader sets at Sets/64, so only an explicit bad config reaches here.
 		panic("pelifo: more leader sets than cache sets")
 	}
 	if cfg.PSELBits <= 0 {
@@ -251,8 +253,8 @@ func (c *Cache) victimWay(idx int) int {
 			return w
 		}
 	}
-	// Positions are a permutation of 0..occ-1, so this is unreachable; keep
-	// a loud failure rather than silent corruption.
+	// invariant: positions are a permutation of 0..occ-1, so this is
+	// unreachable; keep a loud failure rather than silent corruption.
 	panic("pelifo: fill-stack positions corrupted")
 }
 

@@ -106,9 +106,11 @@ type Policy interface {
 // needs new state. It panics if ways <= 0 or rng is nil.
 func New(k Kind, ways int, rng *sim.RNG) Policy {
 	if ways <= 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: ways must be positive")
 	}
 	if rng == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: nil RNG")
 	}
 	switch k {
@@ -121,6 +123,7 @@ func New(k Kind, ways int, rng *sim.RNG) Policy {
 	case Random:
 		return newRandom(ways, rng)
 	default:
+		// invariant: Kind is a closed enum; an unknown value is memory corruption or a missed switch arm.
 		panic(fmt.Sprintf("policy: unknown kind %v", k))
 	}
 }
@@ -148,12 +151,15 @@ func SwapKind(p Policy, k Kind) bool {
 // reads the cache-wide PSEL counter. It panics on invalid arguments.
 func NewDual(ways int, rng *sim.RNG, choose func() Kind) Policy {
 	if ways <= 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: ways must be positive")
 	}
 	if rng == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: nil RNG")
 	}
 	if choose == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: nil chooser")
 	}
 	r := newRecency(Dual, ways, rng)

@@ -40,12 +40,15 @@ type rrip struct {
 // invalid arguments.
 func NewRRIP(kind Kind, ways int, rng *sim.RNG) Policy {
 	if kind != SRRIP && kind != BRRIP {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: NewRRIP needs SRRIP or BRRIP")
 	}
 	if ways <= 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: ways must be positive")
 	}
 	if rng == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: nil RNG")
 	}
 	return &rrip{kind: kind, rng: rng, rrpv: make([]int, ways), present: make([]bool, ways)}
@@ -56,6 +59,7 @@ func NewRRIP(kind Kind, ways int, rng *sim.RNG) Policy {
 func NewDualRRIP(ways int, rng *sim.RNG, choose func() Kind) Policy {
 	p := NewRRIP(SRRIP, ways, rng).(*rrip)
 	if choose == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("policy: nil chooser")
 	}
 	p.kind = Dual

@@ -61,12 +61,15 @@ func (p PeriodDist) Fraction(b int) float64 {
 // associativity horizon (the paper uses 32). It panics on invalid input.
 func NewDemand(geom sim.Geometry, period, maxWays int) *Demand {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("profile: %v", err))
 	}
 	if period <= 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("profile: period must be positive")
 	}
 	if maxWays <= 0 || maxWays%2 != 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("profile: maxWays must be positive and even")
 	}
 	d := &Demand{

@@ -1,0 +1,156 @@
+package selector
+
+import "testing"
+
+// drain pops every entry, asserting nondecreasing saturation, and returns
+// the pop order of set indices.
+func drain(t *testing.T, h *Heap) []int {
+	t.Helper()
+	var order []int
+	prev := -1 << 31
+	for {
+		set, sat, ok := h.PopMin()
+		if !ok {
+			break
+		}
+		if sat < prev {
+			t.Fatalf("pop order regressed: saturation %d after %d", sat, prev)
+		}
+		prev = sat
+		order = append(order, set)
+	}
+	return order
+}
+
+func TestDuplicateSaturationKeys(t *testing.T) {
+	h := New(4)
+	for set := 0; set < 4; set++ {
+		if ok, _ := h.Post(set, 7); !ok {
+			t.Fatalf("Post(%d, 7) rejected with free capacity", set)
+		}
+	}
+
+	// A full heap of ties rejects an equal-saturation offer: displacement
+	// requires strictly smaller saturation.
+	if ok, disp := h.Post(10, 7); ok || disp != -1 {
+		t.Fatalf("tied Post = (%v, %d), want rejected, -1", ok, disp)
+	}
+	if h.Contains(10) {
+		t.Fatal("rejected set is resident")
+	}
+
+	// A strictly smaller offer displaces exactly one of the tied residents.
+	ok, disp := h.Post(10, 6)
+	if !ok || disp < 0 || disp > 3 {
+		t.Fatalf("smaller Post = (%v, %d), want accepted and a displaced resident", ok, disp)
+	}
+	if h.Contains(disp) || !h.Contains(10) || h.Len() != 4 {
+		t.Fatalf("displacement bookkeeping wrong: Contains(%d)=%v Contains(10)=%v Len=%d",
+			disp, h.Contains(disp), h.Contains(10), h.Len())
+	}
+
+	// Every resident pops exactly once, ties in any order but never lost.
+	seen := map[int]bool{}
+	for _, set := range drain(t, h) {
+		if seen[set] {
+			t.Fatalf("set %d popped twice", set)
+		}
+		seen[set] = true
+	}
+	if len(seen) != 4 || !seen[10] {
+		t.Fatalf("drained %v, want 4 distinct sets including 10", seen)
+	}
+}
+
+func TestRekeyAmongTies(t *testing.T) {
+	h := New(4)
+	for set := 0; set < 4; set++ {
+		h.Post(set, 5)
+	}
+	// Re-keying a tied resident must update in place, not duplicate it.
+	if ok, disp := h.Post(2, 1); !ok || disp != -1 {
+		t.Fatalf("re-key Post = (%v, %d), want in-place accept", ok, disp)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("Len = %d after re-key, want 4", h.Len())
+	}
+	if set, sat, _ := h.PeekMin(); set != 2 || sat != 1 {
+		t.Fatalf("PeekMin = (%d, %d), want (2, 1)", set, sat)
+	}
+	// Re-key the minimum upward past its tied siblings.
+	if ok, _ := h.Post(2, 9); !ok {
+		t.Fatal("upward re-key rejected")
+	}
+	order := drain(t, h)
+	if order[len(order)-1] != 2 {
+		t.Fatalf("pop order %v, want 2 last after upward re-key", order)
+	}
+}
+
+func TestRemoveInteriorAndRoot(t *testing.T) {
+	h := New(8)
+	sats := []int{5, 3, 8, 1, 9, 2, 7, 4}
+	for set, sat := range sats {
+		h.Post(set, sat)
+	}
+
+	if h.Remove(99) {
+		t.Fatal("Remove of a non-resident set returned true")
+	}
+	// Remove the root (set 3, saturation 1), an interior node and the last
+	// leaf; the heap must stay consistent through all three shapes.
+	for _, set := range []int{3, 2, 7} {
+		if !h.Remove(set) {
+			t.Fatalf("Remove(%d) = false, want true", set)
+		}
+		if h.Contains(set) {
+			t.Fatalf("set %d still resident after Remove", set)
+		}
+		if h.Remove(set) {
+			t.Fatalf("second Remove(%d) returned true", set)
+		}
+	}
+	if h.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", h.Len())
+	}
+	order := drain(t, h)
+	want := []int{5, 1, 0, 6, 4} // saturations 2, 3, 5, 7, 9
+	for i, set := range want {
+		if order[i] != set {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRemoveWhileCoupledPattern mirrors how stemcache uses the heap during
+// coupling: the chosen giver is popped, the taker withdraws itself, and both
+// may be re-posted after decoupling. The heap must tolerate the full cycle.
+func TestRemoveWhileCoupledPattern(t *testing.T) {
+	h := New(4)
+	h.Post(1, 2) // giver candidate
+	h.Post(2, 6)
+	h.Post(3, 4)
+
+	giver, _, ok := h.PopMin()
+	if !ok || giver != 1 {
+		t.Fatalf("PopMin = (%d, ok=%v), want giver 1", giver, ok)
+	}
+	// The taker (set 2) withdraws itself on coupling, like tryCouple does.
+	if !h.Remove(2) {
+		t.Fatal("taker withdrawal failed")
+	}
+	// Removing the now-coupled giver again must be a no-op, not corruption.
+	if h.Remove(giver) {
+		t.Fatal("Remove of popped giver returned true")
+	}
+	// After decoupling both return; capacity and ordering still hold.
+	h.Post(1, 0)
+	h.Post(2, 9)
+	order := drain(t, h)
+	want := []int{1, 3, 2}
+	for i, set := range want {
+		if order[i] != set {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+}

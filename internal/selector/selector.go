@@ -25,6 +25,7 @@ type Heap struct {
 // capacity <= 0.
 func New(capacity int) *Heap {
 	if capacity <= 0 {
+		// invariant: SelectorSize is normalized to a positive default before any heap is built.
 		panic("selector: capacity must be positive")
 	}
 	return &Heap{cap: capacity, where: make(map[int]int, capacity)}

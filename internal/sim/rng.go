@@ -48,6 +48,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
+		// invariant: mirrors math/rand.Intn's contract; callers always pass set or way counts >= 1.
 		panic("sim: Intn with non-positive n")
 	}
 	return int(r.Uint64() % uint64(n))

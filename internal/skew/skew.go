@@ -41,6 +41,7 @@ type Cache struct {
 // set count exceeds the hash range.
 func New(geom sim.Geometry, seed uint64) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("skew: %v", err))
 	}
 	bits := 0
@@ -51,6 +52,7 @@ func New(geom sim.Geometry, seed uint64) *Cache {
 		bits = 1 // a 1-set cache still needs a 1-bit hash domain
 	}
 	if bits > hashfn.MaxBits {
+		// invariant: geometry validation bounds Sets well below 2^MaxBits.
 		panic("skew: too many sets for the hash range")
 	}
 	c := &Cache{

@@ -67,6 +67,7 @@ func (t *Table) Set(row, col string, v float64) {
 		}
 	}
 	if ci < 0 {
+		// invariant: column names are compile-time literals in the experiment tables.
 		panic(fmt.Sprintf("stats: unknown column %q", col))
 	}
 	vals, ok := t.data[row]
@@ -189,6 +190,7 @@ type Summary struct {
 // Summarize computes a Summary; it panics on an empty slice.
 func Summarize(vs []float64) Summary {
 	if len(vs) == 0 {
+		// invariant: every experiment summarizes at least one run; an empty slice is a harness bug.
 		panic("stats: Summarize of empty slice")
 	}
 	s := Summary{Min: vs[0], Max: vs[0]}

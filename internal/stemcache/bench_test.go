@@ -75,28 +75,28 @@ func runKV(b *testing.B, c *Cache[int, int], next func() int) {
 
 func BenchmarkStemCacheZipf(b *testing.B) {
 	r := sim.NewRNG(benchSeed)
-	runKV(b, New[int, int](benchConfig()), zipfStream(r))
+	runKV(b, mustNew[int, int](benchConfig()), zipfStream(r))
 }
 
 func BenchmarkStemCacheZipfLRUBaseline(b *testing.B) {
 	r := sim.NewRNG(benchSeed)
-	runKV(b, NewShardedLRU[int, int](benchConfig()), zipfStream(r))
+	runKV(b, mustLRU[int, int](benchConfig()), zipfStream(r))
 }
 
 func BenchmarkStemCacheScanMix(b *testing.B) {
 	r := sim.NewRNG(benchSeed)
-	runKV(b, New[int, int](benchConfig()), scanMixStream(r))
+	runKV(b, mustNew[int, int](benchConfig()), scanMixStream(r))
 }
 
 func BenchmarkStemCacheScanMixLRUBaseline(b *testing.B) {
 	r := sim.NewRNG(benchSeed)
-	runKV(b, NewShardedLRU[int, int](benchConfig()), scanMixStream(r))
+	runKV(b, mustLRU[int, int](benchConfig()), scanMixStream(r))
 }
 
 // BenchmarkStemCacheParallel measures lock-striped throughput: GOMAXPROCS
 // goroutines in a Zipfian cache-aside loop over one shared cache.
 func BenchmarkStemCacheParallel(b *testing.B) {
-	c := New[int, int](benchConfig())
+	c := mustNew[int, int](benchConfig())
 	b.ReportAllocs()
 	var id atomic.Uint64
 	b.RunParallel(func(pb *testing.PB) {

@@ -14,7 +14,7 @@ import (
 // lock-striping correctness test; the closing assertions check the
 // counters still reconcile.
 func TestConcurrentMixedOps(t *testing.T) {
-	c := New[int, int](Config{Capacity: 2048, Shards: 8, Ways: 4, Seed: 5})
+	c := mustNew[int, int](Config{Capacity: 2048, Shards: 8, Ways: 4, Seed: 5})
 	const (
 		workers = 8
 		opsEach = 20_000
@@ -72,7 +72,7 @@ func TestConcurrentMixedOps(t *testing.T) {
 // from many goroutines at once, so victim routing, spilling and the giver
 // heap all run under contention.
 func TestEvictionUnderContention(t *testing.T) {
-	c := New[int, int](Config{Capacity: 256, Shards: 4, Ways: 4, Seed: 11})
+	c := mustNew[int, int](Config{Capacity: 256, Shards: 4, Ways: 4, Seed: 11})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -107,7 +107,7 @@ func TestEvictionUnderContention(t *testing.T) {
 // TestConcurrentTTLExpiry advances a shared fake clock while readers and
 // writers race over expiring entries.
 func TestConcurrentTTLExpiry(t *testing.T) {
-	c := New[int, int](Config{Capacity: 1024, Shards: 4, Ways: 4, Seed: 13})
+	c := mustNew[int, int](Config{Capacity: 1024, Shards: 4, Ways: 4, Seed: 13})
 	var clock atomic.Int64
 	clock.Store(1)
 	c.now = func() int64 { return clock.Load() }
@@ -155,7 +155,7 @@ func TestConcurrentObserver(t *testing.T) {
 		events.Add(1)
 		inFlight.Add(-1)
 	})
-	c := New[int, int](Config{Capacity: 512, Shards: 4, Ways: 4, Seed: 17, Observer: obsFn})
+	c := mustNew[int, int](Config{Capacity: 512, Shards: 4, Ways: 4, Seed: 17, Observer: obsFn})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
@@ -181,7 +181,7 @@ func TestConcurrentObserver(t *testing.T) {
 // TestParallelSameKey pounds a single key from every goroutine — the
 // worst-case contention point for one shard lock.
 func TestParallelSameKey(t *testing.T) {
-	c := New[string, int](Config{Capacity: 64, Shards: 1, Seed: 19})
+	c := mustNew[string, int](Config{Capacity: 64, Shards: 1, Seed: 19})
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
@@ -205,7 +205,7 @@ func TestParallelSameKey(t *testing.T) {
 // TestConcurrentStatsAndLen reads aggregate views while writers run; run
 // under -race this validates the per-shard locking of Stats/Len.
 func TestConcurrentStatsAndLen(t *testing.T) {
-	c := New[int, int](Config{Capacity: 512, Shards: 4, Seed: 23})
+	c := mustNew[int, int](Config{Capacity: 512, Shards: 4, Seed: 23})
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)

@@ -1,0 +1,29 @@
+package stemcache
+
+// Test-only constructors that unwrap the (Cache, error) results: every
+// config in this package's tests is valid by construction, so an error is a
+// test bug worth an immediate panic.
+
+func mustNew[K comparable, V any](cfg Config) *Cache[K, V] {
+	c, err := New[K, V](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustWithHasher[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, V] {
+	c, err := NewWithHasher[K, V](cfg, hasher)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func mustLRU[K comparable, V any](cfg Config) *Cache[K, V] {
+	c, err := NewShardedLRU[K, V](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

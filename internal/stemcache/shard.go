@@ -277,6 +277,8 @@ func (c *Cache[K, V]) receive(sh *shard[K, V], shIdx, gidx int, v entry[K, V]) {
 	if way < 0 {
 		way = g.pol.Victim()
 		if way < 0 {
+			// invariant: a full set always has a victim — every policy's
+			// Victim returns a way once no free way exists.
 			panic("stemcache: full giver set but policy reports no victim")
 		}
 		gv := g.entries[way]

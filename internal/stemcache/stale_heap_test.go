@@ -1,0 +1,73 @@
+package stemcache
+
+import "testing"
+
+// TestTryCoupleRevalidatesStaleGivers drives the epoch-flip edge case: every
+// set posted to the giver heap stops being a giver (its SC_S saturates)
+// before any taker couples. tryCouple must re-validate each candidate
+// against the live monitor, drain the stale entries, and couple nobody.
+func TestTryCoupleRevalidatesStaleGivers(t *testing.T) {
+	c := mustNew[int, int](Config{Capacity: 64, Shards: 1, Ways: 4, Seed: 1})
+	sh := &c.shards[0]
+
+	// Post every set but 0 as an apparently attractive giver.
+	for idx := 1; idx < len(sh.sets); idx++ {
+		sh.heap.Post(idx, 0)
+	}
+	posted := sh.heap.Len()
+	if posted == 0 {
+		t.Fatal("no sets posted")
+	}
+
+	// The epoch flips: all of them saturate into takers at once.
+	for idx := 1; idx < len(sh.sets); idx++ {
+		sh.sets[idx].mon.ScS = c.cgeom.Max
+	}
+
+	c.tryCouple(sh, 0, 0)
+
+	for idx := range sh.sets {
+		if sh.sets[idx].role != uncoupled {
+			t.Fatalf("set %d coupled to a stale giver (role %d)", idx, sh.sets[idx].role)
+		}
+	}
+	if got := c.Stats().Couplings; got != 0 {
+		t.Fatalf("Couplings = %d, want 0", got)
+	}
+}
+
+// TestTryCoupleSkipsSelfAndCouplesLiveGiver: the taker's own heap entry must
+// be skipped, stale candidates drained, and the first live giver taken.
+func TestTryCoupleSkipsSelfAndCouplesLiveGiver(t *testing.T) {
+	c := mustNew[int, int](Config{Capacity: 64, Shards: 1, Ways: 4, Seed: 1})
+	sh := &c.shards[0]
+	if len(sh.sets) < 3 {
+		t.Fatalf("need at least 3 sets, have %d", len(sh.sets))
+	}
+
+	// Set 0 is the taker but is (stalely) in the heap as the best giver;
+	// set 1 is a stale giver; set 2 is live (ScS below the MSB).
+	sh.heap.Post(0, 0)
+	sh.heap.Post(1, 1)
+	sh.heap.Post(2, 2)
+	sh.sets[0].mon.ScS = c.cgeom.Max
+	sh.sets[1].mon.ScS = c.cgeom.Max
+	sh.sets[2].mon.ScS = 0
+
+	c.tryCouple(sh, 0, 0)
+
+	if sh.sets[0].role != taker || sh.sets[0].partner != 2 {
+		t.Fatalf("taker set 0: role %d partner %d, want taker coupled to 2",
+			sh.sets[0].role, sh.sets[0].partner)
+	}
+	if sh.sets[2].role != giver || sh.sets[2].partner != 0 {
+		t.Fatalf("giver set 2: role %d partner %d, want giver coupled to 0",
+			sh.sets[2].role, sh.sets[2].partner)
+	}
+	if sh.sets[1].role != uncoupled {
+		t.Fatalf("stale set 1 acquired role %d", sh.sets[1].role)
+	}
+	if got := c.Stats().Couplings; got != 1 {
+		t.Fatalf("Couplings = %d, want 1", got)
+	}
+}

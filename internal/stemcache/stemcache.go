@@ -39,6 +39,7 @@
 package stemcache
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -108,6 +109,33 @@ type Config struct {
 	Observer obs.Observer
 }
 
+// Validate reports the first problem that normalization cannot repair. A
+// zero field always validates (it selects the documented default); what is
+// rejected are values that would make the bit-slicing scheme or the STEM
+// engine nonsensical: negative sizes, counter or signature widths beyond
+// their hardware-meaningful ranges, or a negative TTL.
+func (c Config) Validate() error {
+	switch {
+	case c.Capacity < 0:
+		return fmt.Errorf("stemcache: Capacity must be >= 0, got %d", c.Capacity)
+	case c.Shards < 0:
+		return fmt.Errorf("stemcache: Shards must be >= 0, got %d", c.Shards)
+	case c.Ways < 0:
+		return fmt.Errorf("stemcache: Ways must be >= 0, got %d", c.Ways)
+	case c.DefaultTTL < 0:
+		return fmt.Errorf("stemcache: DefaultTTL must be >= 0, got %v", c.DefaultTTL)
+	case c.CounterBits < 0 || c.CounterBits > 32:
+		return fmt.Errorf("stemcache: CounterBits must be in [0, 32], got %d", c.CounterBits)
+	case c.SpatialShift < 0 || c.SpatialShift > 62:
+		return fmt.Errorf("stemcache: SpatialShift must be in [0, 62], got %d", c.SpatialShift)
+	case c.SignatureBits < 0 || c.SignatureBits > hashfn.MaxBits:
+		return fmt.Errorf("stemcache: SignatureBits must be in [0, %d], got %d", hashfn.MaxBits, c.SignatureBits)
+	case c.SelectorSize < 0:
+		return fmt.Errorf("stemcache: SelectorSize must be >= 0, got %d", c.SelectorSize)
+	}
+	return nil
+}
+
 func (c *Config) normalize() {
 	if c.Capacity <= 0 {
 		c.Capacity = 1 << 16
@@ -167,29 +195,36 @@ type Cache[K comparable, V any] struct {
 
 // New builds a cache for any comparable key type using the built-in hasher:
 // deterministic (seeded FNV/mix) for string and integer keys, hash/maphash
-// for everything else. See NewWithHasher to supply your own.
-func New[K comparable, V any](cfg Config) *Cache[K, V] {
+// for everything else. See NewWithHasher to supply your own. It returns an
+// error — never panics — when cfg fails Validate.
+func New[K comparable, V any](cfg Config) (*Cache[K, V], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg.normalize()
-	return newCache[K, V](cfg, defaultHasher[K](cfg.Seed))
+	return newCache[K, V](cfg, defaultHasher[K](cfg.Seed)), nil
 }
 
 // NewWithHasher builds a cache whose key hash is supplied by the caller.
 // The hash must be deterministic and spread keys uniformly over 64 bits —
-// shard, set and shadow-signature selection all consume its bits. It panics
-// on a nil hasher.
-func NewWithHasher[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, V] {
+// shard, set and shadow-signature selection all consume its bits. It returns
+// an error on a nil hasher or an invalid cfg.
+func NewWithHasher[K comparable, V any](cfg Config, hasher func(K) uint64) (*Cache[K, V], error) {
 	if hasher == nil {
-		panic("stemcache: nil hasher")
+		return nil, fmt.Errorf("stemcache: nil hasher")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	cfg.normalize()
-	return newCache[K, V](cfg, hasher)
+	return newCache[K, V](cfg, hasher), nil
 }
 
 // NewShardedLRU builds the baseline the benchmarks compare against: the
 // same sharded set-associative structure with both STEM mechanisms disabled,
 // i.e. a plain lock-striped LRU cache. Geometry fields of cfg are honored;
 // the STEM switches are forced off.
-func NewShardedLRU[K comparable, V any](cfg Config) *Cache[K, V] {
+func NewShardedLRU[K comparable, V any](cfg Config) (*Cache[K, V], error) {
 	cfg.DisableCoupling = true
 	cfg.DisableSwap = true
 	return New[K, V](cfg)
@@ -209,7 +244,9 @@ func newCache[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, 
 		sig:       hashfn.New(cfg.SignatureBits, cfg.Seed^0x5717),
 		met:       newMetrics(cfg.Metrics),
 		observer:  cfg.Observer,
-		now:       func() int64 { return time.Now().UnixNano() },
+		// The wall clock only decides TTL expiry, never eviction order, so
+		// Stats stay seed-deterministic; tests swap c.now for a fake clock.
+		now: func() int64 { return time.Now().UnixNano() }, //lint:allow(determinism) TTL expiry boundary; eviction decisions never read this clock
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -338,6 +375,8 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 		}
 		way = s.pol.Victim()
 		if way < 0 {
+			// invariant: a full set always has a victim — every policy's
+			// Victim returns a way once no free way exists.
 			panic("stemcache: full set but policy reports no victim")
 		}
 		victim := s.entries[way]

@@ -11,7 +11,7 @@ import (
 // small returns a deliberately tiny cache so tests exercise eviction.
 func small(t *testing.T, cfg Config) *Cache[string, int] {
 	t.Helper()
-	return New[string, int](cfg)
+	return mustNew[string, int](cfg)
 }
 
 func TestGetSetDelete(t *testing.T) {
@@ -47,7 +47,7 @@ func TestGetSetDelete(t *testing.T) {
 }
 
 func TestZeroConfigDefaults(t *testing.T) {
-	c := New[int, int](Config{})
+	c := mustNew[int, int](Config{})
 	defer c.Close()
 	if c.Capacity() < 1<<16 {
 		t.Fatalf("default capacity %d < 65536", c.Capacity())
@@ -64,7 +64,7 @@ func TestZeroConfigDefaults(t *testing.T) {
 func TestCapacityNormalization(t *testing.T) {
 	// 1000 entries over 3 shards: shards round to 4, sets to a power of
 	// two, and the result must cover the request.
-	c := New[int, int](Config{Capacity: 1000, Shards: 3, Ways: 8})
+	c := mustNew[int, int](Config{Capacity: 1000, Shards: 3, Ways: 8})
 	if c.Shards() != 4 {
 		t.Fatalf("shards = %d, want 4", c.Shards())
 	}
@@ -74,7 +74,7 @@ func TestCapacityNormalization(t *testing.T) {
 }
 
 func TestEvictionBoundsResidency(t *testing.T) {
-	c := New[int, int](Config{Capacity: 128, Shards: 2, Ways: 4, Seed: 3})
+	c := mustNew[int, int](Config{Capacity: 128, Shards: 2, Ways: 4, Seed: 3})
 	for i := 0; i < 10_000; i++ {
 		c.Set(i, i)
 	}
@@ -93,7 +93,7 @@ func TestEvictionBoundsResidency(t *testing.T) {
 }
 
 func TestTTLLazyExpiry(t *testing.T) {
-	c := New[string, int](Config{Capacity: 256, Shards: 1, Seed: 1})
+	c := mustNew[string, int](Config{Capacity: 256, Shards: 1, Seed: 1})
 	clock := int64(1)
 	c.now = func() int64 { return clock }
 
@@ -125,7 +125,7 @@ func TestTTLLazyExpiry(t *testing.T) {
 }
 
 func TestDefaultTTLApplied(t *testing.T) {
-	c := New[string, int](Config{Capacity: 64, Shards: 1, DefaultTTL: time.Minute, Seed: 1})
+	c := mustNew[string, int](Config{Capacity: 64, Shards: 1, DefaultTTL: time.Minute, Seed: 1})
 	clock := int64(1)
 	c.now = func() int64 { return clock }
 	c.Set("k", 1)
@@ -140,7 +140,7 @@ func TestDefaultTTLApplied(t *testing.T) {
 // cache instances and, for string/int keys, across processes.
 func TestDeterministicStats(t *testing.T) {
 	run := func() (Stats, int) {
-		c := New[int, string](Config{Capacity: 1024, Shards: 4, Ways: 4, Seed: 42})
+		c := mustNew[int, string](Config{Capacity: 1024, Shards: 4, Ways: 4, Seed: 42})
 		for i := 0; i < 50_000; i++ {
 			k := (i * 7) % 3000
 			if _, ok := c.Get(k); !ok {
@@ -181,8 +181,8 @@ func TestStemBeatsShardedLRUOnScanMix(t *testing.T) {
 		}
 		return c.Stats().HitRate()
 	}
-	stem := hitRate(New[int, int](cfg))
-	lru := hitRate(NewShardedLRU[int, int](cfg))
+	stem := hitRate(mustNew[int, int](cfg))
+	lru := hitRate(mustLRU[int, int](cfg))
 	t.Logf("scan-mix hit rate: STEM %.3f vs sharded-LRU %.3f", stem, lru)
 	if stem <= lru {
 		t.Fatalf("STEM hit rate %.3f not above sharded-LRU %.3f on scan mix", stem, lru)
@@ -193,7 +193,7 @@ func TestStemBeatsShardedLRUOnScanMix(t *testing.T) {
 }
 
 func TestPolicySwapsAndSpillsHappen(t *testing.T) {
-	c := New[int, int](Config{Capacity: 1024, Shards: 1, Ways: 8, Seed: 9})
+	c := mustNew[int, int](Config{Capacity: 1024, Shards: 1, Ways: 8, Seed: 9})
 	// Skewed stream: a handful of hot keys plus a scan. Some sets become
 	// takers, some givers; scan sets swap to BIP.
 	for pass := 0; pass < 20; pass++ {
@@ -220,7 +220,7 @@ func TestPolicySwapsAndSpillsHappen(t *testing.T) {
 }
 
 func TestShardedLRUDisablesMechanisms(t *testing.T) {
-	c := NewShardedLRU[int, int](Config{Capacity: 512, Shards: 2, Ways: 4, Seed: 1})
+	c := mustLRU[int, int](Config{Capacity: 512, Shards: 2, Ways: 4, Seed: 1})
 	for pass := 0; pass < 10; pass++ {
 		for k := 0; k < 2000; k++ {
 			if _, ok := c.Get(k); !ok {
@@ -241,7 +241,7 @@ func TestShardedLRUDisablesMechanisms(t *testing.T) {
 
 func TestMetricsRegistryWiring(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := New[int, int](Config{Capacity: 256, Shards: 2, Ways: 4, Seed: 1, Metrics: reg})
+	c := mustNew[int, int](Config{Capacity: 256, Shards: 2, Ways: 4, Seed: 1, Metrics: reg})
 	for i := 0; i < 2000; i++ {
 		if _, ok := c.Get(i % 600); !ok {
 			c.Set(i%600, i)
@@ -266,7 +266,7 @@ func TestMetricsRegistryWiring(t *testing.T) {
 
 func TestObserverEventStream(t *testing.T) {
 	var events []obs.Event
-	c := New[int, int](Config{
+	c := mustNew[int, int](Config{
 		Capacity: 512, Shards: 2, Ways: 4, Seed: 3,
 		Observer: obs.ObserverFunc(func(e obs.Event) { events = append(events, e) }),
 	})
@@ -302,7 +302,7 @@ func TestObserverEventStream(t *testing.T) {
 func TestCustomHasher(t *testing.T) {
 	// A pathological single-bucket hasher must still be correct (every key
 	// lands in one set and fights for Ways slots).
-	c := NewWithHasher[int, int](Config{Capacity: 64, Shards: 1, Ways: 4}, func(int) uint64 { return 0 })
+	c := mustWithHasher[int, int](Config{Capacity: 64, Shards: 1, Ways: 4}, func(int) uint64 { return 0 })
 	for i := 0; i < 100; i++ {
 		c.Set(i, i)
 	}
@@ -320,17 +320,42 @@ func TestCustomHasher(t *testing.T) {
 	}
 }
 
-func TestNilHasherPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewWithHasher(nil) did not panic")
+func TestNilHasherError(t *testing.T) {
+	c, err := NewWithHasher[int, int](Config{}, nil)
+	if err == nil || c != nil {
+		t.Fatalf("NewWithHasher(nil) = %v, %v; want nil cache and an error", c, err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Capacity: -1},
+		{Shards: -2},
+		{Ways: -1},
+		{DefaultTTL: -time.Second},
+		{CounterBits: 33},
+		{SpatialShift: 63},
+		{SignatureBits: 40},
+		{SelectorSize: -1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad[%d] (%+v): Validate() = nil, want error", i, cfg)
 		}
-	}()
-	NewWithHasher[int, int](Config{}, nil)
+		if c, err := New[int, int](cfg); err == nil || c != nil {
+			t.Errorf("bad[%d]: New = %v, %v; want nil cache and an error", i, c, err)
+		}
+	}
+	// The zero value and explicit defaults must validate.
+	for i, cfg := range []Config{{}, {Capacity: 1 << 16, Shards: 16, Ways: 8, CounterBits: 4, SpatialShift: 3, SignatureBits: 10, SelectorSize: 16}} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("good[%d]: Validate() = %v, want nil", i, err)
+		}
+	}
 }
 
 func TestCloseReleasesEntries(t *testing.T) {
-	c := New[string, string](Config{Capacity: 128, Shards: 2, Seed: 1})
+	c := mustNew[string, string](Config{Capacity: 128, Shards: 2, Seed: 1})
 	for i := 0; i < 100; i++ {
 		c.Set(fmt.Sprint(i), "v")
 	}
@@ -351,7 +376,7 @@ func TestCloseReleasesEntries(t *testing.T) {
 func TestStringKeysAcrossTypes(t *testing.T) {
 	// The maphash fallback path: struct keys.
 	type point struct{ X, Y int }
-	c := New[point, string](Config{Capacity: 128, Shards: 2})
+	c := mustNew[point, string](Config{Capacity: 128, Shards: 2})
 	c.Set(point{1, 2}, "a")
 	c.Set(point{3, 4}, "b")
 	if v, ok := c.Get(point{1, 2}); !ok || v != "a" {

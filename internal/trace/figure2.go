@@ -30,6 +30,7 @@ func Figure2(example int) *Fixed {
 	case 3:
 		ws1 = 5
 	default:
+		// invariant: the paper defines exactly examples 1-3; callers iterate that fixed range.
 		panic(fmt.Sprintf("trace: Figure2 example %d out of range 1-3", example))
 	}
 	const ws0 = 6
@@ -56,6 +57,7 @@ func Figure2Expected(example int) (lru, dip, sbc float64) {
 	case 3:
 		return 1, 1.0/4 + 1.0/5, 1
 	default:
+		// invariant: the paper defines exactly examples 1-3; callers iterate that fixed range.
 		panic(fmt.Sprintf("trace: Figure2Expected example %d out of range 1-3", example))
 	}
 }

@@ -220,6 +220,7 @@ func (s *setState) nextTag() uint64 {
 		s.pos++
 		return t
 	default:
+		// invariant: pattern kinds form a closed enum covered by this switch.
 		panic("trace: unreachable pattern kind")
 	}
 }

@@ -80,9 +80,11 @@ type Gen struct {
 // leader sets or track low-saturation sets). It panics on invalid input.
 func NewGen(w Workload, geom sim.Geometry, seed uint64) *Gen {
 	if err := w.Validate(); err != nil {
+		// invariant: workloads are validated where they are defined (the experiment tables).
 		panic(err)
 	}
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("trace: %v", err))
 	}
 	g := &Gen{
@@ -173,6 +175,7 @@ type Fixed struct {
 // NewFixed wraps a sequence. It panics on an empty sequence.
 func NewFixed(refs []Ref) *Fixed {
 	if len(refs) == 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("trace: empty fixed sequence")
 	}
 	return &Fixed{refs: append([]Ref(nil), refs...)}
@@ -212,12 +215,15 @@ type CPULevel struct {
 // is the number of CPU accesses per block (>= 1). It panics on bad input.
 func NewCPULevel(gen Generator, lineSize, repeats int) *CPULevel {
 	if gen == nil {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("trace: nil generator")
 	}
 	if lineSize <= 0 || lineSize&(lineSize-1) != 0 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("trace: lineSize must be a positive power of two")
 	}
 	if repeats < 1 {
+		// invariant: documented precondition of this internal constructor; the experiment harness and tests always satisfy it.
 		panic("trace: repeats must be >= 1")
 	}
 	return &CPULevel{gen: gen, lineSize: lineSize, repeats: repeats}

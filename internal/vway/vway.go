@@ -64,6 +64,7 @@ type Cache struct {
 // New constructs a V-Way cache. It panics on invalid geometry or config.
 func New(geom sim.Geometry, cfg Config) *Cache {
 	if err := geom.Validate(); err != nil {
+		// invariant: geometry comes from the experiment harness, which validates it before constructing schemes.
 		panic(fmt.Sprintf("vway: %v", err))
 	}
 	if cfg.TagToDataRatio <= 0 {

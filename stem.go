@@ -300,8 +300,8 @@ func NewCPULevel(gen Generator, lineSize, repeats int) *CPULevel {
 // sets; that gap is the paper's spatial headroom).
 func OPTMisses(geom Geometry, blocks []uint64) Stats { return opt.Simulate(geom, blocks) }
 
-// Ablation types: variants of the STEM design with individual mechanisms
-// disabled or parameters swept (extends the paper's §5.3).
+// AblationVariant is one variant of the STEM design with an individual
+// mechanism disabled or a parameter swept (extends the paper's §5.3).
 type AblationVariant = experiments.AblationVariant
 
 // ComponentVariants isolates STEM's mechanisms (full, spatial-only,
@@ -449,21 +449,24 @@ type (
 
 // NewCache builds a STEM-managed key-value cache for any comparable key
 // type. String and integer keys hash deterministically from cfg.Seed; other
-// key types use hash/maphash (deterministic within one process).
-func NewCache[K comparable, V any](cfg CacheConfig) *Cache[K, V] {
+// key types use hash/maphash (deterministic within one process). It never
+// panics: an invalid cfg (see CacheConfig.Validate) is reported as an error.
+func NewCache[K comparable, V any](cfg CacheConfig) (*Cache[K, V], error) {
 	return stemcache.New[K, V](cfg)
 }
 
 // NewCacheWithHasher builds a Cache whose 64-bit key hash is supplied by
 // the caller; shard, set and shadow-signature selection all consume its
-// bits, so it must spread keys uniformly.
-func NewCacheWithHasher[K comparable, V any](cfg CacheConfig, hasher func(K) uint64) *Cache[K, V] {
+// bits, so it must spread keys uniformly. A nil hasher or an invalid cfg is
+// reported as an error, never a panic.
+func NewCacheWithHasher[K comparable, V any](cfg CacheConfig, hasher func(K) uint64) (*Cache[K, V], error) {
 	return stemcache.NewWithHasher[K, V](cfg, hasher)
 }
 
 // NewShardedLRUCache builds the baseline the stemcache benchmarks compare
 // against: the same sharded structure with both STEM mechanisms disabled —
-// a plain lock-striped set-associative LRU cache.
-func NewShardedLRUCache[K comparable, V any](cfg CacheConfig) *Cache[K, V] {
+// a plain lock-striped set-associative LRU cache. An invalid cfg is
+// reported as an error, never a panic.
+func NewShardedLRUCache[K comparable, V any](cfg CacheConfig) (*Cache[K, V], error) {
 	return stemcache.NewShardedLRU[K, V](cfg)
 }
