@@ -1,0 +1,285 @@
+// Command stemload is a closed-loop load generator for stemd: N workers run
+// a cache-aside loop (GET, on miss SET) against a server, drawing keys from
+// one of the deterministic serving distributions in internal/workloads, and
+// report throughput, client latency percentiles, and hit rates.
+//
+// Two modes:
+//
+//   - With -addr, stemload drives an existing server and reports its
+//     numbers.
+//   - Without -addr, stemload self-hosts the comparison the STEM paper is
+//     about: it starts two in-process servers over the same geometry — one
+//     STEM-managed, one the sharded-LRU baseline — drives both with
+//     byte-identical key streams, and reports hit rates side by side. On the
+//     "mixed" (zipf+scan) distribution the STEM engine's set-level BIP
+//     dueling should win.
+//
+// Usage:
+//
+//	stemload                              # self-hosted STEM vs LRU, mixed keys
+//	stemload -dist scan -ops 500000
+//	stemload -addr :7070 -conns 16
+//	stemload -json BENCH_serving.json     # machine-readable trajectory point
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stemcache"
+	"repro/internal/workloads"
+)
+
+// wallClock is the package's single wall-clock read: stemload measures real
+// elapsed time and latency.
+var wallClock = time.Now //lint:allow(determinism) a load generator measures wall time by definition; nothing seed-deterministic reads this
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "server to drive; empty self-hosts a STEM vs sharded-LRU comparison")
+		dist      = flag.String("dist", "mixed", "key distribution: zipf, scan, or mixed")
+		ops       = flag.Int("ops", 400_000, "total operations per engine")
+		conns     = flag.Int("conns", 4, "concurrent closed-loop workers (one connection each)")
+		capacity  = flag.Int("capacity", 1<<13, "cache capacity in entries (self-hosted servers; also scales the keyspace)")
+		valueSize = flag.Int("value-size", 128, "value payload bytes")
+		seed      = flag.Uint64("seed", 0x57E4, "key stream seed (worker w draws from seed+w)")
+		jsonPath  = flag.String("json", "", `write results as JSON to this file ("-" for stdout)`)
+	)
+	flag.Parse()
+
+	if err := run(*addr, loadConfig{
+		Dist: *dist, Ops: *ops, Conns: *conns, Capacity: *capacity,
+		ValueSize: *valueSize, Seed: *seed,
+	}, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "stemload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig shapes one engine's load run.
+type loadConfig struct {
+	Dist      string `json:"dist"`
+	Ops       int    `json:"ops"`
+	Conns     int    `json:"conns"`
+	Capacity  int    `json:"capacity"`
+	ValueSize int    `json:"value_size"`
+	Seed      uint64 `json:"seed"`
+}
+
+// result is one engine's measured outcome — the BENCH_*.json trajectory
+// point schema.
+type result struct {
+	Engine        string  `json:"engine"`
+	Seconds       float64 `json:"seconds"`
+	OpsPerSec     float64 `json:"ops_per_sec"`
+	LatP50Micros  float64 `json:"lat_p50_us"`
+	LatP90Micros  float64 `json:"lat_p90_us"`
+	LatP99Micros  float64 `json:"lat_p99_us"`
+	ClientHitRate float64 `json:"client_hit_rate"`
+	// ServerHitRate is the cache's own Gets-hit fraction from STATS — the
+	// number the STEM-vs-LRU comparison is about.
+	ServerHitRate float64 `json:"server_hit_rate"`
+	// Server is the full server-side STATS document (cache mechanism
+	// counters included), for trajectory archaeology.
+	Server server.StatsSnapshot `json:"server"`
+}
+
+// report is the overall JSON document.
+type report struct {
+	Bench   string     `json:"bench"`
+	Config  loadConfig `json:"config"`
+	Results []result   `json:"results"`
+}
+
+func run(addr string, cfg loadConfig, jsonPath string) error {
+	if cfg.Ops <= 0 || cfg.Conns <= 0 {
+		return fmt.Errorf("need positive -ops and -conns")
+	}
+	var results []result
+	if addr != "" {
+		res, err := drive("remote", addr, cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	} else {
+		// Self-hosted comparison: identical geometry, identical key streams,
+		// driven sequentially so the engines never contend for the machine.
+		for _, eng := range []string{"stem", "lru"} {
+			res, err := selfHost(eng, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", eng, err)
+			}
+			results = append(results, res)
+		}
+	}
+
+	for _, r := range results {
+		fmt.Printf("engine        %s\n", r.Engine)
+		fmt.Printf("ops           %d in %.2fs  (%.0f ops/s, %d workers, %s keys)\n",
+			cfg.Ops, r.Seconds, r.OpsPerSec, cfg.Conns, cfg.Dist)
+		fmt.Printf("latency       p50 %.1fus  p90 %.1fus  p99 %.1fus\n",
+			r.LatP50Micros, r.LatP90Micros, r.LatP99Micros)
+		fmt.Printf("hit rate      %.4f client  %.4f server\n", r.ClientHitRate, r.ServerHitRate)
+		if c := r.Server.Cache; c.Spills > 0 || c.PolicySwaps > 0 {
+			fmt.Printf("mechanisms    %d spills  %d policy swaps  %d shadow hits\n",
+				c.Spills, c.PolicySwaps, c.ShadowHits)
+		}
+		fmt.Println()
+	}
+	if len(results) == 2 {
+		d := results[0].ServerHitRate - results[1].ServerHitRate
+		fmt.Printf("STEM - LRU server hit rate: %+.4f\n", d)
+	}
+
+	if jsonPath != "" {
+		doc := report{Bench: "stemload", Config: cfg, Results: results}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(b)
+			return err
+		}
+		return os.WriteFile(jsonPath, b, 0o644)
+	}
+	return nil
+}
+
+// selfHost runs one engine in-process and drives it over loopback.
+func selfHost(engine string, cfg loadConfig) (result, error) {
+	ccfg := stemcache.Config{Capacity: cfg.Capacity, Seed: cfg.Seed}
+	var cache *stemcache.Cache[string, []byte]
+	var err error
+	if engine == "lru" {
+		cache, err = stemcache.NewShardedLRU[string, []byte](ccfg)
+	} else {
+		cache, err = stemcache.New[string, []byte](ccfg)
+	}
+	if err != nil {
+		return result{}, err
+	}
+	defer cache.Close()
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		return result{}, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return result{}, err
+	}
+	defer srv.Close()
+	return drive(engine, srv.Addr(), cfg)
+}
+
+// drive runs the closed-loop workers against addr and gathers the result.
+func drive(engine, addr string, cfg loadConfig) (result, error) {
+	cl, err := client.New(client.Config{Addr: addr, PoolSize: cfg.Conns})
+	if err != nil {
+		return result{}, err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return result{}, fmt.Errorf("server unreachable at %s: %w", addr, err)
+	}
+
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	perWorker := cfg.Ops / cfg.Conns
+	type workerOut struct {
+		lats []float64 // microseconds per GET
+		hits int
+		err  error
+	}
+	outs := make([]workerOut, cfg.Conns)
+	var wg sync.WaitGroup
+	start := wallClock()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := &outs[w]
+			next, err := workloads.NewWorkerKeyStream(cfg.Dist, cfg.Capacity, cfg.Seed+uint64(w), w, cfg.Conns)
+			if err != nil {
+				out.err = err
+				return
+			}
+			out.lats = make([]float64, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				k := next()
+				t0 := wallClock()
+				_, found, err := cl.Get(k)
+				out.lats = append(out.lats, float64(wallClock().Sub(t0))/1e3)
+				if err != nil {
+					out.err = err
+					return
+				}
+				if found {
+					out.hits++
+				} else if err := cl.Set(k, value); err != nil {
+					out.err = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := wallClock().Sub(start).Seconds()
+
+	var lats []float64
+	hits, gets := 0, 0
+	for w := range outs {
+		if outs[w].err != nil {
+			return result{}, outs[w].err
+		}
+		lats = append(lats, outs[w].lats...)
+		hits += outs[w].hits
+		gets += len(outs[w].lats)
+	}
+	sort.Float64s(lats)
+
+	raw, err := cl.Stats()
+	if err != nil {
+		return result{}, err
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return result{}, fmt.Errorf("STATS payload: %w", err)
+	}
+
+	res := result{
+		Engine:        engine,
+		Seconds:       elapsed,
+		OpsPerSec:     float64(gets) / elapsed,
+		LatP50Micros:  percentile(lats, 0.50),
+		LatP90Micros:  percentile(lats, 0.90),
+		LatP99Micros:  percentile(lats, 0.99),
+		ClientHitRate: float64(hits) / float64(max(gets, 1)),
+		ServerHitRate: snap.HitRate,
+		Server:        snap,
+	}
+	return res, nil
+}
+
+// percentile reads the p-quantile from sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

@@ -22,6 +22,7 @@ var fixtureCases = []struct {
 	{name: "det", path: "fixture/internal/sim"},
 	{name: "obsfix", path: "fixture/internal/obs"},
 	{name: "cachefix", path: "fixture/internal/stemcache"},
+	{name: "serverfix", path: "fixture/internal/server"},
 	{name: "rootfix", path: "rootfix"},
 }
 
@@ -81,10 +82,11 @@ func TestAnalyzersGolden(t *testing.T) {
 // -update.
 func TestFixturesAreDirty(t *testing.T) {
 	targets := map[string]string{
-		"det":      "determinism",
-		"obsfix":   "atomics",
-		"cachefix": "lockorder",
-		"rootfix":  "apidoc",
+		"det":       "determinism",
+		"obsfix":    "atomics",
+		"cachefix":  "lockorder",
+		"serverfix": "lockorder",
+		"rootfix":   "apidoc",
 	}
 	loader := newFixtureLoader(t)
 	for _, c := range fixtureCases {

@@ -7,13 +7,15 @@ import (
 	"strings"
 )
 
-// LockOrder enforces the locking discipline of internal/stemcache and the
-// repository-wide panic convention:
+// LockOrder enforces the locking discipline of the concurrent packages and
+// the repository-wide panic convention:
 //
-//   - Lock hierarchy: stemcache's mutexes form a strict order — Cache.closeMu
-//     before shard.mu before Cache.obsMu. Acquiring against that order (or
-//     acquiring the same lock twice) deadlocks, but only under a schedule the
-//     race detector may never see; the analyzer rejects it structurally.
+//   - Lock hierarchy: each concurrent package's mutexes form a strict order —
+//     stemcache's Cache.closeMu before shard.mu before Cache.obsMu, and the
+//     network server's Server.mu before conn.mu (see lockRankFor). Acquiring
+//     against that order (or acquiring the same lock twice) deadlocks, but
+//     only under a schedule the race detector may never see; the analyzer
+//     rejects it structurally.
 //   - No re-entrant acquisition through calls: a function holding a mutex
 //     must not call (transitively) into a function that acquires the same
 //     mutex. sync.Mutex is not re-entrant, so this self-deadlocks at runtime.
@@ -26,7 +28,7 @@ import (
 //     preceding line. Misuse of public APIs must return errors instead.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "enforce stemcache's closeMu→shard.mu→obsMu lock hierarchy, no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
+	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→shard.mu→obsMu, server's Server.mu→conn.mu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
 	Run:  runLockOrder,
 }
 
@@ -58,6 +60,34 @@ func isStemcachePackage(path string) bool {
 	return path == "internal/stemcache" || strings.HasSuffix(path, "/internal/stemcache")
 }
 
+// serverLockRank is the sanctioned acquisition order inside internal/server:
+// Server.mu (the connection registry and lifecycle state) before conn.mu (a
+// single connection's drain/close flags). Neither may be held while calling
+// into the cache, whose own hierarchy sits below both.
+var serverLockRank = map[lockKey]int{
+	{typ: "Server", field: "mu"}: 0,
+	{typ: "conn", field: "mu"}:   1,
+}
+
+// isServerPackage matches the real package and bound fixtures.
+func isServerPackage(path string) bool {
+	return path == "internal/server" || strings.HasSuffix(path, "/internal/server")
+}
+
+// lockRankFor selects the package's sanctioned lock hierarchy; a nil map
+// means the package has no ranked locks and only the universal checks
+// (re-entrancy, defer-in-loop, panic documentation) apply. The order string
+// names the hierarchy in findings.
+func lockRankFor(path string) (map[lockKey]int, string) {
+	switch {
+	case isStemcachePackage(path):
+		return stemcacheLockRank, "closeMu → shard.mu → obsMu"
+	case isServerPackage(path):
+		return serverLockRank, "Server.mu → conn.mu"
+	}
+	return nil, ""
+}
+
 // lockEvent is one entry of a function's linearized lock trace.
 type lockEvent struct {
 	kind   int // 0 lock, 1 unlock, 2 deferred unlock, 3 call
@@ -83,7 +113,8 @@ type funcInfo struct {
 
 func runLockOrder(pass *Pass) {
 	pkg := pass.Pkg
-	checkLocks := isStemcachePackage(pkg.Path)
+	rank, order := lockRankFor(pkg.Path)
+	checkLocks := rank != nil
 
 	var funcs []*funcInfo
 	byObj := map[*types.Func]*funcInfo{}
@@ -144,14 +175,14 @@ func runLockOrder(pass *Pass) {
 	}
 
 	for _, fi := range funcs {
-		checkLockTrace(pass, fi, byObj)
+		checkLockTrace(pass, fi, byObj, rank, order)
 	}
 }
 
 // checkLockTrace replays a function's linearized lock events against the
-// hierarchy: re-entrant acquisition (directly or through a call) and
-// order-violating acquisition are reported.
-func checkLockTrace(pass *Pass, fi *funcInfo, byObj map[*types.Func]*funcInfo) {
+// package's hierarchy: re-entrant acquisition (directly or through a call)
+// and order-violating acquisition are reported.
+func checkLockTrace(pass *Pass, fi *funcInfo, byObj map[*types.Func]*funcInfo, rank map[lockKey]int, order string) {
 	held := map[lockKey]int{}
 	maxHeldRank := func() (int, lockKey, bool) {
 		best, bestKey, ok := -1, lockKey{}, false
@@ -159,7 +190,7 @@ func checkLockTrace(pass *Pass, fi *funcInfo, byObj map[*types.Func]*funcInfo) {
 			if n <= 0 {
 				continue
 			}
-			if r, ranked := stemcacheLockRank[k]; ranked && r > best {
+			if r, ranked := rank[k]; ranked && r > best {
 				best, bestKey, ok = r, k, true
 			}
 		}
@@ -170,9 +201,9 @@ func checkLockTrace(pass *Pass, fi *funcInfo, byObj map[*types.Func]*funcInfo) {
 		case evLock:
 			if held[ev.key] > 0 {
 				pass.Reportf(ev.pos, "re-entrant acquisition of %s: sync mutexes are not recursive, this self-deadlocks", ev.key)
-			} else if r, ranked := stemcacheLockRank[ev.key]; ranked {
+			} else if r, ranked := rank[ev.key]; ranked {
 				if maxRank, heldKey, any := maxHeldRank(); any && maxRank >= r {
-					pass.Reportf(ev.pos, "acquiring %s while holding %s violates the lock order (closeMu → shard.mu → obsMu)", ev.key, heldKey)
+					pass.Reportf(ev.pos, "acquiring %s while holding %s violates the lock order (%s)", ev.key, heldKey, order)
 				}
 			}
 			held[ev.key]++
@@ -190,7 +221,7 @@ func checkLockTrace(pass *Pass, fi *funcInfo, byObj map[*types.Func]*funcInfo) {
 			for k := range callee.acquires {
 				if held[k] > 0 {
 					pass.Reportf(ev.pos, "call to %s may re-acquire %s, which is held here", ev.callee.Name(), k)
-				} else if r, ranked := stemcacheLockRank[k]; ranked {
+				} else if r, ranked := rank[k]; ranked {
 					if maxRank, heldKey, any := maxHeldRank(); any && maxRank > r {
 						pass.Reportf(ev.pos, "call to %s acquires %s against the lock order while %s is held", ev.callee.Name(), k, heldKey)
 					}

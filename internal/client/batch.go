@@ -1,0 +1,112 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Batch accumulates operations and sends them as one pipelined round trip.
+// Not safe for concurrent use (a batch belongs to one goroutine); the
+// Client it came from remains safe to share.
+//
+//	b := cl.NewBatch()
+//	b.Set("a", []byte("1"))
+//	b.Get("a")
+//	res, err := b.Do()       // one write, one flush, responses in order
+//	val, found := res[1].Get()
+type Batch struct {
+	c    *Client
+	reqs []*wire.Request
+}
+
+// NewBatch starts an empty batch.
+func (c *Client) NewBatch() *Batch {
+	return &Batch{c: c}
+}
+
+// Len reports queued operations.
+func (b *Batch) Len() int { return len(b.reqs) }
+
+// Reset empties the batch for reuse.
+func (b *Batch) Reset() { b.reqs = b.reqs[:0] }
+
+// Ping queues a liveness check.
+func (b *Batch) Ping() { b.add(&wire.Request{Op: wire.OpPing}) }
+
+// Get queues a lookup.
+func (b *Batch) Get(key string) { b.add(&wire.Request{Op: wire.OpGet, Key: key}) }
+
+// Set queues a store with the server's default TTL.
+func (b *Batch) Set(key string, value []byte) {
+	b.add(&wire.Request{Op: wire.OpSet, Key: key, Value: value})
+}
+
+// SetTTL queues a store with an explicit TTL.
+func (b *Batch) SetTTL(key string, value []byte, ttl time.Duration) {
+	b.add(&wire.Request{Op: wire.OpSetTTL, Key: key, Value: value, TTL: ttl})
+}
+
+// SetNX queues a store-if-absent.
+func (b *Batch) SetNX(key string, value []byte) {
+	b.add(&wire.Request{Op: wire.OpSet, Flags: wire.FlagNX, Key: key, Value: value})
+}
+
+// Del queues a removal.
+func (b *Batch) Del(key string) { b.add(&wire.Request{Op: wire.OpDel, Key: key}) }
+
+// MGet queues a multi-key lookup (one frame inside the batch).
+func (b *Batch) MGet(keys ...string) { b.add(&wire.Request{Op: wire.OpMGet, Keys: keys}) }
+
+// MSet queues a multi-pair store (one frame inside the batch).
+func (b *Batch) MSet(pairs ...wire.KV) { b.add(&wire.Request{Op: wire.OpMSet, Pairs: pairs}) }
+
+func (b *Batch) add(req *wire.Request) { b.reqs = append(b.reqs, req) }
+
+// Result is one operation's outcome within a batch.
+type Result struct {
+	resp *wire.Response
+}
+
+// Status returns the raw wire status.
+func (r Result) Status() wire.Status { return r.resp.Status }
+
+// Err surfaces a StatusErr response; nil otherwise.
+func (r Result) Err() error {
+	if r.resp.Status == wire.StatusErr {
+		return &ServerError{Op: r.resp.Op, Msg: string(r.resp.Value)}
+	}
+	return nil
+}
+
+// Get unwraps a queued Get's answer.
+func (r Result) Get() (value []byte, found bool) {
+	return r.resp.Value, r.resp.Status == wire.StatusOK
+}
+
+// Found unwraps a queued Del's answer (or any status-only operation).
+func (r Result) Found() bool { return r.resp.Status == wire.StatusOK }
+
+// Values unwraps a queued MGet's answer.
+func (r Result) Values() (values [][]byte, found []bool) {
+	return r.resp.Values, r.resp.Found
+}
+
+// Do sends the batch as one pipelined round trip and returns per-operation
+// results in queue order. The whole batch retries together on transient
+// errors (same at-least-once caveat as single operations). The batch is
+// left populated; Reset clears it for reuse.
+func (b *Batch) Do() ([]Result, error) {
+	if len(b.reqs) == 0 {
+		return nil, nil
+	}
+	resps, err := b.c.do(b.reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(resps))
+	for i, resp := range resps {
+		out[i] = Result{resp: resp}
+	}
+	return out, nil
+}

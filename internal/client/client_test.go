@@ -1,0 +1,321 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeServer is a minimal in-test wire server: it answers every request
+// with a scripted handler, on plain net primitives (no dependency on
+// internal/server, so this package's tests stay a pure client exercise).
+type fakeServer struct {
+	t  *testing.T
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns int
+}
+
+func newFakeServer(t *testing.T, handler func(req *wire.Request) *wire.Response) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeServer{t: t, ln: ln}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			fs.mu.Lock()
+			fs.conns++
+			fs.mu.Unlock()
+			go func() {
+				defer nc.Close()
+				var rbuf []byte
+				for {
+					req, b, err := wire.ReadRequest(nc, rbuf, wire.Limits{})
+					rbuf = b
+					if err != nil {
+						return
+					}
+					resp := handler(req)
+					if resp == nil {
+						return // scripted hangup mid-conversation
+					}
+					resp.ID = req.ID
+					out, err := wire.AppendResponse(nil, resp, wire.Limits{})
+					if err != nil {
+						return
+					}
+					if _, err := nc.Write(out); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return fs
+}
+
+func (fs *fakeServer) connCount() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.conns
+}
+
+func okHandler(req *wire.Request) *wire.Response {
+	return &wire.Response{Op: req.Op, Status: wire.StatusOK}
+}
+
+func TestClientRetriesTransientHangup(t *testing.T) {
+	var mu sync.Mutex
+	drops := 2 // hang up on the first two requests, then behave
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		if drops > 0 {
+			drops--
+			return nil
+		}
+		return okHandler(req)
+	})
+
+	cl, err := New(Config{Addr: fs.ln.Addr().String(), Retries: 2, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping should have healed on retry: %v", err)
+	}
+	// One connection per failed attempt plus the winning one.
+	if got := fs.connCount(); got != 3 {
+		t.Fatalf("saw %d connections, want 3 (two dropped + one healthy)", got)
+	}
+}
+
+func TestClientExhaustsRetries(t *testing.T) {
+	fs := newFakeServer(t, func(*wire.Request) *wire.Response { return nil })
+
+	cl, err := New(Config{Addr: fs.ln.Addr().String(), Retries: 1, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Ping()
+	if err == nil {
+		t.Fatal("ping succeeded against a server that always hangs up")
+	}
+	if fs.connCount() != 2 {
+		t.Fatalf("saw %d connections, want 2 (Retries=1 → 2 attempts)", fs.connCount())
+	}
+}
+
+func TestClientDialFailureIsRetriedThenReported(t *testing.T) {
+	// A listener we close immediately: the port is (almost certainly) dead.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cl, err := New(Config{Addr: addr, Retries: 1, Backoff: time.Millisecond, DialTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err == nil {
+		t.Fatal("ping succeeded against a dead address")
+	}
+}
+
+func TestClientDoesNotRetryServerError(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return &wire.Response{Op: req.Op, Status: wire.StatusErr, Value: []byte("boom")}
+	})
+
+	cl, err := New(Config{Addr: fs.ln.Addr().String(), Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	err = cl.Ping()
+	var se *ServerError
+	if !errors.As(err, &se) || se.Msg != "boom" {
+		t.Fatalf("want ServerError(boom), got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("server error was retried: %d calls", calls)
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	fs := newFakeServer(t, okHandler)
+	cl, err := New(Config{Addr: fs.ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := cl.Ping(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("op after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestClientPoolReuse(t *testing.T) {
+	fs := newFakeServer(t, okHandler)
+	cl, err := New(Config{Addr: fs.ln.Addr().String(), PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 20; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.connCount(); got != 1 {
+		t.Fatalf("sequential ops dialed %d connections, want 1 pooled", got)
+	}
+}
+
+func TestClientConcurrentOps(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		resp := okHandler(req)
+		if req.Op == wire.OpGet {
+			resp.Value = []byte(req.Key)
+		}
+		return resp
+	})
+	cl, err := New(Config{Addr: fs.ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("w%d-%d", w, i)
+				v, found, err := cl.Get(k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !found || string(v) != k {
+					errs <- fmt.Errorf("Get(%q) = (%q, %v)", k, v, found)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestClientRejectsMismatchedResponse(t *testing.T) {
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		// Echo the wrong opcode: the client must refuse to pair it.
+		return &wire.Response{Op: wire.OpStats, Status: wire.StatusOK}
+	})
+	cl, err := New(Config{Addr: fs.ln.Addr().String(), Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ping(); !errors.Is(err, wire.ErrFrame) {
+		t.Fatalf("mismatched response accepted: %v", err)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{&net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{wire.ErrFrame, false},
+		{fmt.Errorf("read: %w", wire.ErrFrame), false},
+		{&ServerError{Op: wire.OpGet, Msg: "x"}, false},
+		{ErrClosed, false},
+		{errors.New("mystery"), false},
+	}
+	for _, tc := range cases {
+		if got := transient(tc.err); got != tc.want {
+			t.Errorf("transient(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestBatchQueueAndReset(t *testing.T) {
+	fs := newFakeServer(t, okHandler)
+	cl, err := New(Config{Addr: fs.ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	b := cl.NewBatch()
+	if res, err := b.Do(); err != nil || res != nil {
+		t.Fatalf("empty batch Do = (%v, %v), want (nil, nil)", res, err)
+	}
+	b.Ping()
+	b.Set("k", []byte("v"))
+	b.Get("k")
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+	res, err := b.Do()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Err() != nil || r.Status() != wire.StatusOK {
+			t.Fatalf("result %d: status %v err %v", i, r.Status(), r.Err())
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// pollInterval is how long one blocking wait for a frame's first byte lasts
+// before the handler re-checks drain state and idle budget.
+const pollInterval = 250 * time.Millisecond
+
+// conn is one served connection. All I/O happens on its handler goroutine;
+// mu guards only the drain/close flags, which Close's goroutine flips.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	// mu guards the fields below. Rank: below Server.mu (the server locks
+	// conn.mu while holding nothing, or after releasing its own mu).
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv: s,
+		nc:  nc,
+		br:  bufio.NewReaderSize(nc, 32<<10),
+		bw:  bufio.NewWriterSize(nc, 32<<10),
+	}
+}
+
+// startDrain asks the handler to stop after the requests it has already
+// read: the flag makes the read loop exit at the next frame boundary, and
+// the past read deadline wakes a read that is already blocked.
+func (c *conn) startDrain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.nc.SetReadDeadline(aLongTimeAgo)
+}
+
+func (c *conn) isDraining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// forceClose cuts the connection; used when the drain grace expires.
+func (c *conn) forceClose() {
+	c.mu.Lock()
+	closed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if !closed {
+		c.nc.Close()
+	}
+}
+
+// serve is the connection's request loop: wait for a frame, read it fully,
+// execute, queue the response, and flush once no further pipelined input is
+// already buffered.
+func (c *conn) serve() {
+	defer c.finish()
+	var (
+		rbuf []byte // frame read buffer, reused across requests
+		wbuf []byte // response build buffer, reused across flushes
+		req  wire.Request
+		resp wire.Response
+		idle time.Duration // consecutive first-byte waits with no traffic
+	)
+	for {
+		if c.isDraining() {
+			return
+		}
+		ok, fatal := c.awaitFrame(&idle)
+		if fatal {
+			return
+		}
+		if !ok {
+			continue // poll tick: re-check drain/idle
+		}
+
+		// First byte present: the whole frame must land within ReadTimeout.
+		c.nc.SetReadDeadline(wallClock().Add(c.srv.cfg.ReadTimeout))
+		var rq *wire.Request
+		var err error
+		rq, rbuf, err = wire.ReadRequest(c.br, rbuf, c.srv.lim)
+		if err != nil {
+			c.readFailed(err)
+			return
+		}
+		req = *rq
+		idle = 0
+
+		c.srv.handle(&req, &resp)
+		wbuf = wbuf[:0]
+		wbuf, err = wire.AppendResponse(wbuf, &resp, c.srv.lim)
+		if err != nil {
+			// Response exceeds wire limits (e.g. a cached value larger than
+			// the reply cap): degrade to an in-protocol error.
+			resp = wire.Response{Op: resp.Op, ID: resp.ID, Status: wire.StatusErr, Value: []byte(err.Error())}
+			if wbuf, err = wire.AppendResponse(wbuf[:0], &resp, c.srv.lim); err != nil {
+				return
+			}
+		}
+		if _, err := c.bw.Write(wbuf); err != nil {
+			c.srv.met.ioErrors.Inc()
+			return
+		}
+		// Pipelining: only flush when the reader holds no queued frame, so
+		// a burst of requests costs one syscall-sized write, not N.
+		if c.br.Buffered() == 0 {
+			c.nc.SetWriteDeadline(wallClock().Add(c.srv.cfg.WriteTimeout))
+			if err := c.bw.Flush(); err != nil {
+				c.srv.met.ioErrors.Inc()
+				return
+			}
+		}
+	}
+}
+
+// awaitFrame blocks up to one poll interval for a frame's first byte.
+// ok means a byte is buffered; fatal means the connection is done (EOF,
+// error, idle budget exhausted). Neither means a poll tick elapsed.
+func (c *conn) awaitFrame(idle *time.Duration) (ok, fatal bool) {
+	c.nc.SetReadDeadline(wallClock().Add(pollInterval))
+	if _, err := c.br.Peek(1); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			*idle += pollInterval
+			if it := c.srv.cfg.IdleTimeout; it > 0 && *idle >= it {
+				return false, true
+			}
+			return false, false
+		}
+		if err != io.EOF {
+			c.srv.met.ioErrors.Inc()
+		}
+		return false, true
+	}
+	return true, false
+}
+
+// readFailed classifies a mid-frame read error: a malformed frame earns a
+// best-effort in-protocol error before the close; everything else (client
+// hangup, drain wake-up) just closes.
+func (c *conn) readFailed(err error) {
+	if errors.Is(err, wire.ErrFrame) {
+		c.srv.protoErrors.Add(1)
+		c.srv.met.protoErrors.Inc()
+		resp := wire.Response{Op: wire.OpPing, Status: wire.StatusErr, Value: []byte(err.Error())}
+		if b, aerr := wire.AppendResponse(nil, &resp, c.srv.lim); aerr == nil {
+			c.nc.SetWriteDeadline(wallClock().Add(c.srv.cfg.WriteTimeout))
+			c.bw.Write(b)
+		}
+		return
+	}
+	if err != io.EOF && !c.isDraining() {
+		c.srv.met.ioErrors.Inc()
+	}
+}
+
+// finish flushes whatever responses are still buffered (the drain
+// guarantee: requests that were read get their responses) and closes.
+func (c *conn) finish() {
+	c.mu.Lock()
+	closed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	c.nc.SetWriteDeadline(wallClock().Add(c.srv.cfg.WriteTimeout))
+	c.bw.Flush()
+	c.nc.Close()
+}

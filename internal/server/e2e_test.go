@@ -1,0 +1,106 @@
+package server_test
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stemcache"
+	"repro/internal/workloads"
+)
+
+// TestStemBeatsShardedLRUOverTheWire is the serving-path analog of the
+// stemcache package's benchmark claim: on the scan-mix stream (Zipfian hot
+// set + sequential sweep at 2x capacity) the STEM engine's set-level dueling
+// and spilling must not lose to the sharded-LRU baseline — measured end to
+// end through stemd's wire protocol, not in-process.
+//
+// The load is one deterministic key stream driven by one goroutine in
+// batched cache-aside loops, so both servers see byte-identical op
+// sequences and the hit rates are exactly reproducible.
+func TestStemBeatsShardedLRUOverTheWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-thousand-op comparison")
+	}
+	const (
+		capacity = 1 << 13
+		ops      = 300_000
+		batch    = 512
+		seed     = 42
+	)
+
+	hitRate := func(lru bool) float64 {
+		ccfg := stemcache.Config{Capacity: capacity, Seed: seed}
+		var cache *stemcache.Cache[string, []byte]
+		var err error
+		if lru {
+			cache, err = stemcache.NewShardedLRU[string, []byte](ccfg)
+		} else {
+			cache, err = stemcache.New[string, []byte](ccfg)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cache.Close()
+		srv, err := server.New(cache, server.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+
+		cl, err := client.New(client.Config{Addr: srv.Addr()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		next, err := workloads.NewKeyStream("mixed", capacity, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		value := []byte("service-payload")
+		b := cl.NewBatch()
+		keys := make([]string, 0, batch)
+		for done := 0; done < ops; done += batch {
+			n := min(batch, ops-done)
+			b.Reset()
+			keys = keys[:0]
+			for i := 0; i < n; i++ {
+				k := next()
+				keys = append(keys, k)
+				b.Get(k)
+			}
+			res, err := b.Do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Reset()
+			for i, r := range res {
+				if _, found := r.Get(); !found {
+					b.Set(keys[i], value)
+				}
+			}
+			if b.Len() > 0 {
+				if _, err := b.Do(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		st := cache.Stats()
+		if st.Gets != ops {
+			t.Fatalf("server saw %d gets, want %d", st.Gets, ops)
+		}
+		return st.HitRate()
+	}
+
+	stem := hitRate(false)
+	lru := hitRate(true)
+	t.Logf("scan-mix over the wire: STEM %.4f vs sharded-LRU %.4f (delta %+.4f)", stem, lru, stem-lru)
+	if stem < lru {
+		t.Fatalf("STEM hit rate %.4f below sharded-LRU baseline %.4f on scan-mix", stem, lru)
+	}
+}

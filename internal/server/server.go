@@ -1,0 +1,429 @@
+// Package server exposes a stemcache over TCP, speaking the internal/wire
+// protocol: the STEM paper's capacity manager (set-level SCDM dueling plus
+// taker→giver spilling) becomes the eviction engine of a networked cache
+// service.
+//
+// The design is one goroutine per connection over a shared
+// stemcache.Cache[string, []byte] — the cache's lock striping does the
+// cross-connection coordination, the server adds none of its own on the hot
+// path. Each connection reads length-prefixed request frames through a
+// buffered reader, executes them against the cache, and writes responses
+// through a buffered writer that is flushed only when no further pipelined
+// input is already buffered — so a client that streams N requests gets its
+// N responses in large writes instead of N small ones.
+//
+// Capacity and lifecycle:
+//
+//   - A max-connections gate applies backpressure at accept time: when
+//     MaxConns handlers are live the accept loop blocks (the listen backlog
+//     queues or rejects newcomers) instead of accepting and degrading.
+//   - Connection deadlines bound reads and writes; an idle connection is
+//     closed after IdleTimeout. Deadlines only ever tick while the server
+//     waits for a frame's first byte, so a slow frame body gets
+//     ReadTimeout, never a mid-frame poll timeout.
+//   - Close drains gracefully: the listener closes, blocked reads are woken,
+//     requests already received finish and their responses are flushed, and
+//     only then do connections close. Close is idempotent and safe to call
+//     concurrently with handlers.
+//
+// The package has two lock classes, ranked Server.mu before conn.mu (the
+// stemlint lockorder analyzer enforces this): Server.mu guards the
+// connection registry and lifecycle state, conn.mu a single connection's
+// drain/close state. Neither is ever held while calling into the cache, so
+// the cache's internal shard.mu sits below both.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/stemcache"
+	"repro/internal/wire"
+)
+
+// wallClock is the package's single wall-clock read, used for connection
+// deadlines and idle accounting only — never for cache decisions.
+var wallClock = time.Now //lint:allow(determinism) connection deadlines and idle timeouts are a serving boundary; cache eviction state never sees this clock
+
+// aLongTimeAgo is a fixed past deadline: setting it on a connection wakes a
+// blocked read immediately (the net/http shutdown idiom) without a clock
+// read.
+var aLongTimeAgo = time.Unix(1, 0)
+
+// Config parameterizes a Server. The zero value is usable.
+type Config struct {
+	// MaxConns caps concurrently served connections; the accept loop blocks
+	// at the cap (backpressure via the listen backlog). Default 1024.
+	MaxConns int
+	// ReadTimeout bounds reading one full frame once its first byte
+	// arrived. Default 10s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one flush of responses. Default 10s.
+	WriteTimeout time.Duration
+	// IdleTimeout closes a connection that has not started a frame for this
+	// long. Default 5m; negative disables.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds Close's wait for in-flight requests; connections
+	// still alive afterwards are closed forcibly. Default 5s.
+	DrainTimeout time.Duration
+	// Limits bounds accepted frames (see wire.Limits). Zero value: defaults.
+	Limits wire.Limits
+	// Metrics, when non-nil, receives server counters under "server.*".
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 10 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server serves one stemcache over TCP. Construct with New; start with
+// Serve or Start; stop with Close.
+type Server struct {
+	cache *stemcache.Cache[string, []byte]
+	cfg   Config
+	lim   wire.Limits
+
+	// mu guards the fields below (conn registry + lifecycle). Rank: above
+	// conn.mu, never held while calling into the cache.
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*conn]struct{}
+	closed bool
+
+	wg  sync.WaitGroup // accept loop + connection handlers
+	sem chan struct{}  // max-conns gate
+
+	// Served-traffic counters (atomic: read by STATS while handlers run).
+	accepted    atomic.Uint64
+	requests    atomic.Uint64
+	protoErrors atomic.Uint64
+
+	met serverMetrics
+}
+
+// serverMetrics are the obs counters; all-nil without a registry.
+type serverMetrics struct {
+	accepted, requests, responses *obs.Counter
+	protoErrors, ioErrors         *obs.Counter
+	batchKeys                     *obs.Counter
+}
+
+// New builds a server over cache. The cache must outlive the server; the
+// server never closes it (several servers — say a STEM one and a baseline —
+// may share a process, and cmd/stemd owns its cache's lifecycle).
+func New(cache *stemcache.Cache[string, []byte], cfg Config) (*Server, error) {
+	if cache == nil {
+		return nil, errors.New("server: nil cache")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cache: cache,
+		cfg:   cfg,
+		lim:   cfg.Limits,
+		conns: map[*conn]struct{}{},
+		sem:   make(chan struct{}, cfg.MaxConns),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		s.met = serverMetrics{
+			accepted:    reg.Counter("server.conns_accepted"),
+			requests:    reg.Counter("server.requests"),
+			responses:   reg.Counter("server.responses"),
+			protoErrors: reg.Counter("server.proto_errors"),
+			ioErrors:    reg.Counter("server.io_errors"),
+			batchKeys:   reg.Counter("server.batch_keys"),
+		}
+		reg.GaugeFunc("server.conns_active", func() float64 { return float64(s.ConnCount()) })
+	}
+	return s, nil
+}
+
+// Start listens on addr ("host:port"; ":0" picks a free port) and serves in
+// the background. Use Addr to learn the bound address and Close to stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve adopts ln and accepts connections in the background until Close.
+// The listener is closed by Close. Serving twice or after Close is an error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	case s.ln != nil:
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already serving")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// ConnCount returns the number of live connections.
+func (s *Server) ConnCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// acceptLoop admits connections through the max-conns gate.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		// Backpressure: block here while MaxConns handlers are live. The
+		// token is released by the handler's exit (or below on failure).
+		s.sem <- struct{}{}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.isClosed() {
+				return
+			}
+			// Transient accept failure (EMFILE and friends): back off
+			// briefly rather than spinning.
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		c := newConn(s, nc)
+		if !s.register(c) {
+			// Lost the race with Close: refuse politely.
+			nc.Close()
+			<-s.sem
+			return
+		}
+		s.accepted.Add(1)
+		s.met.accepted.Inc()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+			s.unregister(c)
+			<-s.sem
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// register adds c to the registry; false when the server is closed.
+func (s *Server) register(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) unregister(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Close drains the server: the listener stops accepting, every connection
+// finishes the requests it has already read (flushing their responses), and
+// connections still busy after DrainTimeout are closed forcibly. Close is
+// idempotent; subsequent calls return nil immediately.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	drain := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		drain = append(drain, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range drain {
+		c.startDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		// Grace expired: cut the stragglers and wait for their handlers.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.forceClose()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = errors.New("server: drain timeout exceeded; connections were closed forcibly")
+		}
+	}
+	return err
+}
+
+// StatsSnapshot is the STATS frame's JSON document.
+type StatsSnapshot struct {
+	// Cache is the stemcache counter block (hits, misses, spills, ...).
+	Cache stemcache.Stats `json:"cache"`
+	// HitRate is Cache.HitRate, precomputed for dashboards.
+	HitRate float64 `json:"hit_rate"`
+	// Len is the cache's current unexpired occupancy (expired entries are
+	// swept by the snapshot, so this is truthful, not approximate).
+	Len int `json:"len"`
+	// Capacity is the cache's normalized entry capacity.
+	Capacity int `json:"capacity"`
+	// Conns is the number of live connections.
+	Conns int `json:"conns"`
+	// ConnsAccepted counts connections admitted since start.
+	ConnsAccepted uint64 `json:"conns_accepted"`
+	// Requests counts frames served since start.
+	Requests uint64 `json:"requests"`
+	// ProtoErrors counts malformed frames received.
+	ProtoErrors uint64 `json:"proto_errors"`
+}
+
+// statsJSON renders the STATS payload.
+func (s *Server) statsJSON() ([]byte, error) {
+	st := s.cache.Stats()
+	snap := StatsSnapshot{
+		Cache:         st,
+		HitRate:       st.HitRate(),
+		Len:           s.cache.Len(),
+		Capacity:      s.cache.Capacity(),
+		Conns:         s.ConnCount(),
+		ConnsAccepted: s.accepted.Load(),
+		Requests:      s.requests.Load(),
+		ProtoErrors:   s.protoErrors.Load(),
+	}
+	return json.Marshal(snap)
+}
+
+// handle executes one decoded request against the cache and fills resp.
+// It runs on the connection's goroutine; the cache does its own locking.
+func (s *Server) handle(req *wire.Request, resp *wire.Response) {
+	s.requests.Add(1)
+	s.met.requests.Inc()
+	*resp = wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK}
+
+	switch req.Op {
+	case wire.OpPing:
+		// Status OK is the whole answer.
+	case wire.OpGet:
+		if v, ok := s.cache.Get(req.Key); ok {
+			resp.Value = v
+		} else {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpSet, wire.OpSetTTL:
+		ttl := req.TTL // OpSet leaves it 0 → the cache's DefaultTTL path
+		if req.Flags&wire.FlagNX != 0 {
+			s.handleNX(req, resp, ttl)
+			break
+		}
+		if req.Op == wire.OpSetTTL {
+			s.cache.SetWithTTL(req.Key, req.Value, ttl)
+		} else {
+			s.cache.Set(req.Key, req.Value)
+		}
+	case wire.OpDel:
+		if !s.cache.Delete(req.Key) {
+			resp.Status = wire.StatusNotFound
+		}
+	case wire.OpMGet:
+		resp.Found = make([]bool, len(req.Keys))
+		resp.Values = make([][]byte, len(req.Keys))
+		for i, k := range req.Keys {
+			resp.Values[i], resp.Found[i] = s.cache.Get(k)
+		}
+		s.met.batchKeys.Add(uint64(len(req.Keys)))
+	case wire.OpMSet:
+		for _, kv := range req.Pairs {
+			s.cache.Set(kv.Key, kv.Value)
+		}
+		s.met.batchKeys.Add(uint64(len(req.Pairs)))
+	case wire.OpStats:
+		b, err := s.statsJSON()
+		if err != nil {
+			resp.Status = wire.StatusErr
+			resp.Value = []byte(fmt.Sprintf("stats: %v", err))
+			break
+		}
+		resp.Value = b
+	default:
+		// Unreachable: the decoder rejects unknown opcodes. Answer rather
+		// than crash if a new opcode outruns this switch.
+		resp.Status = wire.StatusErr
+		resp.Value = []byte(fmt.Sprintf("unhandled opcode %v", req.Op))
+	}
+	s.met.responses.Inc()
+}
+
+// handleNX is the set-if-absent path: stemcache.GetOrSet's loaded report
+// maps exactly onto StatusNotStored-with-resident-value vs StatusOK.
+func (s *Server) handleNX(req *wire.Request, resp *wire.Response, ttl time.Duration) {
+	var actual []byte
+	var loaded bool
+	if req.Op == wire.OpSetTTL {
+		actual, loaded = s.cache.GetOrSetWithTTL(req.Key, req.Value, ttl)
+	} else {
+		actual, loaded = s.cache.GetOrSet(req.Key, req.Value)
+	}
+	if loaded {
+		resp.Status = wire.StatusNotStored
+		resp.Value = actual
+	}
+}

@@ -1,0 +1,454 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/stemcache"
+	"repro/internal/wire"
+)
+
+// newCache builds the string→bytes cache the server serves.
+func newCache(t *testing.T, cfg stemcache.Config) *stemcache.Cache[string, []byte] {
+	t.Helper()
+	c, err := stemcache.New[string, []byte](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// startServer spins up a loopback server (and tears it down with the test).
+func startServer(t *testing.T, ccfg stemcache.Config, scfg server.Config) (*server.Server, *stemcache.Cache[string, []byte]) {
+	t.Helper()
+	cache := newCache(t, ccfg)
+	srv, err := server.New(cache, scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		cache.Close()
+	})
+	return srv, cache
+}
+
+func newClient(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	cl, err := client.New(client.Config{Addr: addr, OpTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestServeBasicOps(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 12, Seed: 1}, server.Config{})
+	cl := newClient(t, srv.Addr())
+
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if _, found, err := cl.Get("missing"); err != nil || found {
+		t.Fatalf("Get(missing) = found=%v err=%v, want absent", found, err)
+	}
+	if err := cl.Set("k", []byte("v1")); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	v, found, err := cl.Get("k")
+	if err != nil || !found || string(v) != "v1" {
+		t.Fatalf("Get(k) = (%q, %v, %v), want (v1, true, nil)", v, found, err)
+	}
+
+	// SetNX: refused on a resident key, with the resident value.
+	actual, stored, err := cl.SetNX("k", []byte("v2"))
+	if err != nil || stored || string(actual) != "v1" {
+		t.Fatalf("SetNX(resident) = (%q, %v, %v), want (v1, false, nil)", actual, stored, err)
+	}
+	if _, stored, err = cl.SetNX("fresh", []byte("f")); err != nil || !stored {
+		t.Fatalf("SetNX(fresh) = stored=%v err=%v, want stored", stored, err)
+	}
+
+	// Delete reports exact prior presence.
+	if found, err := cl.Del("k"); err != nil || !found {
+		t.Fatalf("Del(k) = (%v, %v), want (true, nil)", found, err)
+	}
+	if found, err := cl.Del("k"); err != nil || found {
+		t.Fatalf("second Del(k) = (%v, %v), want (false, nil)", found, err)
+	}
+
+	// Batched MSET/MGET round trip, with a hole.
+	pairs := []wire.KV{{Key: "a", Value: []byte("1")}, {Key: "b", Value: []byte("2")}}
+	if err := cl.MSet(pairs); err != nil {
+		t.Fatalf("mset: %v", err)
+	}
+	values, foundAll, err := cl.MGet([]string{"a", "hole", "b"})
+	if err != nil {
+		t.Fatalf("mget: %v", err)
+	}
+	wantV := [][]byte{[]byte("1"), nil, []byte("2")}
+	wantF := []bool{true, false, true}
+	for i := range wantV {
+		if foundAll[i] != wantF[i] || !bytes.Equal(values[i], wantV[i]) {
+			t.Fatalf("mget[%d] = (%q, %v), want (%q, %v)", i, values[i], foundAll[i], wantV[i], wantF[i])
+		}
+	}
+}
+
+func TestServeTTL(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 10, Seed: 1}, server.Config{})
+	cl := newClient(t, srv.Addr())
+
+	if err := cl.SetTTL("ephemeral", []byte("x"), 30*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := cl.Get("ephemeral"); err != nil || !found {
+		t.Fatalf("entry not resident immediately: found=%v err=%v", found, err)
+	}
+	deadline := time.Now().Add(5 * time.Second) //lint:allow(determinism) test poll deadline
+	for {
+		_, found, err := cl.Get("ephemeral")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			break
+		}
+		if time.Now().After(deadline) { //lint:allow(determinism) test poll deadline
+			t.Fatal("entry never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestServeStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv, cache := startServer(t,
+		stemcache.Config{Capacity: 1 << 10, Seed: 1},
+		server.Config{Metrics: reg})
+	cl := newClient(t, srv.Addr())
+
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if _, found, err := cl.Get(k); err != nil {
+			t.Fatal(err)
+		} else if !found {
+			if err := cl.Set(k, []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats payload does not decode: %v\n%s", err, raw)
+	}
+	if snap.Cache.Gets != 50 || snap.Cache.Misses != 50 {
+		t.Fatalf("cache stats %+v: want Gets=50 Misses=50", snap.Cache)
+	}
+	if snap.Len != 50 || snap.Requests != 101 {
+		t.Fatalf("snapshot Len=%d Requests=%d, want 50 and 101", snap.Len, snap.Requests)
+	}
+	if snap.ProtoErrors != 0 {
+		t.Fatalf("ProtoErrors = %d, want 0", snap.ProtoErrors)
+	}
+	if cache.Len() != 50 {
+		t.Fatalf("server cache Len = %d, want 50", cache.Len())
+	}
+	if got := reg.Counter("server.requests").Value(); got != 101 {
+		t.Fatalf("obs server.requests = %d, want 101", got)
+	}
+}
+
+// TestServePipelinedBatch drives one connection with a large pipelined
+// batch and checks every response arrives in order.
+func TestServePipelinedBatch(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 12, Seed: 1}, server.Config{})
+	cl := newClient(t, srv.Addr())
+
+	b := cl.NewBatch()
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		b.Get(fmt.Sprintf("k%d", i))
+	}
+	res, err := b.Do()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2*n {
+		t.Fatalf("got %d results, want %d", len(res), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		v, found := res[n+i].Get()
+		if !found || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("batched Get %d = (%q, %v)", i, v, found)
+		}
+	}
+}
+
+// TestServeConcurrentClients hammers one server from several goroutines
+// (run under -race in CI).
+func TestServeConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 12, Shards: 8, Seed: 1}, server.Config{})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.New(client.Config{Addr: srv.Addr()})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 300; i++ {
+				k := fmt.Sprintf("w%dk%d", w, i%50)
+				if _, found, err := cl.Get(k); err != nil {
+					errs <- fmt.Errorf("get: %w", err)
+					return
+				} else if !found {
+					if err := cl.Set(k, []byte(k)); err != nil {
+						errs <- fmt.Errorf("set: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulDrain pins the drain guarantee: requests written before Close
+// all get responses, even though the client never read any of them before
+// the drain began.
+func TestGracefulDrain(t *testing.T) {
+	cache := newCache(t, stemcache.Config{Capacity: 1 << 12, Seed: 1})
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	const n = 200
+	var buf []byte
+	for i := 0; i < n; i++ {
+		req := &wire.Request{Op: wire.OpSet, ID: uint32(i + 1), Key: fmt.Sprintf("k%d", i), Value: []byte("v")}
+		if buf, err = wire.AppendRequest(buf, req, wire.Limits{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nc.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until every request has been read and executed (requests still in
+	// the socket when a drain begins are dropped by design — the client
+	// retries those; responses to *read* requests must not be lost).
+	deadline := time.Now().Add(5 * time.Second) //lint:allow(determinism) test poll deadline
+	for cache.Stats().Puts < n {
+		if time.Now().After(deadline) { //lint:allow(determinism) test poll deadline
+			t.Fatalf("server processed %d of %d requests", cache.Stats().Puts, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drain with none of the responses read yet; Close must not return
+	// before they are flushed.
+	if err := srv.Close(); err != nil {
+		t.Fatalf("drain close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //lint:allow(determinism) test read deadline
+	var rbuf []byte
+	for i := 0; i < n; i++ {
+		var resp *wire.Response
+		resp, rbuf, err = wire.ReadResponse(nc, rbuf, wire.Limits{})
+		if err != nil {
+			t.Fatalf("response %d lost in drain: %v", i, err)
+		}
+		if resp.ID != uint32(i+1) || resp.Status != wire.StatusOK {
+			t.Fatalf("response %d: id=%d status=%v", i, resp.ID, resp.Status)
+		}
+	}
+	if got := cache.Stats().Puts; got != n {
+		t.Fatalf("cache saw %d puts, want %d", got, n)
+	}
+
+	// After the drain, new connections are refused.
+	if _, err := net.DialTimeout("tcp", srv.Addr(), time.Second); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}
+
+// TestMaxConnsBackpressure: with MaxConns=1 a second connection is not
+// served until the first goes away.
+func TestMaxConnsBackpressure(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 10, Seed: 1},
+		server.Config{MaxConns: 1})
+
+	ping := func(id uint32) []byte {
+		b, err := wire.AppendRequest(nil, &wire.Request{Op: wire.OpPing, ID: id}, wire.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	nc1, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc1.Close()
+	if _, err := nc1.Write(ping(1)); err != nil {
+		t.Fatal(err)
+	}
+	nc1.SetReadDeadline(time.Now().Add(5 * time.Second)) //lint:allow(determinism) test read deadline
+	if _, _, err := wire.ReadResponse(nc1, nil, wire.Limits{}); err != nil {
+		t.Fatalf("first conn not served: %v", err)
+	}
+
+	// Second conn connects (listen backlog) but must not be served while
+	// the first is alive.
+	nc2, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	if _, err := nc2.Write(ping(2)); err != nil {
+		t.Fatal(err)
+	}
+	nc2.SetReadDeadline(time.Now().Add(400 * time.Millisecond)) //lint:allow(determinism) test read deadline
+	if _, _, err := wire.ReadResponse(nc2, nil, wire.Limits{}); err == nil {
+		t.Fatal("second conn served beyond MaxConns")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("want timeout while gated, got %v", err)
+	}
+
+	// Freeing the first slot admits the second connection.
+	nc1.Close()
+	nc2.SetReadDeadline(time.Now().Add(5 * time.Second)) //lint:allow(determinism) test read deadline
+	if _, _, err := wire.ReadResponse(nc2, nil, wire.Limits{}); err != nil {
+		t.Fatalf("second conn not served after slot freed: %v", err)
+	}
+}
+
+// TestMalformedFrameAnswersThenCloses: garbage on the wire earns one
+// best-effort StatusErr response and a close, and counts as a proto error.
+func TestMalformedFrameAnswersThenCloses(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 10, Seed: 1}, server.Config{})
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //lint:allow(determinism) test read deadline
+	resp, _, err := wire.ReadResponse(nc, nil, wire.Limits{})
+	if err != nil {
+		t.Fatalf("no error response for malformed frame: %v", err)
+	}
+	if resp.Status != wire.StatusErr {
+		t.Fatalf("status %v, want StatusErr", resp.Status)
+	}
+	if !strings.Contains(string(resp.Value), "bad magic") {
+		t.Fatalf("error %q does not name the problem", resp.Value)
+	}
+	// The connection is closed afterwards.
+	if _, _, err := wire.ReadResponse(nc, nil, wire.Limits{}); err == nil {
+		t.Fatal("connection stayed open after protocol error")
+	}
+
+	// The counter surfaced it.
+	cl := newClient(t, srv.Addr())
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ProtoErrors != 1 {
+		t.Fatalf("ProtoErrors = %d, want 1", snap.ProtoErrors)
+	}
+}
+
+// TestIdleTimeout closes a silent connection.
+func TestIdleTimeout(t *testing.T) {
+	srv, _ := startServer(t, stemcache.Config{Capacity: 1 << 10, Seed: 1},
+		server.Config{IdleTimeout: time.Millisecond})
+
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// The first poll tick (250ms) exceeds the 1ms idle budget; allow a few.
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second)) //lint:allow(determinism) test read deadline
+	one := make([]byte, 1)
+	if _, err := nc.Read(one); err == nil {
+		t.Fatal("read returned data from an idle close")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("idle connection was not closed")
+	}
+}
+
+func TestCloseBeforeServe(t *testing.T) {
+	cache := newCache(t, stemcache.Config{Capacity: 1 << 8, Seed: 1})
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close before serve: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("Serve after Close succeeded")
+	}
+}
+
+func TestNewRejectsNilCache(t *testing.T) {
+	if _, err := server.New(nil, server.Config{}); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+}

@@ -389,6 +389,85 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 	sh.live++
 }
 
+// GetOrSet returns the value resident under key, or stores value (with the
+// cache's DefaultTTL) when the key is absent. loaded reports which happened:
+// true means actual is the pre-existing value, false means value was stored.
+// The lookup counts as a Get (hit or miss) and a losing lookup counts as a
+// Put, so Stats and the demand monitors see exactly what a Get-then-Set
+// cache-aside pair would have shown them — minus the double hash and lock
+// round trip. The check and the insert happen under one shard lock, so two
+// racing GetOrSet calls for the same key agree on a single winner.
+func (c *Cache[K, V]) GetOrSet(key K, value V) (actual V, loaded bool) {
+	return c.GetOrSetWithTTL(key, value, c.cfg.DefaultTTL)
+}
+
+// GetOrSetWithTTL is GetOrSet with an explicit TTL for the inserted entry;
+// ttl <= 0 means it never expires. The TTL of an already-resident entry is
+// left untouched.
+func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual V, loaded bool) {
+	h := c.hasher(key)
+	sh, shIdx := c.shardOf(h)
+	nowN := c.now()
+	var exp int64
+	if ttl > 0 {
+		exp = nowN + int64(ttl)
+	}
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tick++
+	sh.stats.Gets++
+	c.met.gets.Inc()
+
+	idx := c.setOf(h)
+	s := &sh.sets[idx]
+	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		sh.stats.Hits++
+		c.met.hits.Inc()
+		s.pol.OnHit(w)
+		c.onLocalHit(sh, shIdx, idx)
+		return s.entries[w].val, true
+	}
+	if s.role == taker {
+		p := &sh.sets[s.partner]
+		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			sh.stats.Hits++
+			sh.stats.SecondaryHits++
+			c.met.hits.Inc()
+			c.met.secondaryHits.Inc()
+			p.pol.OnHit(w)
+			return p.entries[w].val, true
+		}
+	}
+
+	sh.stats.Misses++
+	c.met.misses.Inc()
+	sh.stats.Puts++
+	c.met.puts.Inc()
+	c.consultShadow(sh, shIdx, idx, h)
+
+	way := freeWay(s)
+	if way < 0 {
+		if s.role == uncoupled && s.mon.IsTaker(c.cgeom) && !c.cfg.DisableCoupling {
+			c.tryCouple(sh, shIdx, idx)
+		}
+		way = s.pol.Victim()
+		if way < 0 {
+			// invariant: a full set always has a victim — every policy's
+			// Victim returns a way once no free way exists.
+			panic("stemcache: full set but policy reports no victim")
+		}
+		victim := s.entries[way]
+		s.entries[way].valid = false
+		s.pol.OnInvalidate(way)
+		c.routeVictim(sh, shIdx, idx, victim)
+	}
+	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, valid: true}
+	s.pol.OnInsert(way)
+	sh.live++
+	return value, false
+}
+
 // Delete removes key and reports whether it was resident (an already-expired
 // entry counts as absent). Deletion is not demand evidence: the key's
 // signature is not entered into the shadow directory.
@@ -421,17 +500,45 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	return false
 }
 
-// Len returns the number of resident entries, including any that have
-// expired but not yet been lazily collected.
+// Len returns the number of unexpired resident entries. Entries whose TTL
+// has passed but which no operation has touched yet are swept (and counted
+// as Expirations) by the call itself, so Len never over-reports occupancy —
+// the server's STATS frame relies on this. The sweep holds one shard lock at
+// a time, so under concurrent writers the total is consistent per shard, not
+// globally.
 func (c *Cache[K, V]) Len() int {
+	nowN := c.now()
 	n := 0
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		c.sweepExpired(sh, i, nowN)
 		n += sh.live
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// sweepExpired collects every expired entry of sh (caller holds sh.mu).
+// Cooperatively cached entries go through the cc path, which dissolves the
+// association when the giver drains.
+func (c *Cache[K, V]) sweepExpired(sh *shard[K, V], shIdx int, nowN int64) {
+	for idx := range sh.sets {
+		s := &sh.sets[idx]
+		for w := range s.entries {
+			e := &s.entries[w]
+			if !e.valid || e.exp == 0 || nowN <= e.exp {
+				continue
+			}
+			if e.cc {
+				c.dropCC(sh, shIdx, idx, w)
+				sh.stats.Expirations++
+				c.met.expired.Inc()
+			} else {
+				c.expireLocal(sh, idx, w)
+			}
+		}
+	}
 }
 
 // Capacity returns the actual entry capacity after Config normalization:

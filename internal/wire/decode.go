@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+	"time"
+)
+
+// DecodeRequest parses one request frame from data, returning the request
+// and the number of bytes consumed. It is the pure-bytes core the stream
+// reader and the fuzz target share: every length is validated against the
+// bytes actually present before anything is allocated.
+func DecodeRequest(data []byte, lim Limits) (*Request, int, error) {
+	lim = lim.withDefaults()
+	opB, fl, n, err := parseHeader(data, lim.MaxPayload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data)-HeaderLen < n {
+		return nil, 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
+	}
+	op := Op(opB)
+	if !op.Valid() {
+		return nil, 0, frameErrf("unknown opcode %d", opB)
+	}
+	req := &Request{
+		Op:    op,
+		ID:    binary.BigEndian.Uint32(data[4:8]),
+		Flags: fl,
+	}
+	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	if err := parseRequestPayload(req, c, lim); err != nil {
+		return nil, 0, err
+	}
+	if err := c.done(); err != nil {
+		return nil, 0, err
+	}
+	return req, HeaderLen + n, nil
+}
+
+func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
+	var err error
+	switch req.Op {
+	case OpPing, OpStats:
+		// Empty payload; done() rejects any extra bytes.
+	case OpGet, OpDel:
+		req.Key, err = c.key()
+	case OpSet:
+		req.Key, req.Value, err = c.kv(lim)
+	case OpSetTTL:
+		var ttl uint64
+		if ttl, err = c.u64(); err != nil {
+			return err
+		}
+		if ttl > 1<<62 {
+			return frameErrf("TTL %d overflows a duration", ttl)
+		}
+		req.TTL = time.Duration(ttl)
+		req.Key, req.Value, err = c.kv(lim)
+	case OpMGet:
+		// Each key costs at least its 2-byte length prefix.
+		var n int
+		if n, err = c.batchCount(lim.MaxBatch, 2); err != nil {
+			return err
+		}
+		req.Keys = make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			k, err := c.key()
+			if err != nil {
+				return err
+			}
+			req.Keys = append(req.Keys, k)
+		}
+	case OpMSet:
+		// Each pair costs at least its 2+4 bytes of length prefixes.
+		var n int
+		if n, err = c.batchCount(lim.MaxBatch, 6); err != nil {
+			return err
+		}
+		req.Pairs = make([]KV, 0, n)
+		for i := 0; i < n; i++ {
+			k, v, err := c.kv(lim)
+			if err != nil {
+				return err
+			}
+			req.Pairs = append(req.Pairs, KV{Key: k, Value: v})
+		}
+	}
+	return err
+}
+
+// DecodeResponse parses one response frame from data, returning the
+// response and the number of bytes consumed.
+func DecodeResponse(data []byte, lim Limits) (*Response, int, error) {
+	lim = lim.withDefaults()
+	opB, st, n, err := parseHeader(data, lim.MaxPayload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data)-HeaderLen < n {
+		return nil, 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
+	}
+	op, status := Op(opB), Status(st)
+	if !op.Valid() {
+		return nil, 0, frameErrf("unknown opcode %d", opB)
+	}
+	if !status.Valid() {
+		return nil, 0, frameErrf("unknown status %d", st)
+	}
+	resp := &Response{
+		Op:     op,
+		ID:     binary.BigEndian.Uint32(data[4:8]),
+		Status: status,
+	}
+	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	if err := parseResponsePayload(resp, c, lim); err != nil {
+		return nil, 0, err
+	}
+	if err := c.done(); err != nil {
+		return nil, 0, err
+	}
+	return resp, HeaderLen + n, nil
+}
+
+func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
+	var err error
+	switch {
+	case resp.Status == StatusErr:
+		resp.Value, err = c.value(lim.MaxValueLen)
+	case resp.Op == OpPing || resp.Op == OpDel || resp.Op == OpMSet:
+		// Empty payload.
+	case resp.Op == OpGet || resp.Op == OpSet || resp.Op == OpSetTTL || resp.Op == OpStats:
+		if resp.Status == StatusOK || resp.Status == StatusNotStored {
+			resp.Value, err = c.value(lim.MaxValueLen)
+		}
+	case resp.Op == OpMGet:
+		// Each entry costs at least its 1-byte presence flag.
+		var n int
+		if n, err = c.batchCount(lim.MaxBatch, 1); err != nil {
+			return err
+		}
+		resp.Found = make([]bool, 0, n)
+		resp.Values = make([][]byte, 0, n)
+		for i := 0; i < n; i++ {
+			p, err := c.take(1)
+			if err != nil {
+				return err
+			}
+			switch p[0] {
+			case 0:
+				resp.Found = append(resp.Found, false)
+				resp.Values = append(resp.Values, nil)
+			case 1:
+				v, err := c.value(lim.MaxValueLen)
+				if err != nil {
+					return err
+				}
+				resp.Found = append(resp.Found, true)
+				resp.Values = append(resp.Values, v)
+			default:
+				return frameErrf("bad presence byte %d", p[0])
+			}
+		}
+	}
+	return err
+}
+
+// kv reads a key then a value.
+func (c *cursor) kv(lim Limits) (string, []byte, error) {
+	k, err := c.key()
+	if err != nil {
+		return "", nil, err
+	}
+	v, err := c.value(lim.MaxValueLen)
+	if err != nil {
+		return "", nil, err
+	}
+	return k, v, nil
+}
+
+// ReadRequest reads exactly one request frame from r. Header and payload are
+// buffered through buf (grown as needed, never beyond the limits) and the
+// possibly reallocated buffer is returned for reuse. An io.EOF before the
+// first header byte is returned as io.EOF so servers can distinguish a clean
+// connection close from a truncated frame (io.ErrUnexpectedEOF).
+func ReadRequest(r io.Reader, buf []byte, lim Limits) (*Request, []byte, error) {
+	lim = lim.withDefaults()
+	buf, err := readFrame(r, buf, lim)
+	if err != nil {
+		return nil, buf, err
+	}
+	req, _, err := DecodeRequest(buf, lim)
+	return req, buf, err
+}
+
+// ReadResponse reads exactly one response frame from r (see ReadRequest).
+func ReadResponse(r io.Reader, buf []byte, lim Limits) (*Response, []byte, error) {
+	lim = lim.withDefaults()
+	buf, err := readFrame(r, buf, lim)
+	if err != nil {
+		return nil, buf, err
+	}
+	resp, _, err := DecodeResponse(buf, lim)
+	return resp, buf, err
+}
+
+// readFrame reads one whole frame (header + payload) into buf. The payload
+// length is validated before the payload read, so a hostile header cannot
+// force an over-allocation.
+func readFrame(r io.Reader, buf []byte, lim Limits) ([]byte, error) {
+	if cap(buf) < HeaderLen {
+		buf = make([]byte, HeaderLen, 4096)
+	}
+	buf = buf[:HeaderLen]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return buf, frameErrf("truncated header")
+		}
+		return buf, err
+	}
+	_, _, n, err := parseHeader(buf, lim.MaxPayload)
+	if err != nil {
+		return buf, err
+	}
+	total := HeaderLen + n
+	if cap(buf) < total {
+		nb := make([]byte, total)
+		copy(nb, buf[:HeaderLen])
+		buf = nb
+	}
+	buf = buf[:total]
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return buf, frameErrf("truncated payload")
+		}
+		return buf, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,152 @@
+package wire
+
+import "fmt"
+
+// AppendRequest appends req's frame to buf and returns the extended slice.
+// It validates operand sizes against lim so an oversized request fails at
+// the sender instead of desynchronizing the stream at the receiver.
+func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
+	lim = lim.withDefaults()
+	start := len(buf)
+	// Reserve the header; the payload length is patched in afterwards.
+	var hdr [HeaderLen]byte
+	buf = append(buf, hdr[:]...)
+
+	var err error
+	switch req.Op {
+	case OpPing, OpStats:
+		// Empty payload.
+	case OpGet, OpDel:
+		if err = checkKey(req.Key); err == nil {
+			buf = appendKey(buf, req.Key)
+		}
+	case OpSet:
+		buf, err = appendKV(buf, req.Key, req.Value, lim)
+	case OpSetTTL:
+		var ttl uint64
+		if req.TTL > 0 {
+			ttl = uint64(req.TTL)
+		}
+		buf = appendU64(buf, ttl)
+		buf, err = appendKV(buf, req.Key, req.Value, lim)
+	case OpMGet:
+		if len(req.Keys) > lim.MaxBatch {
+			err = fmt.Errorf("wire: MGET batch of %d exceeds %d", len(req.Keys), lim.MaxBatch)
+			break
+		}
+		buf = appendU16(buf, uint16(len(req.Keys)))
+		for _, k := range req.Keys {
+			if err = checkKey(k); err != nil {
+				break
+			}
+			buf = appendKey(buf, k)
+		}
+	case OpMSet:
+		if len(req.Pairs) > lim.MaxBatch {
+			err = fmt.Errorf("wire: MSET batch of %d exceeds %d", len(req.Pairs), lim.MaxBatch)
+			break
+		}
+		buf = appendU16(buf, uint16(len(req.Pairs)))
+		for _, kv := range req.Pairs {
+			if buf, err = appendKV(buf, kv.Key, kv.Value, lim); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("wire: cannot encode opcode %v", req.Op)
+	}
+	if err != nil {
+		return buf[:start], err
+	}
+
+	n := len(buf) - start - HeaderLen
+	if n > lim.MaxPayload {
+		return buf[:start], fmt.Errorf("wire: request payload %d exceeds limit %d", n, lim.MaxPayload)
+	}
+	h := header(req.Op, req.Flags, req.ID, n)
+	copy(buf[start:], h[:])
+	return buf, nil
+}
+
+// AppendResponse appends resp's frame to buf and returns the extended slice.
+func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
+	lim = lim.withDefaults()
+	start := len(buf)
+	var hdr [HeaderLen]byte
+	buf = append(buf, hdr[:]...)
+
+	var err error
+	switch {
+	case resp.Status == StatusErr:
+		// The message travels as a bare value regardless of opcode.
+		buf = appendValue(buf, resp.Value)
+	case resp.Op == OpPing || resp.Op == OpDel || resp.Op == OpMSet:
+		// Empty payload; the status carries the whole answer.
+	case resp.Op == OpGet || resp.Op == OpSet || resp.Op == OpSetTTL || resp.Op == OpStats:
+		// A value travels only on the statuses that define one.
+		if resp.Status == StatusOK || resp.Status == StatusNotStored {
+			if len(resp.Value) > lim.MaxValueLen {
+				err = fmt.Errorf("wire: value of %d bytes exceeds %d", len(resp.Value), lim.MaxValueLen)
+				break
+			}
+			buf = appendValue(buf, resp.Value)
+		}
+	case resp.Op == OpMGet:
+		if len(resp.Values) != len(resp.Found) {
+			err = fmt.Errorf("wire: MGET response with %d values but %d found flags", len(resp.Values), len(resp.Found))
+			break
+		}
+		if len(resp.Values) > lim.MaxBatch {
+			err = fmt.Errorf("wire: MGET response batch of %d exceeds %d", len(resp.Values), lim.MaxBatch)
+			break
+		}
+		buf = appendU16(buf, uint16(len(resp.Values)))
+		for i, v := range resp.Values {
+			if !resp.Found[i] {
+				buf = append(buf, 0)
+				continue
+			}
+			if len(v) > lim.MaxValueLen {
+				err = fmt.Errorf("wire: value of %d bytes exceeds %d", len(v), lim.MaxValueLen)
+				break
+			}
+			buf = append(buf, 1)
+			buf = appendValue(buf, v)
+		}
+	default:
+		err = fmt.Errorf("wire: cannot encode response opcode %v", resp.Op)
+	}
+	if err != nil {
+		return buf[:start], err
+	}
+
+	n := len(buf) - start - HeaderLen
+	if n > lim.MaxPayload {
+		return buf[:start], fmt.Errorf("wire: response payload %d exceeds limit %d", n, lim.MaxPayload)
+	}
+	h := header(resp.Op, uint8(resp.Status), resp.ID, n)
+	copy(buf[start:], h[:])
+	return buf, nil
+}
+
+func appendKV(buf []byte, k string, v []byte, lim Limits) ([]byte, error) {
+	if err := checkKey(k); err != nil {
+		return buf, err
+	}
+	if len(v) > lim.MaxValueLen {
+		return buf, fmt.Errorf("wire: value of %d bytes exceeds %d", len(v), lim.MaxValueLen)
+	}
+	buf = appendKey(buf, k)
+	buf = appendValue(buf, v)
+	return buf, nil
+}
+
+func appendU16(buf []byte, v uint16) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

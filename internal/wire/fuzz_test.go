@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes to both frame decoders. The contract
+// under test: decoding never panics, never over-allocates (enforced
+// indirectly — a count- or length-driven allocation only happens after the
+// bytes backing it were validated present), and anything that decodes
+// re-encodes to a frame that decodes to the same thing.
+func FuzzWireDecode(f *testing.F) {
+	lim := Limits{MaxValueLen: 1 << 16, MaxBatch: 64}.withDefaults()
+
+	// Seed corpus: every fixture frame, then targeted malformations.
+	for _, req := range requestFixtures() {
+		if b, err := AppendRequest(nil, req, lim); err == nil {
+			f.Add(b)
+		}
+	}
+	for _, resp := range responseFixtures() {
+		if b, err := AppendResponse(nil, resp, lim); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})                       // empty
+	f.Add([]byte{Magic})                  // lone magic
+	f.Add(bytes.Repeat([]byte{0}, 12))    // all-zero header
+	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // saturated header + junk
+	h := header(OpMGet, 0, 7, 2)
+	f.Add(append(h[:], 0xFF, 0xFF)) // huge batch count, no entry bytes
+	h = header(OpGet, 0, 7, 2)
+	f.Add(append(h[:], 0xFF, 0xFF)) // key length pointing past the end
+	h = header(OpSet, 0, 7, 9)
+	f.Add(append(h[:], 0, 1, 'k', 0xFF, 0xFF, 0xFF, 0xFF, 0, 0)) // value length 4 GiB
+	big := header(OpPing, 0, 7, 1<<30)
+	f.Add(big[:]) // payload length beyond every limit
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, n, err := DecodeRequest(data, lim)
+		if err == nil {
+			checkConsumed(t, n, data)
+			reb, err := AppendRequest(nil, req, lim)
+			if err != nil {
+				t.Fatalf("decoded request does not re-encode: %v", err)
+			}
+			req2, _, err := DecodeRequest(reb, lim)
+			if err != nil {
+				t.Fatalf("re-encoded request does not decode: %v", err)
+			}
+			if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key ||
+				len(req2.Keys) != len(req.Keys) || len(req2.Pairs) != len(req.Pairs) {
+				t.Fatalf("request round trip drifted: %+v vs %+v", req, req2)
+			}
+		} else if !errors.Is(err, ErrFrame) {
+			t.Fatalf("request decode error %v does not wrap ErrFrame", err)
+		}
+
+		resp, n, err := DecodeResponse(data, lim)
+		if err == nil {
+			checkConsumed(t, n, data)
+			reb, err := AppendResponse(nil, resp, lim)
+			if err != nil {
+				t.Fatalf("decoded response does not re-encode: %v", err)
+			}
+			resp2, _, err := DecodeResponse(reb, lim)
+			if err != nil {
+				t.Fatalf("re-encoded response does not decode: %v", err)
+			}
+			if resp2.Op != resp.Op || resp2.ID != resp.ID || resp2.Status != resp.Status ||
+				len(resp2.Values) != len(resp.Values) {
+				t.Fatalf("response round trip drifted: %+v vs %+v", resp, resp2)
+			}
+		} else if !errors.Is(err, ErrFrame) {
+			t.Fatalf("response decode error %v does not wrap ErrFrame", err)
+		}
+
+		// The stream reader must agree with the bytes decoder and must map a
+		// mid-frame end of input onto a frame error, not a panic or io.EOF.
+		if _, _, err := ReadRequest(bytes.NewReader(data), nil, lim); err == nil {
+			if len(data) < HeaderLen {
+				t.Fatal("ReadRequest accepted a short frame")
+			}
+		} else if err != io.EOF && !errors.Is(err, ErrFrame) {
+			t.Fatalf("ReadRequest error %v is neither EOF nor ErrFrame", err)
+		}
+	})
+}
+
+// checkConsumed asserts the decoder consumed header+payload exactly.
+func checkConsumed(t *testing.T, n int, data []byte) {
+	t.Helper()
+	if n < HeaderLen || n > len(data) {
+		t.Fatalf("consumed %d of %d bytes", n, len(data))
+	}
+	want := HeaderLen + int(binary.BigEndian.Uint32(data[8:12]))
+	if n != want {
+		t.Fatalf("consumed %d, header promises %d", n, want)
+	}
+}

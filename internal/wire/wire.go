@@ -1,0 +1,404 @@
+// Package wire defines stemd's binary protocol: the framing that carries
+// cache operations between internal/client and internal/server over a TCP
+// stream.
+//
+// Every frame — request or response — starts with a fixed 12-byte header:
+//
+//	offset size  field
+//	0      1     magic (0x53, 'S')
+//	1      1     version (currently 1)
+//	2      1     opcode (requests) / echoed opcode (responses)
+//	3      1     flags (requests) / status (responses)
+//	4      4     request id, big endian (echoed verbatim in the response)
+//	8      4     payload length, big endian
+//
+// followed by exactly payload-length bytes of opcode-specific payload. The
+// request id is chosen by the client; because the server answers requests of
+// one connection strictly in order, the id is not needed for correlation,
+// but it lets a pipelining client assert that responses line up and makes
+// frames self-describing in packet captures.
+//
+// Inside payloads, keys are uint16-length-prefixed byte strings and values
+// are uint32-length-prefixed byte strings; batch payloads carry a uint16
+// count first. All integers are big endian. TTLs travel as uint64
+// nanoseconds.
+//
+// The decoder is strict: a frame with a bad magic, unknown version or
+// opcode, a payload length beyond the configured limit, or a payload whose
+// inner lengths disagree with the outer length is rejected with an error —
+// never a panic, and never an allocation sized by unvalidated input (every
+// inner length is bounds-checked against the bytes actually present before
+// any allocation).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Protocol constants.
+const (
+	// Magic is the first byte of every frame.
+	Magic = 0x53
+	// Version is the protocol version this package speaks. A frame carrying
+	// any other version is rejected, so incompatible revisions fail fast at
+	// the first frame instead of desynchronizing mid-stream.
+	Version = 1
+	// HeaderLen is the fixed frame-header size in bytes.
+	HeaderLen = 12
+)
+
+// Op enumerates the request opcodes.
+type Op uint8
+
+// Request opcodes. The zero value is invalid so that an uninitialized
+// Request fails encoding.
+const (
+	OpInvalid Op = iota
+	// OpPing checks liveness; empty payload both ways.
+	OpPing
+	// OpGet looks up one key; the response carries the value on StatusOK.
+	OpGet
+	// OpSet stores one key/value with the server's default TTL. With
+	// FlagNX set it stores only if the key is absent and answers
+	// StatusNotStored (plus the resident value) when it already exists.
+	OpSet
+	// OpSetTTL is OpSet with an explicit per-entry TTL in the payload.
+	OpSetTTL
+	// OpDel removes one key; StatusOK if it was resident, StatusNotFound
+	// otherwise — the exactness of stemcache.Delete's report surfaces here.
+	OpDel
+	// OpMGet looks up a batch of keys in one frame.
+	OpMGet
+	// OpMSet stores a batch of key/value pairs in one frame.
+	OpMSet
+	// OpStats asks for the server's statistics snapshot (JSON payload).
+	OpStats
+
+	opMax // one past the last valid opcode
+)
+
+// String names the opcode for logs and errors.
+func (o Op) String() string {
+	switch o {
+	case OpPing:
+		return "PING"
+	case OpGet:
+		return "GET"
+	case OpSet:
+		return "SET"
+	case OpSetTTL:
+		return "SETTTL"
+	case OpDel:
+		return "DEL"
+	case OpMGet:
+		return "MGET"
+	case OpMSet:
+		return "MSET"
+	case OpStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether o is a known request opcode.
+func (o Op) Valid() bool { return o > OpInvalid && o < opMax }
+
+// Request flag bits.
+const (
+	// FlagNX makes OpSet/OpSetTTL store only when the key is absent
+	// (stemcache.GetOrSet); the response reports StatusNotStored with the
+	// resident value when the key already existed.
+	FlagNX uint8 = 1 << 0
+)
+
+// Status enumerates response outcomes.
+type Status uint8
+
+// Response statuses.
+const (
+	// StatusOK is success; payload depends on the opcode.
+	StatusOK Status = iota
+	// StatusNotFound answers OpGet/OpDel for an absent (or expired) key.
+	StatusNotFound
+	// StatusNotStored answers a FlagNX store whose key already existed; the
+	// payload carries the resident value.
+	StatusNotStored
+	// StatusErr reports a server-side failure; the payload is a
+	// human-readable message.
+	StatusErr
+
+	statusMax
+)
+
+// String names the status for logs and errors.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "OK"
+	case StatusNotFound:
+		return "NOT_FOUND"
+	case StatusNotStored:
+		return "NOT_STORED"
+	case StatusErr:
+		return "ERR"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Valid reports whether s is a known status.
+func (s Status) Valid() bool { return s < statusMax }
+
+// Limits bounds what the decoder will accept. The zero value selects the
+// defaults; a server and its clients must agree (a frame larger than the
+// receiver's limit is rejected, which surfaces as a protocol error).
+type Limits struct {
+	// MaxValueLen caps one value's byte length. Default 4 MiB.
+	MaxValueLen int
+	// MaxBatch caps the entry count of MGET/MSET frames. Default 1024
+	// (the uint16 count field caps it at 65535 regardless).
+	MaxBatch int
+	// MaxPayload caps a whole frame's payload — the first line of defense
+	// against hostile headers, checked before the payload is read or
+	// allocated. Default 64 MiB; it additionally bounds batches (a batch
+	// legal by count can still exceed the frame cap).
+	MaxPayload int
+}
+
+// Default limit values.
+const (
+	DefaultMaxValueLen = 4 << 20
+	DefaultMaxBatch    = 1024
+	DefaultMaxPayload  = 64 << 20
+	// MaxKeyLen is fixed by the uint16 key-length prefix.
+	MaxKeyLen = 1<<16 - 1
+)
+
+// withDefaults normalizes zero fields.
+func (l Limits) withDefaults() Limits {
+	if l.MaxValueLen <= 0 {
+		l.MaxValueLen = DefaultMaxValueLen
+	}
+	if l.MaxBatch <= 0 {
+		l.MaxBatch = DefaultMaxBatch
+	}
+	if l.MaxBatch > 1<<16-1 {
+		l.MaxBatch = 1<<16 - 1
+	}
+	if l.MaxPayload <= 0 {
+		l.MaxPayload = DefaultMaxPayload
+	}
+	return l
+}
+
+// DefaultLimits returns the fully populated default Limits.
+func DefaultLimits() Limits { return Limits{}.withDefaults() }
+
+// KV is one key/value pair of an MSET batch.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Request is the decoded form of one request frame.
+type Request struct {
+	// Op selects the operation.
+	Op Op
+	// ID is the client-chosen request id, echoed in the response.
+	ID uint32
+	// Flags carries the Flag* bits (FlagNX on stores).
+	Flags uint8
+	// Key is the single-key operand (GET/SET/SETTTL/DEL).
+	Key string
+	// Value is the single-value operand (SET/SETTTL).
+	Value []byte
+	// TTL is the per-entry time-to-live (SETTTL only); <= 0 never expires.
+	TTL time.Duration
+	// Keys is the MGET operand.
+	Keys []string
+	// Pairs is the MSET operand.
+	Pairs []KV
+}
+
+// Response is the decoded form of one response frame.
+type Response struct {
+	// Op echoes the request opcode.
+	Op Op
+	// ID echoes the request id.
+	ID uint32
+	// Status is the outcome.
+	Status Status
+	// Value carries: the GET value (StatusOK), the resident value of a
+	// refused FlagNX store (StatusNotStored), the STATS JSON document, or
+	// the StatusErr message bytes.
+	Value []byte
+	// Found answers MGET per key: Found[i] reports whether Keys[i] was
+	// resident; Values[i] is its value when found (nil otherwise).
+	Found []bool
+	// Values answers MGET (parallel to Found).
+	Values [][]byte
+}
+
+// ErrFrame is the base error wrapped by every decoder rejection, so callers
+// can distinguish protocol corruption (close the connection) from I/O errors
+// (maybe retry).
+var ErrFrame = errors.New("wire: malformed frame")
+
+func frameErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrFrame, fmt.Sprintf(format, args...))
+}
+
+// header assembles the fixed 12-byte frame header.
+func header(op Op, fl uint8, id uint32, payloadLen int) [HeaderLen]byte {
+	var h [HeaderLen]byte
+	h[0] = Magic
+	h[1] = Version
+	h[2] = uint8(op)
+	h[3] = fl
+	binary.BigEndian.PutUint32(h[4:8], id)
+	binary.BigEndian.PutUint32(h[8:12], uint32(payloadLen))
+	return h
+}
+
+// parseHeader validates the fixed header and returns opcode byte, flags byte
+// and payload length.
+func parseHeader(h []byte, maxPayload int) (op, fl uint8, n int, err error) {
+	if len(h) < HeaderLen {
+		return 0, 0, 0, frameErrf("short header: %d bytes", len(h))
+	}
+	if h[0] != Magic {
+		return 0, 0, 0, frameErrf("bad magic 0x%02x", h[0])
+	}
+	if h[1] != Version {
+		return 0, 0, 0, frameErrf("unsupported version %d (want %d)", h[1], Version)
+	}
+	n64 := binary.BigEndian.Uint32(h[8:12])
+	if uint64(n64) > uint64(maxPayload) {
+		return 0, 0, 0, frameErrf("payload length %d exceeds limit %d", n64, maxPayload)
+	}
+	return h[2], h[3], int(n64), nil
+}
+
+// cursor is a bounds-checked reader over one frame's payload bytes.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) take(n int) ([]byte, error) {
+	if n < 0 || n > c.remaining() {
+		return nil, frameErrf("truncated payload: need %d bytes, have %d", n, c.remaining())
+	}
+	s := c.b[c.off : c.off+n]
+	c.off += n
+	return s, nil
+}
+
+func (c *cursor) u16() (uint16, error) {
+	s, err := c.take(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(s), nil
+}
+
+func (c *cursor) u32() (uint32, error) {
+	s, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(s), nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	s, err := c.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(s), nil
+}
+
+// key reads one uint16-length-prefixed key. The length is validated against
+// the bytes present before the string allocation.
+func (c *cursor) key() (string, error) {
+	n, err := c.u16()
+	if err != nil {
+		return "", err
+	}
+	s, err := c.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(s), nil
+}
+
+// value reads one uint32-length-prefixed value, capped by max. The returned
+// slice is a copy, safe to retain after the frame buffer is reused.
+func (c *cursor) value(max int) ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(n) > uint64(max) {
+		return nil, frameErrf("value length %d exceeds limit %d", n, max)
+	}
+	s, err := c.take(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(s))
+	copy(out, s)
+	return out, nil
+}
+
+// done errors unless the payload was consumed exactly.
+func (c *cursor) done() error {
+	if c.remaining() != 0 {
+		return frameErrf("%d trailing payload bytes", c.remaining())
+	}
+	return nil
+}
+
+// batchCount reads and validates a uint16 batch count. Each entry needs at
+// least min bytes, so the count is cross-checked against the bytes present —
+// a tiny frame cannot demand a huge allocation.
+func (c *cursor) batchCount(limit, min int) (int, error) {
+	n16, err := c.u16()
+	if err != nil {
+		return 0, err
+	}
+	n := int(n16)
+	if n > limit {
+		return 0, frameErrf("batch of %d entries exceeds limit %d", n, limit)
+	}
+	if min > 0 && n > c.remaining()/min {
+		return 0, frameErrf("batch count %d exceeds payload capacity", n)
+	}
+	return n, nil
+}
+
+// appendKey appends a uint16-length-prefixed key.
+func appendKey(buf []byte, k string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(k)))
+	return append(buf, k...)
+}
+
+// appendValue appends a uint32-length-prefixed value.
+func appendValue(buf []byte, v []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+	return append(buf, v...)
+}
+
+// checkKey validates a key against the uint16 prefix.
+func checkKey(k string) error {
+	if len(k) > MaxKeyLen {
+		return fmt.Errorf("wire: key of %d bytes exceeds %d", len(k), MaxKeyLen)
+	}
+	return nil
+}

@@ -1,0 +1,266 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// requestFixtures covers every opcode (and the NX flag) once.
+func requestFixtures() []*Request {
+	return []*Request{
+		{Op: OpPing, ID: 1},
+		{Op: OpStats, ID: 2},
+		{Op: OpGet, ID: 3, Key: "alpha"},
+		{Op: OpDel, ID: 4, Key: ""},
+		{Op: OpSet, ID: 5, Key: "k", Value: []byte("v")},
+		{Op: OpSet, ID: 6, Flags: FlagNX, Key: "k", Value: nil},
+		{Op: OpSetTTL, ID: 7, Key: "t", Value: []byte{0, 1, 2}, TTL: 250 * time.Millisecond},
+		{Op: OpSetTTL, ID: 8, Key: "t2", Value: []byte("x"), TTL: 0},
+		{Op: OpMGet, ID: 9, Keys: []string{"a", "", "long-key"}},
+		{Op: OpMGet, ID: 10, Keys: []string{}},
+		{Op: OpMSet, ID: 11, Pairs: []KV{{Key: "a", Value: []byte("1")}, {Key: "b", Value: nil}}},
+	}
+}
+
+func responseFixtures() []*Response {
+	return []*Response{
+		{Op: OpPing, ID: 1, Status: StatusOK},
+		{Op: OpGet, ID: 2, Status: StatusOK, Value: []byte("v")},
+		{Op: OpGet, ID: 3, Status: StatusNotFound},
+		{Op: OpSet, ID: 4, Status: StatusOK},
+		{Op: OpSet, ID: 5, Status: StatusNotStored, Value: []byte("old")},
+		{Op: OpSetTTL, ID: 6, Status: StatusOK},
+		{Op: OpDel, ID: 7, Status: StatusNotFound},
+		{Op: OpMSet, ID: 8, Status: StatusOK},
+		{Op: OpMGet, ID: 9, Status: StatusOK,
+			Found: []bool{true, false, true}, Values: [][]byte{[]byte("a"), nil, {}}},
+		{Op: OpStats, ID: 10, Status: StatusOK, Value: []byte(`{"gets":1}`)},
+		{Op: OpGet, ID: 11, Status: StatusErr, Value: []byte("boom")},
+	}
+}
+
+// normalize maps semantically equal operand encodings onto one form so
+// round-trip comparison with DeepEqual is exact: nil and empty slices are
+// indistinguishable on the wire.
+func normReq(r *Request) {
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	if len(r.Keys) == 0 {
+		r.Keys = nil
+	}
+	if len(r.Pairs) == 0 {
+		r.Pairs = nil
+	}
+	for i := range r.Pairs {
+		if len(r.Pairs[i].Value) == 0 {
+			r.Pairs[i].Value = nil
+		}
+	}
+}
+
+func normResp(r *Response) {
+	if len(r.Value) == 0 {
+		r.Value = nil
+	}
+	if len(r.Found) == 0 {
+		r.Found, r.Values = nil, nil
+	}
+	for i := range r.Values {
+		if len(r.Values[i]) == 0 {
+			r.Values[i] = nil
+		}
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	lim := DefaultLimits()
+	for _, req := range requestFixtures() {
+		buf, err := AppendRequest(nil, req, lim)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", req.Op, err)
+		}
+		got, n, err := DecodeRequest(buf, lim)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", req.Op, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d bytes", req.Op, n, len(buf))
+		}
+		normReq(req)
+		normReq(got)
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("%v: round trip mismatch\ngot  %+v\nwant %+v", req.Op, got, req)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	lim := DefaultLimits()
+	for _, resp := range responseFixtures() {
+		buf, err := AppendResponse(nil, resp, lim)
+		if err != nil {
+			t.Fatalf("%v/%v: encode: %v", resp.Op, resp.Status, err)
+		}
+		got, n, err := DecodeResponse(buf, lim)
+		if err != nil {
+			t.Fatalf("%v/%v: decode: %v", resp.Op, resp.Status, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("%v: consumed %d of %d bytes", resp.Op, n, len(buf))
+		}
+		normResp(resp)
+		normResp(got)
+		if !reflect.DeepEqual(got, resp) {
+			t.Errorf("%v/%v: round trip mismatch\ngot  %+v\nwant %+v", resp.Op, resp.Status, got, resp)
+		}
+	}
+}
+
+// TestStreamRoundTrip pushes every fixture through one buffered stream, the
+// way a pipelined connection does, and reads them back in order.
+func TestStreamRoundTrip(t *testing.T) {
+	lim := DefaultLimits()
+	var stream bytes.Buffer
+	reqs := requestFixtures()
+	var buf []byte
+	var err error
+	for _, req := range reqs {
+		if buf, err = AppendRequest(buf[:0], req, lim); err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(buf)
+	}
+	var rbuf []byte
+	for i, want := range reqs {
+		var got *Request
+		got, rbuf, err = ReadRequest(&stream, rbuf, lim)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		normReq(want)
+		normReq(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("frame %d mismatch: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, _, err := ReadRequest(&stream, rbuf, lim); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	lim := DefaultLimits()
+	ok, err := AppendRequest(nil, &Request{Op: OpSet, ID: 9, Key: "kk", Value: []byte("vvvv")}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), ok...)
+		f(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "short header"},
+		{"short header", ok[:HeaderLen-1], "short header"},
+		{"bad magic", mut(func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"bad version", mut(func(b []byte) { b[1] = 9 }), "unsupported version"},
+		{"unknown opcode", mut(func(b []byte) { b[2] = 0xEE }), "unknown opcode"},
+		{"oversized length", mut(func(b []byte) { binary.BigEndian.PutUint32(b[8:12], 1<<31) }), "exceeds limit"},
+		{"truncated payload", ok[:len(ok)-1], "truncated frame"},
+		{"trailing bytes", append(append([]byte(nil), ok...), 0)[:len(ok)+1], "truncated frame"},
+		{"inner length past end", mut(func(b []byte) { binary.BigEndian.PutUint16(b[HeaderLen:], 600) }), "truncated payload"},
+	}
+	for _, c := range cases {
+		// "trailing bytes" needs the header length bumped to cover the junk.
+		if c.name == "trailing bytes" {
+			c.data = mut(func(b []byte) {})
+			c.data = append(c.data, 0)
+			binary.BigEndian.PutUint32(c.data[8:12], uint32(len(c.data)-HeaderLen))
+			c.want = "trailing payload"
+		}
+		_, _, err := DecodeRequest(c.data, lim)
+		if err == nil {
+			t.Errorf("%s: decode accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrFrame) && err != io.EOF {
+			t.Errorf("%s: error %v does not wrap ErrFrame", c.name, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestBatchCountCannotOverallocate: a frame claiming a huge batch but
+// carrying almost no bytes must fail on the count cross-check, before any
+// count-sized allocation happens.
+func TestBatchCountCannotOverallocate(t *testing.T) {
+	lim := Limits{MaxBatch: 65535}.withDefaults()
+	payload := []byte{0xFF, 0xFF} // count = 65535, zero entry bytes
+	h := header(OpMGet, 0, 1, len(payload))
+	frame := append(h[:], payload...)
+	_, _, err := DecodeRequest(frame, lim)
+	if err == nil || !strings.Contains(err.Error(), "exceeds payload capacity") {
+		t.Fatalf("want batch capacity rejection, got %v", err)
+	}
+}
+
+func TestEncodeRejectsOversize(t *testing.T) {
+	lim := Limits{MaxValueLen: 8}
+	if _, err := AppendRequest(nil, &Request{Op: OpSet, Key: "k", Value: make([]byte, 9)}, lim); err == nil {
+		t.Fatal("oversized value encoded")
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Key: strings.Repeat("k", MaxKeyLen+1)}, lim); err == nil {
+		t.Fatal("oversized key encoded")
+	}
+	if _, err := AppendRequest(nil, &Request{Op: OpMGet, Keys: make([]string, DefaultMaxBatch+1)}, Limits{}); err == nil {
+		t.Fatal("oversized batch encoded")
+	}
+	if _, err := AppendRequest(nil, &Request{}, Limits{}); err == nil {
+		t.Fatal("zero-value request encoded")
+	}
+}
+
+func TestSetTTLRoundTripsNanoseconds(t *testing.T) {
+	lim := DefaultLimits()
+	req := &Request{Op: OpSetTTL, Key: "k", Value: []byte("v"), TTL: 1234567891011}
+	buf, err := AppendRequest(nil, req, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeRequest(buf, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TTL != req.TTL {
+		t.Fatalf("TTL %v != %v", got.TTL, req.TTL)
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	for op := OpPing; op < opMax; op++ {
+		if s := op.String(); strings.HasPrefix(s, "Op(") {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "Op(") {
+		t.Error("unknown opcode should fall back to Op(n)")
+	}
+	for st := StatusOK; st < statusMax; st++ {
+		if s := st.String(); strings.HasPrefix(s, "Status(") {
+			t.Errorf("status %d has no name", st)
+		}
+	}
+}

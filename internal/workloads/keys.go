@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// Serving-load key streams. Where Suite describes the paper's trace-level
+// analogs (set-indexed cache block addresses), these generate *cache keys*
+// for driving a key-value service: cmd/stemload points them at stemd and
+// measures hit rates end to end. The shapes mirror the stemcache package's
+// benchmark streams so the service-level numbers are comparable to the
+// in-process ones:
+//
+//   - "zipf": a skewed stream over a keyspace 8x the cache's capacity —
+//     the classic cacheable web workload.
+//   - "scan": a relentless sequential sweep over twice the capacity — the
+//     LRU-worst-case loop nothing fits.
+//   - "mixed": 50/50 interleave of a Zipfian hot set (capacity/4 keys,
+//     disjoint from the scan range) with the scan — the access mix set-level
+//     BIP dueling is built for, where STEM should beat a sharded LRU.
+//
+// Streams are deterministic functions of their parameters: equal parameters
+// give byte-identical key sequences, so a STEM server and a baseline server
+// can be driven with exactly the same load.
+
+// KeyDists lists the serving key distributions NewKeyStream accepts.
+func KeyDists() []string { return []string{"zipf", "scan", "mixed"} }
+
+// NewKeyStream returns a deterministic key generator for a single worker
+// driving a cache of the given entry capacity: NewWorkerKeyStream with the
+// whole keyspace as one partition.
+func NewKeyStream(dist string, capacity int, seed uint64) (func() string, error) {
+	return NewWorkerKeyStream(dist, capacity, seed, 0, 1)
+}
+
+// NewWorkerKeyStream returns worker w's deterministic key generator out of a
+// group of `workers` concurrent closed loops (0 <= w < workers). The Zipfian
+// keyspaces are shared — every worker hammers the same hot keys, as
+// concurrent clients of one cache do — but the sequential scan range is
+// partitioned: worker w sweeps only its 1/workers slice. Without the
+// partition, W workers sweeping the same range act as W staggered pointers
+// whose inter-pointer gap (span/W keys) fits in the cache, quietly turning
+// the thrash stream into a reusable one; partitioned, the aggregate is one
+// coherent sweep and each scan key's reuse distance stays at the full span.
+//
+// Each worker must own its stream (the generator is not safe for concurrent
+// use); give workers distinct seeds for independent Zipf draws.
+func NewWorkerKeyStream(dist string, capacity int, seed uint64, w, workers int) (func() string, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("workloads: key stream needs a positive capacity, got %d", capacity)
+	}
+	if workers <= 0 || w < 0 || w >= workers {
+		return nil, fmt.Errorf("workloads: worker %d of %d out of range", w, workers)
+	}
+	r := sim.NewRNG(seed)
+	span := capacity * 2
+	sweep := newSweep(span, seed, w, workers)
+	switch dist {
+	case "zipf":
+		n := capacity * 8
+		return func() string { return "z" + strconv.Itoa(zipfKeyRank(r, n)) }, nil
+	case "scan":
+		return sweep, nil
+	case "mixed":
+		hot := capacity / 4
+		if hot < 1 {
+			hot = 1
+		}
+		return func() string {
+			if r.OneIn(2) {
+				// The "h" prefix keeps the hot set disjoint from the scan
+				// range, as the benchmark stream's 1<<30 offset does.
+				return "h" + strconv.Itoa(zipfKeyRank(r, hot))
+			}
+			return sweep()
+		}, nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown key distribution %q (have %v)", dist, KeyDists())
+	}
+}
+
+// newSweep builds worker w's sequential scan over its slice of the span,
+// starting at a seed-derived phase within the slice.
+func newSweep(span int, seed uint64, w, workers int) func() string {
+	lo := w * span / workers
+	hi := (w + 1) * span / workers
+	width := hi - lo
+	if width < 1 {
+		width = 1
+	}
+	i := scanPhase(seed, width) - 1
+	return func() string {
+		i++
+		return "s" + strconv.Itoa(lo+i%width)
+	}
+}
+
+// scanPhase spreads a sweep's starting point over its range by seed, so
+// restarts and distinct seeds do not all begin at the same key.
+func scanPhase(seed uint64, width int) int {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z ^= z >> 31
+	return int(z % uint64(width))
+}
+
+// zipfKeyRank draws an approximately Zipf(s≈1)-distributed rank in [0, n):
+// inverse-CDF sampling of 1/x via a log-uniform draw (the same shape the
+// stemcache benchmarks use).
+func zipfKeyRank(r *sim.RNG, n int) int {
+	u := r.Float64()
+	rank := int(math.Exp(u*math.Log(float64(n)))) - 1
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}

@@ -1,0 +1,181 @@
+package workloads
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestNewKeyStreamDeterminism(t *testing.T) {
+	for _, dist := range KeyDists() {
+		a, err := NewKeyStream(dist, 1024, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewKeyStream(dist, 1024, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10_000; i++ {
+			if ka, kb := a(), b(); ka != kb {
+				t.Fatalf("%s: streams with equal seeds diverge at %d: %q vs %q", dist, i, ka, kb)
+			}
+		}
+	}
+}
+
+func TestNewKeyStreamSeedsDiffer(t *testing.T) {
+	a, _ := NewKeyStream("zipf", 1024, 1)
+	b, _ := NewKeyStream("zipf", 1024, 2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a() == b() {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("distinct seeds produced identical zipf streams")
+	}
+}
+
+func TestNewKeyStreamShapes(t *testing.T) {
+	const capacity = 1024
+
+	// scan: strictly sequential from a seed-derived phase, wrapping at 2x
+	// capacity.
+	scan, err := NewKeyStream("scan", capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := scan()
+	if !strings.HasPrefix(first, "s") {
+		t.Fatalf("scan key %q outside the scan range", first)
+	}
+	phase, err := strconv.Atoi(first[1:])
+	if err != nil || phase < 0 || phase >= 2*capacity {
+		t.Fatalf("scan phase %q not in [0, %d)", first, 2*capacity)
+	}
+	for i := 1; i < 3*2*capacity; i++ {
+		want := "s" + strconv.Itoa((phase+i)%(2*capacity))
+		if got := scan(); got != want {
+			t.Fatalf("scan key %d = %q, want %q", i, got, want)
+		}
+	}
+
+	// Distinct seeds start their sweeps at distinct phases.
+	other, err := NewKeyStream("scan", capacity, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := other(); o == first {
+		t.Fatalf("seeds 1 and 2 share scan phase %q", o)
+	}
+
+	// mixed: both the hot set and the scan appear, in disjoint key ranges.
+	mixed, err := NewKeyStream("mixed", capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot, scans int
+	for i := 0; i < 10_000; i++ {
+		k := mixed()
+		switch {
+		case strings.HasPrefix(k, "h"):
+			hot++
+		case strings.HasPrefix(k, "s"):
+			scans++
+		default:
+			t.Fatalf("mixed produced key %q outside both ranges", k)
+		}
+	}
+	if hot < 3000 || scans < 3000 {
+		t.Fatalf("mixed split hot=%d scan=%d, want a rough 50/50", hot, scans)
+	}
+
+	// zipf: skewed — the most popular key recurs far above uniform.
+	zipf, err := NewKeyStream("zipf", capacity, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 10_000; i++ {
+		counts[zipf()]++
+	}
+	if counts["z0"] < 100 { // uniform over 8*1024 keys would give ~1
+		t.Fatalf("zipf head key seen %d times; distribution looks uniform", counts["z0"])
+	}
+}
+
+// TestWorkerKeyStreamPartition: concurrent workers sweep disjoint scan
+// slices whose union is the whole span, while sharing the hot keyspace.
+func TestWorkerKeyStreamPartition(t *testing.T) {
+	const capacity, workers = 1024, 4
+	span := 2 * capacity
+	seen := make([]map[string]bool, workers)
+	union := map[string]bool{}
+	for w := 0; w < workers; w++ {
+		next, err := NewWorkerKeyStream("scan", capacity, uint64(w), w, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[w] = map[string]bool{}
+		for i := 0; i < span; i++ { // more than a full slice sweep
+			k := next()
+			seen[w][k] = true
+			union[k] = true
+		}
+		if got, want := len(seen[w]), span/workers; got != want {
+			t.Fatalf("worker %d swept %d distinct keys, want %d", w, got, want)
+		}
+	}
+	for a := 0; a < workers; a++ {
+		for b := a + 1; b < workers; b++ {
+			for k := range seen[a] {
+				if seen[b][k] {
+					t.Fatalf("workers %d and %d share scan key %q", a, b, k)
+				}
+			}
+		}
+	}
+	if len(union) != span {
+		t.Fatalf("union covers %d keys, want the whole span %d", len(union), span)
+	}
+
+	// The Zipfian hot set is intentionally shared across workers.
+	a, err := NewWorkerKeyStream("zipf", capacity, 1, 0, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkerKeyStream("zipf", capacity, 2, 3, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heads := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		heads[a()] = false
+	}
+	shared := 0
+	for i := 0; i < 1000; i++ {
+		if _, ok := heads[b()]; ok {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("workers draw from disjoint zipf keyspaces; they must share the hot set")
+	}
+}
+
+func TestNewKeyStreamRejects(t *testing.T) {
+	if _, err := NewKeyStream("bogus", 1024, 1); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	if _, err := NewKeyStream("zipf", 0, 1); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewWorkerKeyStream("zipf", 1024, 1, 4, 4); err == nil {
+		t.Fatal("out-of-range worker accepted")
+	}
+	if _, err := NewWorkerKeyStream("zipf", 1024, 1, 0, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
