@@ -1,0 +1,221 @@
+// Command stemcluster supervises an in-process STEM cluster: it starts N
+// cache nodes (each a stemd-style server over its own STEM-managed cache),
+// prints their addresses for clients like `stemload -cluster`, and runs the
+// node-level giver/taker rebalancing loop — each epoch it polls every node's
+// capacity-demand snapshot (the aggregate of its sets' SCDM monitors) and
+// migrates a bounded number of ring slots from saturated nodes to
+// under-utilized ones.
+//
+// Usage:
+//
+//	stemcluster -nodes 3 -capacity 8192 -seed 21
+//	stemcluster -nodes 3 -addr-file /tmp/addrs -epoch 500ms -max-moves 2
+//	stemcluster -nodes 3 -static              # consistent hashing only, no rebalancing
+//	stemcluster -metrics :6060 -trace events.jsonl
+//
+// Drive it with the load generator, matching -seed (and -vnodes if set):
+//
+//	stemload -cluster "$(cat /tmp/addrs)" -seed 21 -dist hotspot-shift
+//
+// stemcluster runs until SIGINT/SIGTERM, then closes every node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/stemcache"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 3, "cluster node count")
+		capacity = flag.Int("capacity", 1<<13, "per-node cache capacity in entries")
+		shards   = flag.Int("shards", 0, "per-node shard count (0 = default)")
+		ways     = flag.Int("ways", 0, "per-node set associativity (0 = default)")
+		vnodes   = flag.Int("vnodes", 0, "ring slots per node (0 = the cluster default)")
+		seed     = flag.Uint64("seed", 0x57E4, "cluster seed: ring placement and per-node cache seeds")
+
+		epoch     = flag.Duration("epoch", time.Second, "rebalancing epoch interval")
+		maxMoves  = flag.Int("max-moves", 0, "slot migrations allowed per epoch (0 = default 2)")
+		takerFrac = flag.Float64("taker-frac", 0, "demand score at or above which a node is a taker (0 = default)")
+		giverFrac = flag.Float64("giver-frac", 0, "demand score at or below which a node is a giver (0 = default)")
+		static    = flag.Bool("static", false, "serve the static consistent-hash ring: no rebalancing loop")
+
+		addrFile    = flag.String("addr-file", "", "write the comma-separated node addresses to this file")
+		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
+		tracePath   = flag.String("trace", "", `write node-demand and migration events as JSONL to this file ("-" for stdout)`)
+	)
+	flag.Parse()
+
+	if err := run(runConfig{
+		nodes: *nodes, capacity: *capacity, shards: *shards, ways: *ways,
+		vnodes: *vnodes, seed: *seed,
+		epoch: *epoch, maxMoves: *maxMoves, takerFrac: *takerFrac, giverFrac: *giverFrac,
+		static: *static, addrFile: *addrFile,
+		metricsAddr: *metricsAddr, tracePath: *tracePath,
+	}, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "stemcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig is main's flag set as a value, so run is testable.
+type runConfig struct {
+	nodes    int
+	capacity int
+	shards   int
+	ways     int
+	vnodes   int
+	seed     uint64
+
+	epoch     time.Duration
+	maxMoves  int
+	takerFrac float64
+	giverFrac float64
+	static    bool
+
+	addrFile    string
+	metricsAddr string
+	tracePath   string
+}
+
+// run starts the nodes and the rebalancing loop, then blocks until a
+// termination signal (or stop closing, for tests).
+func run(cfg runConfig, stop <-chan struct{}) error {
+	if cfg.nodes <= 0 {
+		return fmt.Errorf("need a positive -nodes")
+	}
+	if cfg.epoch <= 0 {
+		return fmt.Errorf("need a positive -epoch")
+	}
+	tool, err := obs.StartTool(obs.ToolConfig{
+		MetricsAddr:   cfg.metricsAddr,
+		TracePath:     cfg.tracePath,
+		SnapshotEvery: -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer tool.Close()
+	var reg *obs.Registry
+	var tracer obs.Observer
+	if opts := tool.Options(); opts != nil {
+		reg = opts.Registry
+		tracer = opts.Tracer
+	}
+
+	nodes := make([]*cluster.Node, cfg.nodes)
+	addrs := make([]string, cfg.nodes)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	for i := range nodes {
+		node, err := cluster.StartNode(i, cluster.NodeConfig{
+			Cache: stemcache.Config{
+				Capacity: cfg.capacity,
+				Shards:   cfg.shards,
+				Ways:     cfg.ways,
+				Seed:     cluster.NodeSeed(cfg.seed, i),
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("starting node %d: %w", i, err)
+		}
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+
+	cl, err := cluster.NewClient(cluster.Config{
+		Addrs:   addrs,
+		VNodes:  cfg.vnodes,
+		Seed:    cfg.seed,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	joined := strings.Join(addrs, ",")
+	if cfg.addrFile != "" {
+		if err := os.WriteFile(cfg.addrFile, []byte(joined+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	mode := "rebalancing every " + cfg.epoch.String()
+	if cfg.static {
+		mode = "static ring"
+	}
+	fmt.Fprintf(os.Stderr, "stemcluster: %d nodes (%s), %d entries each, %s\n",
+		cfg.nodes, joined, nodes[0].Cache().Capacity(), mode)
+	if maddr := tool.MetricsAddr(); maddr != "" {
+		fmt.Fprintf(os.Stderr, "stemcluster: metrics at http://%s/metrics\n", maddr)
+	}
+
+	// The rebalancing loop: one goroutine, one epoch per tick (Epoch is not
+	// safe for concurrent use with itself).
+	done := make(chan struct{})
+	loopDone := make(chan struct{})
+	if cfg.static {
+		close(loopDone)
+	} else {
+		rcfg := cluster.RebalancerConfig{
+			MaxMovesPerEpoch: cfg.maxMoves,
+			TakerFrac:        cfg.takerFrac,
+			GiverFrac:        cfg.giverFrac,
+			Metrics:          reg,
+			Observer:         tracer,
+		}
+		rb, err := cluster.NewRebalancer(cl,
+			func(n int) ([]string, error) { return nodes[n].Keys(), nil },
+			rcfg)
+		if err != nil {
+			return err
+		}
+		ticker := time.NewTicker(cfg.epoch)
+		go func() {
+			defer close(loopDone)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+				}
+				report, err := rb.Epoch()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: %v\n", report.Epoch, err)
+					continue
+				}
+				for _, mv := range report.Moves {
+					fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: slot %d node %d → %d (%d keys)\n",
+						report.Epoch, mv.Slot, mv.From, mv.To, mv.Keys)
+				}
+			}
+		}()
+	}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigC)
+	select {
+	case sig := <-sigC:
+		fmt.Fprintf(os.Stderr, "stemcluster: %v; shutting down\n", sig)
+	case <-stop:
+	}
+	close(done)
+	<-loopDone
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestRunServesCluster boots a tiny supervised cluster, waits for the addr
+// file, drives it through the routing client, and shuts it down cleanly.
+func TestRunServesCluster(t *testing.T) {
+	addrFile := filepath.Join(t.TempDir(), "addrs")
+	stop := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() {
+		errC <- run(runConfig{
+			nodes: 3, capacity: 512, seed: 21,
+			epoch: 10 * time.Millisecond, addrFile: addrFile,
+		}, stop)
+	}()
+
+	var addrs []string
+	deadline := time.Now().Add(5 * time.Second) //lint:allow(determinism) test-only startup timeout
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil {
+			addrs = strings.Split(strings.TrimSpace(string(b)), ",")
+			break
+		}
+		if time.Now().After(deadline) { //lint:allow(determinism) test-only startup timeout
+			t.Fatal("addr file never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("addr file lists %d nodes, want 3", len(addrs))
+	}
+
+	cl, err := cluster.NewClient(cluster.Config{Addrs: addrs, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("smoke-%d", i)
+		if err := cl.Set(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("smoke-%d", i)
+		v, found, err := cl.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found || string(v) != k {
+			t.Fatalf("key %q round trip = (%q, %v)", k, v, found)
+		}
+	}
+
+	close(stop)
+	if err := <-errC; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

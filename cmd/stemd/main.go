@@ -9,6 +9,12 @@
 //	stemd -addr :7070 -shards 32 -ways 16 -default-ttl 5m
 //	stemd -addr :7070 -lru                # sharded-LRU baseline, same geometry
 //	stemd -addr :7070 -metrics :6060 -pprof -trace events.jsonl
+//	stemd -addr :7071 -node-id 1 -cluster-seed 21   # one node of a cluster
+//
+// As a cluster member (-node-id ≥ 0), stemd derives its cache seed from the
+// shared -cluster-seed (so every node's probabilistic devices differ but the
+// whole cluster is reproducible from one number) and stamps its node id into
+// STATS and DEMAND responses for the rebalancer.
 //
 // stemd runs until SIGINT/SIGTERM, then drains gracefully: in-flight
 // requests finish and their responses are flushed before connections close.
@@ -22,6 +28,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stemcache"
@@ -36,6 +43,9 @@ func main() {
 		seed       = flag.Uint64("seed", 0x57E4, "seed for the cache's probabilistic devices")
 		defaultTTL = flag.Duration("default-ttl", 0, "TTL applied by SET (0 = never expire; SETTTL overrides per key)")
 		lru        = flag.Bool("lru", false, "serve the sharded-LRU baseline instead of STEM (same geometry)")
+
+		nodeID      = flag.Int("node-id", -1, "cluster node id (-1 = standalone; ≥ 0 joins a cluster)")
+		clusterSeed = flag.Uint64("cluster-seed", 0, "shared cluster seed; with -node-id it derives the cache seed (overriding -seed)")
 
 		maxConns     = flag.Int("max-conns", 0, "max concurrently served connections (0 = default 1024)")
 		readTimeout  = flag.Duration("read-timeout", 0, "per-frame read deadline (0 = default 10s)")
@@ -52,6 +62,7 @@ func main() {
 	if err := run(runConfig{
 		addr: *addr, capacity: *capacity, shards: *shards, ways: *ways,
 		seed: *seed, defaultTTL: *defaultTTL, lru: *lru,
+		nodeID: *nodeID, clusterSeed: *clusterSeed,
 		maxConns: *maxConns, readTimeout: *readTimeout, writeTimeout: *writeTimeout,
 		idleTimeout: *idleTimeout, drainTimeout: *drainTimeout,
 		metricsAddr: *metricsAddr, pprof: *pprofFlag, tracePath: *tracePath,
@@ -70,6 +81,9 @@ type runConfig struct {
 	seed       uint64
 	defaultTTL time.Duration
 	lru        bool
+
+	nodeID      int
+	clusterSeed uint64
 
 	maxConns     int
 	readTimeout  time.Duration
@@ -103,7 +117,12 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 		Seed:       cfg.seed,
 		DefaultTTL: cfg.defaultTTL,
 	}
+	if cfg.nodeID >= 0 {
+		ccfg.Seed = cluster.NodeSeed(cfg.clusterSeed, cfg.nodeID)
+	}
+	var reg *obs.Registry
 	if opts := tool.Options(); opts != nil {
+		reg = opts.Registry
 		ccfg.Metrics = opts.Registry
 		ccfg.Observer = opts.Tracer
 	}
@@ -119,12 +138,13 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 	defer cache.Close()
 
 	srv, err := server.New(cache, server.Config{
+		NodeID:       max(cfg.nodeID, 0),
 		MaxConns:     cfg.maxConns,
 		ReadTimeout:  cfg.readTimeout,
 		WriteTimeout: cfg.writeTimeout,
 		IdleTimeout:  cfg.idleTimeout,
 		DrainTimeout: cfg.drainTimeout,
-		Metrics:      tool.Registry,
+		Metrics:      reg,
 	})
 	if err != nil {
 		return err

@@ -3,11 +3,15 @@
 // one of the deterministic serving distributions in internal/workloads, and
 // report throughput, client latency percentiles, and hit rates.
 //
-// Two modes:
+// Three modes:
 //
 //   - With -addr, stemload drives an existing server and reports its
 //     numbers.
-//   - Without -addr, stemload self-hosts the comparison the STEM paper is
+//   - With -cluster, stemload drives a whole ring of servers (comma-separated
+//     addresses, e.g. the set stemcluster prints) through the consistent-hash
+//     routing client and reports aggregate plus per-node numbers. -seed and
+//     -vnodes must match the cluster's.
+//   - Without either, stemload self-hosts the comparison the STEM paper is
 //     about: it starts two in-process servers over the same geometry — one
 //     STEM-managed, one the sharded-LRU baseline — drives both with
 //     byte-identical key streams, and reports hit rates side by side. On the
@@ -18,7 +22,9 @@
 //
 //	stemload                              # self-hosted STEM vs LRU, mixed keys
 //	stemload -dist scan -ops 500000
+//	stemload -dist hotspot-shift          # migrating hot set (the cluster workload)
 //	stemload -addr :7070 -conns 16
+//	stemload -cluster 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 -seed 21
 //	stemload -json BENCH_serving.json     # machine-readable trajectory point
 package main
 
@@ -28,10 +34,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/internal/stemcache"
 	"repro/internal/workloads"
@@ -44,7 +52,9 @@ var wallClock = time.Now //lint:allow(determinism) a load generator measures wal
 func main() {
 	var (
 		addr      = flag.String("addr", "", "server to drive; empty self-hosts a STEM vs sharded-LRU comparison")
-		dist      = flag.String("dist", "mixed", "key distribution: zipf, scan, or mixed")
+		clusterEP = flag.String("cluster", "", "comma-separated node addresses; drives the ring through the cluster routing client")
+		vnodes    = flag.Int("vnodes", 0, "with -cluster: ring slots per node (0 = the cluster default)")
+		dist      = flag.String("dist", "mixed", "key distribution: zipf, scan, mixed, or hotspot-shift")
 		ops       = flag.Int("ops", 400_000, "total operations per engine")
 		conns     = flag.Int("conns", 4, "concurrent closed-loop workers (one connection each)")
 		capacity  = flag.Int("capacity", 1<<13, "cache capacity in entries (self-hosted servers; also scales the keyspace)")
@@ -54,9 +64,9 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, loadConfig{
+	if err := run(*addr, *clusterEP, loadConfig{
 		Dist: *dist, Ops: *ops, Conns: *conns, Capacity: *capacity,
-		ValueSize: *valueSize, Seed: *seed,
+		ValueSize: *valueSize, Seed: *seed, VNodes: *vnodes,
 	}, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "stemload:", err)
 		os.Exit(1)
@@ -71,6 +81,8 @@ type loadConfig struct {
 	Capacity  int    `json:"capacity"`
 	ValueSize int    `json:"value_size"`
 	Seed      uint64 `json:"seed"`
+	// VNodes applies to -cluster runs only (0 = the cluster default).
+	VNodes int `json:"vnodes,omitempty"`
 }
 
 // result is one engine's measured outcome — the BENCH_*.json trajectory
@@ -88,7 +100,10 @@ type result struct {
 	ServerHitRate float64 `json:"server_hit_rate"`
 	// Server is the full server-side STATS document (cache mechanism
 	// counters included), for trajectory archaeology.
-	Server server.StatsSnapshot `json:"server"`
+	Server server.StatsSnapshot `json:"server,omitzero"`
+	// Nodes holds every node's STATS document on -cluster runs (Server is
+	// then the zero value; ServerHitRate aggregates across nodes).
+	Nodes []server.StatsSnapshot `json:"nodes,omitempty"`
 }
 
 // report is the overall JSON document.
@@ -98,18 +113,28 @@ type report struct {
 	Results []result   `json:"results"`
 }
 
-func run(addr string, cfg loadConfig, jsonPath string) error {
+func run(addr, clusterEP string, cfg loadConfig, jsonPath string) error {
 	if cfg.Ops <= 0 || cfg.Conns <= 0 {
 		return fmt.Errorf("need positive -ops and -conns")
 	}
+	if addr != "" && clusterEP != "" {
+		return fmt.Errorf("-addr and -cluster are mutually exclusive")
+	}
 	var results []result
-	if addr != "" {
+	switch {
+	case clusterEP != "":
+		res, err := driveCluster(strings.Split(clusterEP, ","), cfg)
+		if err != nil {
+			return err
+		}
+		results = append(results, res)
+	case addr != "":
 		res, err := drive("remote", addr, cfg)
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
-	} else {
+	default:
 		// Self-hosted comparison: identical geometry, identical key streams,
 		// driven sequentially so the engines never contend for the machine.
 		for _, eng := range []string{"stem", "lru"} {
@@ -122,17 +147,7 @@ func run(addr string, cfg loadConfig, jsonPath string) error {
 	}
 
 	for _, r := range results {
-		fmt.Printf("engine        %s\n", r.Engine)
-		fmt.Printf("ops           %d in %.2fs  (%.0f ops/s, %d workers, %s keys)\n",
-			cfg.Ops, r.Seconds, r.OpsPerSec, cfg.Conns, cfg.Dist)
-		fmt.Printf("latency       p50 %.1fus  p90 %.1fus  p99 %.1fus\n",
-			r.LatP50Micros, r.LatP90Micros, r.LatP99Micros)
-		fmt.Printf("hit rate      %.4f client  %.4f server\n", r.ClientHitRate, r.ServerHitRate)
-		if c := r.Server.Cache; c.Spills > 0 || c.PolicySwaps > 0 {
-			fmt.Printf("mechanisms    %d spills  %d policy swaps  %d shadow hits\n",
-				c.Spills, c.PolicySwaps, c.ShadowHits)
-		}
-		fmt.Println()
+		printResult(r, cfg)
 	}
 	if len(results) == 2 {
 		d := results[0].ServerHitRate - results[1].ServerHitRate
@@ -153,6 +168,33 @@ func run(addr string, cfg loadConfig, jsonPath string) error {
 		return os.WriteFile(jsonPath, b, 0o644)
 	}
 	return nil
+}
+
+// printResult renders one engine's numbers, including the instantaneous
+// set-role gauges (taker/giver/coupled) the STATS extension exports.
+func printResult(r result, cfg loadConfig) {
+	fmt.Printf("engine        %s\n", r.Engine)
+	fmt.Printf("ops           %d in %.2fs  (%.0f ops/s, %d workers, %s keys)\n",
+		cfg.Ops, r.Seconds, r.OpsPerSec, cfg.Conns, cfg.Dist)
+	fmt.Printf("latency       p50 %.1fus  p90 %.1fus  p99 %.1fus\n",
+		r.LatP50Micros, r.LatP90Micros, r.LatP99Micros)
+	fmt.Printf("hit rate      %.4f client  %.4f server\n", r.ClientHitRate, r.ServerHitRate)
+	if c := r.Server.Cache; c.Spills > 0 || c.PolicySwaps > 0 {
+		fmt.Printf("mechanisms    %d spills  %d policy swaps  %d shadow hits\n",
+			c.Spills, c.PolicySwaps, c.ShadowHits)
+	}
+	if len(r.Nodes) == 0 {
+		if c := r.Server.Cache; c.Gets > 0 {
+			fmt.Printf("set roles     %d taker  %d giver  %d coupled\n",
+				c.TakerSets, c.GiverSets, c.CoupledSets)
+		}
+	}
+	for _, n := range r.Nodes {
+		fmt.Printf("node %-3d      %.4f hit  %d/%d entries  %d taker  %d giver  %d coupled sets\n",
+			n.NodeID, n.HitRate, n.Len, n.Capacity,
+			n.Cache.TakerSets, n.Cache.GiverSets, n.Cache.CoupledSets)
+	}
+	fmt.Println()
 }
 
 // selfHost runs one engine in-process and drives it over loopback.
@@ -180,17 +222,17 @@ func selfHost(engine string, cfg loadConfig) (result, error) {
 	return drive(engine, srv.Addr(), cfg)
 }
 
-// drive runs the closed-loop workers against addr and gathers the result.
-func drive(engine, addr string, cfg loadConfig) (result, error) {
-	cl, err := client.New(client.Config{Addr: addr, PoolSize: cfg.Conns})
-	if err != nil {
-		return result{}, err
-	}
-	defer cl.Close()
-	if err := cl.Ping(); err != nil {
-		return result{}, fmt.Errorf("server unreachable at %s: %w", addr, err)
-	}
+// kvStore is the client surface the worker loop needs — satisfied by both
+// the single-node client and the cluster routing client.
+type kvStore interface {
+	Get(key string) (value []byte, found bool, err error)
+	Set(key string, value []byte) error
+}
 
+// runWorkers drives the closed cache-aside loop (GET, on miss SET) with
+// cfg.Conns workers and returns the merged latency samples (sorted,
+// microseconds), hit count, GET count, and wall time.
+func runWorkers(cl kvStore, cfg loadConfig) (lats []float64, hits, gets int, seconds float64, err error) {
 	value := make([]byte, cfg.ValueSize)
 	for i := range value {
 		value[i] = byte('a' + i%26)
@@ -235,19 +277,48 @@ func drive(engine, addr string, cfg loadConfig) (result, error) {
 		}(w)
 	}
 	wg.Wait()
-	elapsed := wallClock().Sub(start).Seconds()
+	seconds = wallClock().Sub(start).Seconds()
 
-	var lats []float64
-	hits, gets := 0, 0
 	for w := range outs {
 		if outs[w].err != nil {
-			return result{}, outs[w].err
+			return nil, 0, 0, 0, outs[w].err
 		}
 		lats = append(lats, outs[w].lats...)
 		hits += outs[w].hits
 		gets += len(outs[w].lats)
 	}
 	sort.Float64s(lats)
+	return lats, hits, gets, seconds, nil
+}
+
+// buildResult folds the worker outcome into the common result fields.
+func buildResult(engine string, lats []float64, hits, gets int, seconds float64) result {
+	return result{
+		Engine:        engine,
+		Seconds:       seconds,
+		OpsPerSec:     float64(gets) / seconds,
+		LatP50Micros:  percentile(lats, 0.50),
+		LatP90Micros:  percentile(lats, 0.90),
+		LatP99Micros:  percentile(lats, 0.99),
+		ClientHitRate: float64(hits) / float64(max(gets, 1)),
+	}
+}
+
+// drive runs the closed-loop workers against addr and gathers the result.
+func drive(engine, addr string, cfg loadConfig) (result, error) {
+	cl, err := client.New(client.Config{Addr: addr, PoolSize: cfg.Conns})
+	if err != nil {
+		return result{}, err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return result{}, fmt.Errorf("server unreachable at %s: %w", addr, err)
+	}
+
+	lats, hits, gets, seconds, err := runWorkers(cl, cfg)
+	if err != nil {
+		return result{}, err
+	}
 
 	raw, err := cl.Stats()
 	if err != nil {
@@ -258,16 +329,50 @@ func drive(engine, addr string, cfg loadConfig) (result, error) {
 		return result{}, fmt.Errorf("STATS payload: %w", err)
 	}
 
-	res := result{
-		Engine:        engine,
-		Seconds:       elapsed,
-		OpsPerSec:     float64(gets) / elapsed,
-		LatP50Micros:  percentile(lats, 0.50),
-		LatP90Micros:  percentile(lats, 0.90),
-		LatP99Micros:  percentile(lats, 0.99),
-		ClientHitRate: float64(hits) / float64(max(gets, 1)),
-		ServerHitRate: snap.HitRate,
-		Server:        snap,
+	res := buildResult(engine, lats, hits, gets, seconds)
+	res.ServerHitRate = snap.HitRate
+	res.Server = snap
+	return res, nil
+}
+
+// driveCluster runs the closed-loop workers through the consistent-hash
+// routing client and aggregates every node's STATS.
+func driveCluster(addrs []string, cfg loadConfig) (result, error) {
+	cl, err := cluster.NewClient(cluster.Config{
+		Addrs:  addrs,
+		VNodes: cfg.VNodes,
+		Seed:   cfg.Seed,
+		Client: client.Config{PoolSize: cfg.Conns},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer cl.Close()
+	if err := cl.Ping(); err != nil {
+		return result{}, fmt.Errorf("cluster unreachable: %w", err)
+	}
+
+	lats, hits, gets, seconds, err := runWorkers(cl, cfg)
+	if err != nil {
+		return result{}, err
+	}
+
+	raws, err := cl.StatsAll()
+	if err != nil {
+		return result{}, err
+	}
+	res := buildResult("cluster", lats, hits, gets, seconds)
+	var srvHits, srvGets uint64
+	res.Nodes = make([]server.StatsSnapshot, len(raws))
+	for i, raw := range raws {
+		if err := json.Unmarshal(raw, &res.Nodes[i]); err != nil {
+			return result{}, fmt.Errorf("node %d STATS payload: %w", i, err)
+		}
+		srvHits += res.Nodes[i].Cache.Hits
+		srvGets += res.Nodes[i].Cache.Gets
+	}
+	if srvGets > 0 {
+		res.ServerHitRate = float64(srvHits) / float64(srvGets)
 	}
 	return res, nil
 }

@@ -42,6 +42,7 @@ var determinismMapRangePkgs = map[string]bool{
 	"internal/drrip":     true,
 	"internal/vway":      true,
 	"internal/stemcache": true,
+	"internal/cluster":   true,
 }
 
 // inMapRangeScope reports whether the package's import path ends in one of

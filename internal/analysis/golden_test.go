@@ -23,6 +23,7 @@ var fixtureCases = []struct {
 	{name: "obsfix", path: "fixture/internal/obs"},
 	{name: "cachefix", path: "fixture/internal/stemcache"},
 	{name: "serverfix", path: "fixture/internal/server"},
+	{name: "clusterfix", path: "fixture/internal/cluster"},
 	{name: "rootfix", path: "rootfix"},
 }
 
@@ -82,11 +83,12 @@ func TestAnalyzersGolden(t *testing.T) {
 // -update.
 func TestFixturesAreDirty(t *testing.T) {
 	targets := map[string]string{
-		"det":       "determinism",
-		"obsfix":    "atomics",
-		"cachefix":  "lockorder",
-		"serverfix": "lockorder",
-		"rootfix":   "apidoc",
+		"det":        "determinism",
+		"obsfix":     "atomics",
+		"cachefix":   "lockorder",
+		"serverfix":  "lockorder",
+		"clusterfix": "lockorder",
+		"rootfix":    "apidoc",
 	}
 	loader := newFixtureLoader(t)
 	for _, c := range fixtureCases {

@@ -11,8 +11,10 @@ import (
 // the repository-wide panic convention:
 //
 //   - Lock hierarchy: each concurrent package's mutexes form a strict order —
-//     stemcache's Cache.closeMu before shard.mu before Cache.obsMu, and the
-//     network server's Server.mu before conn.mu (see lockRankFor). Acquiring
+//     stemcache's Cache.closeMu before shard.mu before Cache.obsMu, the
+//     network server's Server.mu before conn.mu, and the cluster tier's
+//     Ring.mu before Node.mu before Rebalancer.obsMu (see lockRankFor).
+//     Acquiring
 //     against that order (or acquiring the same lock twice) deadlocks, but
 //     only under a schedule the race detector may never see; the analyzer
 //     rejects it structurally.
@@ -28,7 +30,7 @@ import (
 //     preceding line. Misuse of public APIs must return errors instead.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→shard.mu→obsMu, server's Server.mu→conn.mu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
+	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→shard.mu→obsMu, server's Server.mu→conn.mu, cluster's Ring.mu→Node.mu→Rebalancer.obsMu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
 	Run:  runLockOrder,
 }
 
@@ -74,6 +76,21 @@ func isServerPackage(path string) bool {
 	return path == "internal/server" || strings.HasSuffix(path, "/internal/server")
 }
 
+// clusterLockRank is the sanctioned acquisition order inside
+// internal/cluster: Ring.mu (ownership table) before Node.mu (a node's
+// lifecycle state) before Rebalancer.obsMu (observer serialization, the
+// innermost lock — held only around the Event callback).
+var clusterLockRank = map[lockKey]int{
+	{typ: "Ring", field: "mu"}:          0,
+	{typ: "Node", field: "mu"}:          1,
+	{typ: "Rebalancer", field: "obsMu"}: 2,
+}
+
+// isClusterPackage matches the real package and bound fixtures.
+func isClusterPackage(path string) bool {
+	return path == "internal/cluster" || strings.HasSuffix(path, "/internal/cluster")
+}
+
 // lockRankFor selects the package's sanctioned lock hierarchy; a nil map
 // means the package has no ranked locks and only the universal checks
 // (re-entrancy, defer-in-loop, panic documentation) apply. The order string
@@ -84,6 +101,8 @@ func lockRankFor(path string) (map[lockKey]int, string) {
 		return stemcacheLockRank, "closeMu → shard.mu → obsMu"
 	case isServerPackage(path):
 		return serverLockRank, "Server.mu → conn.mu"
+	case isClusterPackage(path):
+		return clusterLockRank, "Ring.mu → Node.mu → Rebalancer.obsMu"
 	}
 	return nil, ""
 }

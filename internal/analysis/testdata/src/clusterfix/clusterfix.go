@@ -1,0 +1,99 @@
+// Package cluster is the lockorder-analyzer fixture for the cluster tier's
+// hierarchy. The tests bind it to fixture/internal/cluster, so the cluster
+// lock ranks apply: Ring.mu before Node.mu before Rebalancer.obsMu.
+package cluster
+
+import "sync"
+
+// Ring mirrors the real ownership table: an RWMutex at the top of the
+// hierarchy.
+type Ring struct {
+	mu    sync.RWMutex
+	owner []int
+}
+
+// Node mirrors a node's lifecycle lock (middle rank).
+type Node struct {
+	mu     sync.Mutex
+	closed bool
+}
+
+// Rebalancer mirrors the observer-serialization lock (innermost rank).
+type Rebalancer struct {
+	obsMu sync.Mutex
+	ring  *Ring
+	node  *Node
+}
+
+// goodOrder acquires down the hierarchy — no findings.
+func (rb *Rebalancer) goodOrder() {
+	rb.ring.mu.Lock()
+	rb.node.mu.Lock()
+	rb.obsMu.Lock()
+	rb.obsMu.Unlock()
+	rb.node.mu.Unlock()
+	rb.ring.mu.Unlock()
+}
+
+// goodHandoff releases the ring lock before taking a node's, like the real
+// migration path — no findings.
+func (rb *Rebalancer) goodHandoff() {
+	rb.ring.mu.RLock()
+	rb.ring.mu.RUnlock()
+	rb.node.mu.Lock()
+	rb.node.mu.Unlock()
+}
+
+// badOrder flips ring ownership while holding a node's lifecycle lock.
+func (rb *Rebalancer) badOrder() {
+	rb.node.mu.Lock()
+	rb.ring.mu.Lock()
+	rb.ring.mu.Unlock()
+	rb.node.mu.Unlock()
+}
+
+// badObserveOrder takes a node's lock inside the observer critical section.
+func (rb *Rebalancer) badObserveOrder() {
+	rb.obsMu.Lock()
+	rb.node.mu.Lock()
+	rb.node.mu.Unlock()
+	rb.obsMu.Unlock()
+}
+
+// move is a leaf that takes Ring.mu, like the real Ring.Move.
+func (r *Ring) move(slot, to int) {
+	r.mu.Lock()
+	r.owner[slot] = to
+	r.mu.Unlock()
+}
+
+// close is a leaf that takes Node.mu, like the real Node.Close.
+func (n *Node) close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+}
+
+// badCallOrder calls into a ring acquisition while a node's lock is held.
+func (rb *Rebalancer) badCallOrder() {
+	rb.node.mu.Lock()
+	defer rb.node.mu.Unlock()
+	rb.ring.move(0, 1)
+}
+
+// reentrantThroughCall calls close while already holding that node's lock.
+func (n *Node) reentrantThroughCall() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.close()
+}
+
+// observeAll holds the ring lock across per-node acquisitions — in-order
+// and legal.
+func (rb *Rebalancer) observeAll(nodes []*Node) {
+	rb.ring.mu.RLock()
+	for _, n := range nodes {
+		n.close()
+	}
+	rb.ring.mu.RUnlock()
+}

@@ -348,6 +348,20 @@ func (c *Client) MSet(pairs []wire.KV) error {
 	return err
 }
 
+// Demand fetches the server's node-level capacity-demand snapshot: the
+// aggregate of its cache's per-set SCDM monitors (taker/giver set counts,
+// SC_S saturation). The cluster rebalancer polls this each epoch.
+func (c *Client) Demand() (wire.NodeDemand, error) {
+	resp, err := c.one(&wire.Request{Op: wire.OpDemand})
+	if err != nil {
+		return wire.NodeDemand{}, err
+	}
+	if resp.Demand == nil {
+		return wire.NodeDemand{}, fmt.Errorf("%w: DEMAND OK response without snapshot", wire.ErrFrame)
+	}
+	return *resp.Demand, nil
+}
+
 // Stats fetches the server's statistics snapshot as raw JSON (the document
 // is described by server.StatsSnapshot).
 func (c *Client) Stats() ([]byte, error) {

@@ -1,0 +1,211 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Multi fans batch operations out across several servers. It owns one
+// pooled Client per address and splits an MGET or MSET into per-node
+// sub-batches by a caller-supplied routing function — the cluster tier's
+// consistent-hash ring provides that function; Multi itself knows nothing
+// about rings, only about splitting, sending concurrently, and merging
+// answers back into request order.
+//
+// Failure semantics are partial by design: when some nodes answer and
+// others fail, the answered positions are returned (found=false / stored
+// nothing for the failed ones) together with a *PartialError naming the
+// failed nodes. A cluster cache treats a dead node as a miss, not as a
+// reason to fail the whole batch.
+type Multi struct {
+	clients []*Client
+}
+
+// NodeError is one node's failure within a fanned-out batch.
+type NodeError struct {
+	// Node is the index of the failed node (NewMulti's cfgs order).
+	Node int
+	// Err is the underlying client error.
+	Err error
+}
+
+func (e NodeError) Error() string {
+	return fmt.Sprintf("node %d: %v", e.Node, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e NodeError) Unwrap() error { return e.Err }
+
+// PartialError reports that a fanned-out batch succeeded on some nodes and
+// failed on others. Results for the successful nodes are still returned
+// alongside it. Errs is ordered by node index.
+type PartialError struct {
+	Errs []NodeError
+}
+
+func (e *PartialError) Error() string {
+	parts := make([]string, len(e.Errs))
+	for i, ne := range e.Errs {
+		parts[i] = ne.Error()
+	}
+	return fmt.Sprintf("client: partial batch failure: %s", strings.Join(parts, "; "))
+}
+
+// NewMulti builds one Client per config. No connections are dialed until
+// first use (same contract as New).
+func NewMulti(cfgs []Config) (*Multi, error) {
+	if len(cfgs) == 0 {
+		return nil, errors.New("client: NewMulti needs at least one config")
+	}
+	m := &Multi{clients: make([]*Client, len(cfgs))}
+	for i, cfg := range cfgs {
+		cl, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		m.clients[i] = cl
+	}
+	return m, nil
+}
+
+// Len reports the node count.
+func (m *Multi) Len() int { return len(m.clients) }
+
+// Node returns node i's Client (for single-key operations the caller routes
+// itself).
+func (m *Multi) Node(i int) *Client { return m.clients[i] }
+
+// Close releases every node's pooled connections. The first error wins.
+func (m *Multi) Close() error {
+	var first error
+	for _, cl := range m.clients {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// split groups item indices by owning node: pick(i) names the node for item
+// i. The returned plan maps node → indices in input order; order across
+// nodes is ascending node index, so the fan-out is deterministic for a
+// deterministic pick.
+func (m *Multi) split(n int, pick func(i int) int) (map[int][]int, error) {
+	plan := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		node := pick(i)
+		if node < 0 || node >= len(m.clients) {
+			return nil, fmt.Errorf("client: pick(%d) routed to node %d of %d", i, node, len(m.clients))
+		}
+		plan[node] = append(plan[node], i)
+	}
+	return plan, nil
+}
+
+// planNodes returns the plan's node indices in ascending order (map
+// iteration order must never reach the wire).
+func planNodes(plan map[int][]int) []int {
+	nodes := make([]int, 0, len(plan))
+	for node := range plan {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	return nodes
+}
+
+// MGet fetches keys split across nodes by pick and merges the answers back
+// into key order: values and found are parallel to keys. When some nodes
+// fail, their keys report found=false and the error is a *PartialError
+// naming them; values/found are still valid for the rest.
+func (m *Multi) MGet(keys []string, pick func(i int) int) (values [][]byte, found []bool, err error) {
+	values = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	if len(keys) == 0 {
+		return values, found, nil
+	}
+	plan, err := m.split(len(keys), pick)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes := planNodes(plan)
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for oi, node := range nodes {
+		idx := plan[node]
+		sub := make([]string, len(idx))
+		for j, i := range idx {
+			sub[j] = keys[i]
+		}
+		wg.Add(1)
+		go func(oi, node int, idx []int, sub []string) {
+			defer wg.Done()
+			vs, fs, err := m.clients[node].MGet(sub)
+			if err != nil {
+				errs[oi] = err
+				return
+			}
+			for j, i := range idx {
+				values[i], found[i] = vs[j], fs[j]
+			}
+		}(oi, node, idx, sub)
+	}
+	wg.Wait()
+	if pe := collectNodeErrors(nodes, errs); pe != nil {
+		return values, found, pe
+	}
+	return values, found, nil
+}
+
+// MSet stores pairs split across nodes by pick. When some nodes fail, the
+// stores on the others have still happened and the error is a
+// *PartialError naming the failures.
+func (m *Multi) MSet(pairs []wire.KV, pick func(i int) int) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	plan, err := m.split(len(pairs), pick)
+	if err != nil {
+		return err
+	}
+	nodes := planNodes(plan)
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	for oi, node := range nodes {
+		idx := plan[node]
+		sub := make([]wire.KV, len(idx))
+		for j, i := range idx {
+			sub[j] = pairs[i]
+		}
+		wg.Add(1)
+		go func(oi, node int, sub []wire.KV) {
+			defer wg.Done()
+			errs[oi] = m.clients[node].MSet(sub)
+		}(oi, node, sub)
+	}
+	wg.Wait()
+	if pe := collectNodeErrors(nodes, errs); pe != nil {
+		return pe
+	}
+	return nil
+}
+
+// collectNodeErrors folds per-node outcomes into a *PartialError (nil when
+// every node succeeded). nodes and errs are parallel and node-ordered.
+func collectNodeErrors(nodes []int, errs []error) *PartialError {
+	var pe *PartialError
+	for oi, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe == nil {
+			pe = &PartialError{}
+		}
+		pe.Errs = append(pe.Errs, NodeError{Node: nodes[oi], Err: err})
+	}
+	return pe
+}

@@ -1,0 +1,259 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// kvHandler scripts a fakeServer as a tiny keyed store so MGET/MSET split
+// tests can verify which node actually holds what.
+type kvHandler struct {
+	mu   sync.Mutex
+	data map[string][]byte
+	ops  int
+}
+
+func newKVHandler() *kvHandler {
+	return &kvHandler{data: map[string][]byte{}}
+}
+
+func (h *kvHandler) handle(req *wire.Request) *wire.Response {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ops++
+	resp := &wire.Response{Op: req.Op, Status: wire.StatusOK}
+	switch req.Op {
+	case wire.OpMGet:
+		resp.Found = make([]bool, len(req.Keys))
+		resp.Values = make([][]byte, len(req.Keys))
+		for i, k := range req.Keys {
+			v, ok := h.data[k]
+			resp.Found[i] = ok
+			if ok {
+				resp.Values[i] = v
+			}
+		}
+	case wire.OpMSet:
+		for _, kv := range req.Pairs {
+			h.data[kv.Key] = kv.Value
+		}
+	}
+	return resp
+}
+
+func (h *kvHandler) opCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ops
+}
+
+func (h *kvHandler) has(k string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.data[k]
+	return ok
+}
+
+// multiCluster is n fakeServers plus a Multi over them.
+func multiCluster(t *testing.T, n int) (*Multi, []*kvHandler, []*fakeServer) {
+	t.Helper()
+	handlers := make([]*kvHandler, n)
+	servers := make([]*fakeServer, n)
+	cfgs := make([]Config, n)
+	for i := 0; i < n; i++ {
+		handlers[i] = newKVHandler()
+		servers[i] = newFakeServer(t, handlers[i].handle)
+		cfgs[i] = Config{Addr: servers[i].ln.Addr().String(), Retries: 0, Backoff: time.Millisecond}
+	}
+	m, err := NewMulti(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m, handlers, servers
+}
+
+// pickMod routes key i to node i mod n.
+func pickMod(n int) func(int) int {
+	return func(i int) int { return i % n }
+}
+
+func TestMultiEmptyBatch(t *testing.T) {
+	m, handlers, _ := multiCluster(t, 2)
+	panicky := func(i int) int { t.Fatalf("pick called for empty batch (i=%d)", i); return 0 }
+	values, found, err := m.MGet(nil, panicky)
+	if err != nil || len(values) != 0 || len(found) != 0 {
+		t.Fatalf("empty MGet = (%v, %v, %v)", values, found, err)
+	}
+	if err := m.MSet(nil, panicky); err != nil {
+		t.Fatalf("empty MSet: %v", err)
+	}
+	for i, h := range handlers {
+		if h.opCount() != 0 {
+			t.Errorf("node %d saw %d ops for empty batches", i, h.opCount())
+		}
+	}
+}
+
+func TestMultiSingleKeyRoutesToOneNode(t *testing.T) {
+	m, handlers, _ := multiCluster(t, 3)
+	if err := m.MSet([]wire.KV{{Key: "solo", Value: []byte("v")}}, func(int) int { return 2 }); err != nil {
+		t.Fatal(err)
+	}
+	if !handlers[2].has("solo") {
+		t.Fatal("key missing from its routed node")
+	}
+	if handlers[0].opCount() != 0 || handlers[1].opCount() != 0 {
+		t.Fatalf("uninvolved nodes were contacted: ops %d, %d",
+			handlers[0].opCount(), handlers[1].opCount())
+	}
+	values, found, err := m.MGet([]string{"solo"}, func(int) int { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found[0] || string(values[0]) != "v" {
+		t.Fatalf("MGet(solo) = (%q, %v)", values[0], found[0])
+	}
+}
+
+func TestMultiAllKeysOneNode(t *testing.T) {
+	m, handlers, _ := multiCluster(t, 3)
+	keys := []string{"a", "b", "c", "d"}
+	pairs := make([]wire.KV, len(keys))
+	for i, k := range keys {
+		pairs[i] = wire.KV{Key: k, Value: []byte(k)}
+	}
+	all1 := func(int) int { return 1 }
+	if err := m.MSet(pairs, all1); err != nil {
+		t.Fatal(err)
+	}
+	// One MSET frame, not four.
+	if got := handlers[1].opCount(); got != 1 {
+		t.Fatalf("node 1 saw %d frames, want 1", got)
+	}
+	values, found, err := m.MGet(keys, all1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !found[i] || string(values[i]) != k {
+			t.Fatalf("key %q: (%q, %v)", k, values[i], found[i])
+		}
+	}
+	if handlers[0].opCount() != 0 || handlers[2].opCount() != 0 {
+		t.Fatal("uninvolved nodes were contacted")
+	}
+}
+
+func TestMultiSplitsAndMergesInKeyOrder(t *testing.T) {
+	m, _, _ := multiCluster(t, 3)
+	var keys []string
+	var pairs []wire.KV
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		keys = append(keys, k)
+		pairs = append(pairs, wire.KV{Key: k, Value: []byte(k)})
+	}
+	pick := pickMod(3)
+	if err := m.MSet(pairs, pick); err != nil {
+		t.Fatal(err)
+	}
+	values, found, err := m.MGet(keys, pick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !found[i] || string(values[i]) != k {
+			t.Fatalf("position %d: want %q, got (%q, %v)", i, k, values[i], found[i])
+		}
+	}
+}
+
+func TestMultiNodeDownPartialResults(t *testing.T) {
+	m, _, servers := multiCluster(t, 3)
+	var keys []string
+	var pairs []wire.KV
+	for i := 0; i < 9; i++ {
+		k := fmt.Sprintf("k%d", i)
+		keys = append(keys, k)
+		pairs = append(pairs, wire.KV{Key: k, Value: []byte(k)})
+	}
+	pick := pickMod(3)
+	if err := m.MSet(pairs, pick); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 dies; its pooled connection is severed too.
+	servers[1].ln.Close()
+	m.Node(1).Close()
+
+	values, found, err := m.MGet(keys, pick)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if len(pe.Errs) != 1 || pe.Errs[0].Node != 1 {
+		t.Fatalf("PartialError = %v, want exactly node 1", pe)
+	}
+	for i, k := range keys {
+		if i%3 == 1 {
+			if found[i] || values[i] != nil {
+				t.Errorf("dead node's key %q reported (%q, %v), want miss", k, values[i], found[i])
+			}
+			continue
+		}
+		if !found[i] || string(values[i]) != k {
+			t.Errorf("live node's key %q lost: (%q, %v)", k, values[i], found[i])
+		}
+	}
+
+	// MSet to the dead node also reports partially.
+	err = m.MSet(pairs, pick)
+	if !errors.As(err, &pe) || len(pe.Errs) != 1 || pe.Errs[0].Node != 1 {
+		t.Fatalf("MSet partial error = %v, want node 1", err)
+	}
+}
+
+func TestMultiRejectsOutOfRangePick(t *testing.T) {
+	m, handlers, _ := multiCluster(t, 2)
+	_, _, err := m.MGet([]string{"a"}, func(int) int { return 7 })
+	if err == nil {
+		t.Fatal("out-of-range pick accepted")
+	}
+	var pe *PartialError
+	if errors.As(err, &pe) {
+		t.Fatalf("routing bug misreported as partial failure: %v", err)
+	}
+	if handlers[0].opCount()+handlers[1].opCount() != 0 {
+		t.Fatal("a misrouted batch reached the wire")
+	}
+}
+
+func TestClientDemand(t *testing.T) {
+	want := wire.NodeDemand{NodeID: 3, Sets: 64, TakerSets: 8, GiverSets: 40,
+		CoupledSets: 6, ScSSum: 100, ScSMax: 64 * 127, Live: 50, Capacity: 256}
+	fs := newFakeServer(t, func(req *wire.Request) *wire.Response {
+		if req.Op != wire.OpDemand {
+			return &wire.Response{Op: req.Op, Status: wire.StatusOK}
+		}
+		d := want
+		return &wire.Response{Op: req.Op, Status: wire.StatusOK, Demand: &d}
+	})
+	cl, err := New(Config{Addr: fs.ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, err := cl.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("Demand = %+v, want %+v", got, want)
+	}
+}

@@ -1,0 +1,265 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a cluster Client.
+type Config struct {
+	// Addrs are the nodes' "host:port" addresses; node i is Addrs[i]. The
+	// order must agree across every client and the rebalancer (it defines
+	// node ids).
+	Addrs []string
+	// VNodes is the number of ring slots per node. More slots spread load
+	// more evenly but make migrations finer-grained. Default 16.
+	VNodes int
+	// Seed places the ring's slot points and hashes keys onto it. Every
+	// client of one cluster must share it.
+	Seed uint64
+	// Client is the per-node connection template; Addr is overwritten per
+	// node.
+	Client client.Config
+	// Metrics, when non-nil, receives ring and routing gauges under
+	// "cluster.*".
+	Metrics *obs.Registry
+}
+
+// Client routes cache operations across a cluster through a consistent-hash
+// Ring: single operations go to the key's owner, MGET/MSET batches are
+// split per owner, sent concurrently, and merged back into request order
+// (via client.Multi). It also keeps the two signals the rebalancer feeds
+// on: per-slot operation counts (the load signal) and per-node in-flight
+// gates (so a migration can drain a node before copying keys).
+//
+// Safe for concurrent use.
+type Client struct {
+	ring  *Ring
+	multi *client.Multi
+
+	// slotOps[s] counts operations routed to slot s since the last
+	// TakeSlotLoads — the rebalancer's per-epoch load signal.
+	slotOps []atomic.Uint64
+	// gates[n] tracks node n's started/finished operations for DrainNode.
+	gates []gate
+
+	ops *obs.Counter
+}
+
+// gate is one node's in-flight accounting: an operation bumps started
+// before the network call and done after it.
+type gate struct {
+	started atomic.Uint64
+	done    atomic.Uint64
+}
+
+// NewClient builds a routing client over cfg.Addrs.
+func NewClient(cfg Config) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("cluster: no node addresses")
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 16
+	}
+	ring, err := NewRing(len(cfg.Addrs), cfg.VNodes, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]client.Config, len(cfg.Addrs))
+	for i, addr := range cfg.Addrs {
+		c := cfg.Client
+		c.Addr = addr
+		cfgs[i] = c
+	}
+	multi, err := client.NewMulti(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{
+		ring:    ring,
+		multi:   multi,
+		slotOps: make([]atomic.Uint64, ring.Slots()),
+		gates:   make([]gate, len(cfg.Addrs)),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		cl.ops = reg.Counter("cluster.client_ops")
+		reg.GaugeFunc("cluster.ring_version", func() float64 { return float64(ring.Version()) })
+		for n := 0; n < len(cfg.Addrs); n++ {
+			n := n
+			reg.GaugeFunc(fmt.Sprintf("cluster.node%d.slots", n), func() float64 {
+				return float64(len(ring.OwnedSlots(n)))
+			})
+		}
+	}
+	return cl, nil
+}
+
+// Ring exposes the client's ring (shared with the rebalancer).
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Nodes returns the node count.
+func (c *Client) Nodes() int { return c.multi.Len() }
+
+// Close releases every node's pooled connections.
+func (c *Client) Close() error { return c.multi.Close() }
+
+// route resolves key's owner, charges the slot's load counter, and opens
+// the node's gate. The caller must defer c.exit(node).
+func (c *Client) route(key string) (node int) {
+	node, slot := c.ring.Lookup(key)
+	c.slotOps[slot].Add(1)
+	c.gates[node].started.Add(1)
+	c.ops.Inc()
+	return node
+}
+
+func (c *Client) exit(node int) { c.gates[node].done.Add(1) }
+
+// Get fetches key from its owning node.
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	node := c.route(key)
+	defer c.exit(node)
+	return c.multi.Node(node).Get(key)
+}
+
+// Set stores key on its owning node.
+func (c *Client) Set(key string, value []byte) error {
+	node := c.route(key)
+	defer c.exit(node)
+	return c.multi.Node(node).Set(key, value)
+}
+
+// SetTTL stores key with an explicit TTL on its owning node.
+func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
+	node := c.route(key)
+	defer c.exit(node)
+	return c.multi.Node(node).SetTTL(key, value, ttl)
+}
+
+// Del removes key from its owning node.
+func (c *Client) Del(key string) (found bool, err error) {
+	node := c.route(key)
+	defer c.exit(node)
+	return c.multi.Node(node).Del(key)
+}
+
+// routeBatch resolves owners for n keys via pick-by-index, charging slot
+// counters and opening the gates of every involved node. It returns the
+// per-index node table and the distinct involved nodes.
+func (c *Client) routeBatch(n int, keyAt func(int) string) (nodes []int, involved []int) {
+	nodes = make([]int, n)
+	var seen []bool
+	for i := 0; i < n; i++ {
+		node, slot := c.ring.Lookup(keyAt(i))
+		nodes[i] = node
+		c.slotOps[slot].Add(1)
+		if seen == nil {
+			seen = make([]bool, c.multi.Len())
+		}
+		if !seen[node] {
+			seen[node] = true
+			involved = append(involved, node)
+		}
+	}
+	for _, node := range involved {
+		c.gates[node].started.Add(1)
+	}
+	c.ops.Inc()
+	return nodes, involved
+}
+
+// MGet fetches keys across the cluster: the batch is split per owning
+// node, fanned out concurrently, and merged back into key order. Failure
+// semantics are client.Multi's: dead nodes' keys read as misses alongside
+// a *client.PartialError.
+func (c *Client) MGet(keys []string) (values [][]byte, found []bool, err error) {
+	if len(keys) == 0 {
+		return nil, nil, nil
+	}
+	nodes, involved := c.routeBatch(len(keys), func(i int) string { return keys[i] })
+	defer func() {
+		for _, node := range involved {
+			c.exit(node)
+		}
+	}()
+	return c.multi.MGet(keys, func(i int) int { return nodes[i] })
+}
+
+// MSet stores pairs across the cluster (split per owner, like MGet).
+func (c *Client) MSet(pairs []wire.KV) error {
+	if len(pairs) == 0 {
+		return nil
+	}
+	nodes, involved := c.routeBatch(len(pairs), func(i int) string { return pairs[i].Key })
+	defer func() {
+		for _, node := range involved {
+			c.exit(node)
+		}
+	}()
+	return c.multi.MSet(pairs, func(i int) int { return nodes[i] })
+}
+
+// Ping checks liveness of every node; the first failure wins.
+func (c *Client) Ping() error {
+	for n := 0; n < c.multi.Len(); n++ {
+		if err := c.multi.Node(n).Ping(); err != nil {
+			return fmt.Errorf("node %d: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Demand polls node's capacity-demand snapshot.
+func (c *Client) Demand(node int) (wire.NodeDemand, error) {
+	return c.multi.Node(node).Demand()
+}
+
+// Stats fetches node's STATS document (raw JSON, see server.StatsSnapshot).
+func (c *Client) Stats(node int) ([]byte, error) {
+	return c.multi.Node(node).Stats()
+}
+
+// StatsAll fetches every node's STATS document, indexed by node.
+func (c *Client) StatsAll() ([][]byte, error) {
+	out := make([][]byte, c.multi.Len())
+	for n := range out {
+		b, err := c.multi.Node(n).Stats()
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", n, err)
+		}
+		out[n] = b
+	}
+	return out, nil
+}
+
+// node exposes a raw per-node client to the rebalancer's migration path
+// (which must address old and new owners directly, bypassing the ring).
+func (c *Client) node(n int) *client.Client { return c.multi.Node(n) }
+
+// TakeSlotLoads returns each slot's operation count since the previous
+// call, resetting the counters — one rebalancing epoch's load signal.
+func (c *Client) TakeSlotLoads() []uint64 {
+	loads := make([]uint64, len(c.slotOps))
+	for s := range c.slotOps {
+		loads[s] = c.slotOps[s].Swap(0)
+	}
+	return loads
+}
+
+// DrainNode waits until every operation routed to node before the call has
+// finished — the quiesce step before a migration copies a slot's keys.
+// Operations started after the call are not waited for (the lost-write
+// window is documented at Rebalancer.migrate).
+func (c *Client) DrainNode(node int) {
+	g := &c.gates[node]
+	target := g.started.Load()
+	for g.done.Load() < target {
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -1,0 +1,153 @@
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/stemcache"
+	"repro/internal/workloads"
+)
+
+// The hotspot-shift A/B: a 3-node ring driven by a Zipf hot set that jumps
+// to a fresh key partition mid-run. Each partition hashes to a different
+// slot mix, so whichever node owns the biggest share of the current
+// partition is pushed past its capacity (its sets' SC_S counters saturate
+// → the node reads as a taker) while the others idle. The STEM run lets
+// the rebalancer migrate slots each epoch; the static run never rebalances.
+// Everything is seeded, so the comparison is exact and reproducible.
+const (
+	e2eNodes      = 3
+	e2eVNodes     = 2   // few, fat slots: imbalance is the point
+	e2eCapacity   = 256 // per node (2 shards × 32 sets × 4 ways)
+	e2eSeed       = 21  // cluster seed: ring placement + node cache seeds
+	e2eWorkSeed   = 9   // workload seed
+	e2eStreamCap  = 960 // hot set = 720 keys ≈ 0.94× cluster capacity
+	e2ePartitions = 3   // hotspot shifts seen by the run
+	e2eEpochOps   = 512 // driver ops between rebalancing epochs
+	e2eMaxMoves   = 2   // migration bound per epoch
+)
+
+// runHotspotShift drives one full cluster run and returns the client-side
+// hit tally plus every epoch report (empty for the static configuration).
+func runHotspotShift(t *testing.T, rebalance bool) (gets, hits int, reports []cluster.EpochReport) {
+	t.Helper()
+	nodes := make([]*cluster.Node, e2eNodes)
+	addrs := make([]string, e2eNodes)
+	for i := range nodes {
+		node, err := cluster.StartNode(i, cluster.NodeConfig{
+			Cache: stemcache.Config{
+				Capacity: e2eCapacity, Shards: 2, Ways: 4,
+				// Narrow counters with slow decay: the node-level demand
+				// signal responds within one epoch of a hotspot landing.
+				CounterBits: 3, SpatialShift: 4,
+				Seed: cluster.NodeSeed(e2eSeed, i),
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+		defer node.Close()
+		addrs[i] = node.Addr()
+	}
+	cl, err := cluster.NewClient(cluster.Config{Addrs: addrs, VNodes: e2eVNodes, Seed: e2eSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	var rb *cluster.Rebalancer
+	if rebalance {
+		rb, err = cluster.NewRebalancer(cl,
+			func(n int) ([]string, error) { return nodes[n].Keys(), nil },
+			cluster.RebalancerConfig{
+				MaxMovesPerEpoch: e2eMaxMoves,
+				// Thresholds matched to the workload's measured signal: the
+				// overloaded nodes' demand scores ride ~0.15-0.27, the idle
+				// node's stays ~0.
+				TakerFrac: 0.12, GiverFrac: 0.05,
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	next, err := workloads.NewKeyStream("hotspot-shift", e2eStreamCap, e2eWorkSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := e2ePartitions * workloads.HotspotShiftEvery(e2eStreamCap)
+	val := []byte("x")
+	for i := 0; i < ops; i++ {
+		if rb != nil && i > 0 && i%e2eEpochOps == 0 {
+			report, err := rb.Epoch()
+			if err != nil {
+				t.Fatalf("epoch at op %d: %v", i, err)
+			}
+			reports = append(reports, report)
+		}
+		k := next()
+		_, found, err := cl.Get(k)
+		if err != nil {
+			t.Fatalf("get %q at op %d: %v", k, i, err)
+		}
+		gets++
+		if found {
+			hits++
+			continue
+		}
+		if err := cl.Set(k, val); err != nil {
+			t.Fatalf("set %q at op %d: %v", k, i, err)
+		}
+	}
+	return gets, hits, reports
+}
+
+// TestRebalancedRingBeatsStatic pins the tentpole claim: under the
+// hotspot-shift workload, the STEM-rebalanced ring's aggregate client hit
+// rate strictly beats the static ring's, with every epoch's migrations
+// inside the configured bound — and the rebalanced run is deterministic.
+func TestRebalancedRingBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster e2e drives ~41k loopback round trips")
+	}
+	sGets, sHits, sReports := runHotspotShift(t, false)
+	if len(sReports) != 0 {
+		t.Fatalf("static run produced %d epoch reports", len(sReports))
+	}
+	rGets, rHits, rReports := runHotspotShift(t, true)
+	if sGets != rGets {
+		t.Fatalf("runs diverged in op count: %d vs %d", sGets, rGets)
+	}
+
+	sRate := float64(sHits) / float64(sGets)
+	rRate := float64(rHits) / float64(rGets)
+	t.Logf("static: %d/%d = %.4f; rebalanced: %d/%d = %.4f",
+		sHits, sGets, sRate, rHits, rGets, rRate)
+
+	if rHits <= sHits {
+		t.Fatalf("rebalanced ring (%.4f) does not beat static (%.4f)", rRate, sRate)
+	}
+
+	moves := 0
+	for _, rep := range rReports {
+		if len(rep.Moves) > e2eMaxMoves {
+			t.Fatalf("epoch %d migrated %d slots, bound is %d", rep.Epoch, len(rep.Moves), e2eMaxMoves)
+		}
+		moves += len(rep.Moves)
+	}
+	if moves == 0 {
+		t.Fatal("the rebalanced run never migrated a slot; the A/B is vacuous")
+	}
+	t.Logf("rebalanced run: %d epochs, %d migrations", len(rReports), moves)
+
+	// Determinism: an identical rebalanced run reproduces hits and moves.
+	rGets2, rHits2, rReports2 := runHotspotShift(t, true)
+	if rGets2 != rGets || rHits2 != rHits {
+		t.Fatalf("rebalanced rerun diverged: %d/%d vs %d/%d", rHits2, rGets2, rHits, rGets)
+	}
+	if fmt.Sprint(rReports2) != fmt.Sprint(rReports) {
+		t.Fatal("rebalanced rerun planned different migrations")
+	}
+}

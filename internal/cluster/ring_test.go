@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(3, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(3, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewRing(3, 8, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if a.SlotOfKey(k) != b.SlotOfKey(k) {
+			t.Fatalf("equal seeds map %q to slots %d and %d", k, a.SlotOfKey(k), b.SlotOfKey(k))
+		}
+		if a.SlotOfKey(k) != other.SlotOfKey(k) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical key→slot mappings")
+	}
+}
+
+func TestRingInitialOwnership(t *testing.T) {
+	const nodes, vnodes = 4, 6
+	r, err := NewRing(nodes, vnodes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Slots() != nodes*vnodes || r.Nodes() != nodes {
+		t.Fatalf("Slots=%d Nodes=%d, want %d and %d", r.Slots(), r.Nodes(), nodes*vnodes, nodes)
+	}
+	for n := 0; n < nodes; n++ {
+		owned := r.OwnedSlots(n)
+		if len(owned) != vnodes {
+			t.Fatalf("node %d owns %d slots, want %d", n, len(owned), vnodes)
+		}
+		for _, s := range owned {
+			if r.Owner(s) != n || s%nodes != n {
+				t.Fatalf("slot %d owned by %d, want %d", s, r.Owner(s), s%nodes)
+			}
+		}
+	}
+}
+
+func TestRingMoveChangesOwnerNotMapping(t *testing.T) {
+	r, err := NewRing(3, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key and remember its slot.
+	key := "victim"
+	slot := r.SlotOfKey(key)
+	oldNode, gotSlot := r.Lookup(key)
+	if gotSlot != slot {
+		t.Fatalf("Lookup slot %d != SlotOfKey %d", gotSlot, slot)
+	}
+	to := (oldNode + 1) % 3
+	if err := r.Move(slot, to); err != nil {
+		t.Fatal(err)
+	}
+	if r.SlotOfKey(key) != slot {
+		t.Fatal("Move changed the key→slot mapping")
+	}
+	if node, _ := r.Lookup(key); node != to {
+		t.Fatalf("after Move, Lookup routes to %d, want %d", node, to)
+	}
+	if r.Version() != 1 {
+		t.Fatalf("Version = %d, want 1", r.Version())
+	}
+	if err := r.Move(99, 0); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if err := r.Move(0, 9); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+
+	// Ownership accounting follows the move.
+	owners := r.Owners()
+	if owners[slot] != to {
+		t.Fatalf("Owners()[%d] = %d, want %d", slot, owners[slot], to)
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing(3, 16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, r.Slots())
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		counts[r.SlotOfKey(fmt.Sprintf("spread-%d", i))]++
+	}
+	empty := 0
+	for _, c := range counts {
+		if c == 0 {
+			empty++
+		}
+	}
+	// 48 slots over 50k keys: every slot should see traffic (an empty slot
+	// means a degenerate arc).
+	if empty > 0 {
+		t.Fatalf("%d of %d slots received no keys", empty, r.Slots())
+	}
+}
+
+func TestRingRejectsBadGeometry(t *testing.T) {
+	if _, err := NewRing(0, 4, 1); err == nil {
+		t.Fatal("zero nodes accepted")
+	}
+	if _, err := NewRing(3, 0, 1); err == nil {
+		t.Fatal("zero vnodes accepted")
+	}
+}
+
+func TestNodeSeedsDiffer(t *testing.T) {
+	seen := map[uint64]int{}
+	for id := 0; id < 64; id++ {
+		s := NodeSeed(99, id)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("nodes %d and %d share seed %d", prev, id, s)
+		}
+		seen[s] = id
+	}
+	if NodeSeed(1, 0) == NodeSeed(2, 0) {
+		t.Fatal("cluster seeds 1 and 2 give node 0 the same seed")
+	}
+}

@@ -34,6 +34,17 @@ const (
 	// EvSnapshot: a periodic run snapshot (emitted by the run harness, not
 	// the schemes); Event.Snap carries the payload.
 	EvSnapshot
+	// EvNodeDemand: the cluster rebalancer polled a node's demand snapshot.
+	// Field reuse at the node level: Tick is the rebalancing epoch, Set the
+	// node id, ScS/ScT the node's taker/giver set counts, Life its coupled
+	// set count, Class its resulting classification ("taker", "giver" or
+	// "neutral").
+	EvNodeDemand
+	// EvSlotMigrate: the rebalancer moved a virtual-node slot between nodes
+	// — the node-level analog of EvSpill's set-to-set capacity transfer.
+	// Field reuse: Tick is the epoch, Set the slot id, ScS the source node,
+	// Partner the destination node, Life the number of keys handed off.
+	EvSlotMigrate
 )
 
 var eventNames = map[EventType]string{
@@ -45,6 +56,8 @@ var eventNames = map[EventType]string{
 	EvSpill:       "spill",
 	EvReceive:     "receive",
 	EvSnapshot:    "snapshot",
+	EvNodeDemand:  "node_demand",
+	EvSlotMigrate: "slot_migrate",
 }
 
 // String returns the JSONL wire name of the event type.
@@ -148,14 +161,14 @@ func (m multiObserver) Event(e Event) {
 // then forwards to next (which may be nil).
 func NewRegistryObserver(reg *Registry, next Observer) Observer {
 	ro := &registryObserver{next: next, life: reg.Histogram("events.couple_lifetime")}
-	for t := EvShadowHit; t <= EvSnapshot; t++ {
+	for t := EvShadowHit; t <= EvSlotMigrate; t++ {
 		ro.counts[t] = reg.Counter("events." + t.String())
 	}
 	return ro
 }
 
 type registryObserver struct {
-	counts [EvSnapshot + 1]*Counter
+	counts [EvSlotMigrate + 1]*Counter
 	life   *Histogram
 	next   Observer
 }

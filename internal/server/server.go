@@ -76,6 +76,10 @@ type Config struct {
 	Limits wire.Limits
 	// Metrics, when non-nil, receives server counters under "server.*".
 	Metrics *obs.Registry
+	// NodeID identifies this server within a cluster; it is echoed in
+	// DEMAND responses and the STATS document so a cluster client can tell
+	// which node answered. 0 for a standalone server.
+	NodeID int
 }
 
 func (c Config) withDefaults() Config {
@@ -317,6 +321,8 @@ func (s *Server) Close() error {
 
 // StatsSnapshot is the STATS frame's JSON document.
 type StatsSnapshot struct {
+	// NodeID is the server's cluster node id (0 standalone).
+	NodeID int `json:"node_id"`
 	// Cache is the stemcache counter block (hits, misses, spills, ...).
 	Cache stemcache.Stats `json:"cache"`
 	// HitRate is Cache.HitRate, precomputed for dashboards.
@@ -340,6 +346,7 @@ type StatsSnapshot struct {
 func (s *Server) statsJSON() ([]byte, error) {
 	st := s.cache.Stats()
 	snap := StatsSnapshot{
+		NodeID:        s.cfg.NodeID,
 		Cache:         st,
 		HitRate:       st.HitRate(),
 		Len:           s.cache.Len(),
@@ -350,6 +357,26 @@ func (s *Server) statsJSON() ([]byte, error) {
 		ProtoErrors:   s.protoErrors.Load(),
 	}
 	return json.Marshal(snap)
+}
+
+// demand is the DEMAND export hook: it rolls the cache's per-set SCDM state
+// up into the wire snapshot the cluster rebalancer polls. Reading demand
+// never sweeps or otherwise perturbs the cache (stemcache.Demand's
+// contract), so a rebalancer polling every epoch observes, it does not
+// steer.
+func (s *Server) demand() *wire.NodeDemand {
+	d := s.cache.Demand()
+	return &wire.NodeDemand{
+		NodeID:      uint32(s.cfg.NodeID),
+		Sets:        uint32(d.Sets),
+		TakerSets:   uint32(d.TakerSets),
+		GiverSets:   uint32(d.GiverSets),
+		CoupledSets: uint32(d.CoupledSets),
+		ScSSum:      d.ScSSum,
+		ScSMax:      d.ScSMax,
+		Live:        uint64(d.Live),
+		Capacity:    uint64(d.Capacity),
+	}
 }
 
 // handle executes one decoded request against the cache and fills resp.
@@ -395,6 +422,8 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 			s.cache.Set(kv.Key, kv.Value)
 		}
 		s.met.batchKeys.Add(uint64(len(req.Pairs)))
+	case wire.OpDemand:
+		resp.Demand = s.demand()
 	case wire.OpStats:
 		b, err := s.statsJSON()
 		if err != nil {

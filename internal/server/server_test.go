@@ -176,6 +176,66 @@ func TestServeStats(t *testing.T) {
 	}
 }
 
+// TestServeDemandAndRoleGauges drives the node-demand export end to end:
+// the DEMAND frame and the STATS document must both carry the cache's
+// taker/giver/coupled gauges, agree with each other, and echo the
+// configured node id.
+func TestServeDemandAndRoleGauges(t *testing.T) {
+	srv, cache := startServer(t,
+		stemcache.Config{Capacity: 1 << 10, Seed: 1},
+		server.Config{NodeID: 7})
+	cl := newClient(t, srv.Addr())
+
+	// Some traffic so Live and the SCDM counters are nontrivial.
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if err := cl.Set(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d, err := cl.Demand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NodeID != 7 {
+		t.Fatalf("demand NodeID = %d, want 7", d.NodeID)
+	}
+	if d.Sets == 0 || d.ScSMax == 0 {
+		t.Fatalf("demand has empty geometry: %+v", d)
+	}
+	if d.GiverSets > d.Sets || d.TakerSets > d.Sets {
+		t.Fatalf("role counts exceed set count: %+v", d)
+	}
+	if d.Live != 64 || d.Capacity != uint64(cache.Capacity()) {
+		t.Fatalf("Live=%d Capacity=%d, want 64 and %d", d.Live, d.Capacity, cache.Capacity())
+	}
+
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats payload does not decode: %v\n%s", err, raw)
+	}
+	if snap.NodeID != 7 {
+		t.Fatalf("stats NodeID = %d, want 7", snap.NodeID)
+	}
+	// No cache traffic happened between the two reads, so the instantaneous
+	// gauges must agree exactly.
+	if snap.Cache.TakerSets != uint64(d.TakerSets) ||
+		snap.Cache.GiverSets != uint64(d.GiverSets) ||
+		snap.Cache.CoupledSets != uint64(d.CoupledSets) {
+		t.Fatalf("STATS gauges (%d, %d, %d) disagree with DEMAND (%d, %d, %d)",
+			snap.Cache.TakerSets, snap.Cache.GiverSets, snap.Cache.CoupledSets,
+			d.TakerSets, d.GiverSets, d.CoupledSets)
+	}
+}
+
 // TestServePipelinedBatch drives one connection with a large pipelined
 // batch and checks every response arrives in order.
 func TestServePipelinedBatch(t *testing.T) {

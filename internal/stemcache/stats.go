@@ -40,6 +40,23 @@ type Stats struct {
 	Spills uint64
 	// Receives counts entries accepted by giver sets; equals Spills.
 	Receives uint64
+
+	// The three fields below are instantaneous set-role gauges, not
+	// monotonic counters: each Stats() call recomputes them from the live
+	// SCDM state (deterministically, for a deterministic op history). They
+	// ride in Stats so the STATS wire path exports them without a second
+	// message.
+
+	// TakerSets counts sets whose SC_S is saturated right now — the sets
+	// the spatial mechanism classifies as capacity takers.
+	TakerSets uint64
+	// GiverSets counts sets whose SC_S MSB is clear right now — sets with
+	// spare capacity the spatial mechanism may lend out. A fresh cache
+	// reports every set here (SC_S starts at zero).
+	GiverSets uint64
+	// CoupledSets counts sets currently in a taker-giver association
+	// (both ends counted).
+	CoupledSets uint64
 }
 
 // HitRate returns Hits/Gets, or 0 for a cache that has seen no Gets.
@@ -66,6 +83,9 @@ func (s *Stats) add(o Stats) {
 	s.Decouplings += o.Decouplings
 	s.Spills += o.Spills
 	s.Receives += o.Receives
+	s.TakerSets += o.TakerSets
+	s.GiverSets += o.GiverSets
+	s.CoupledSets += o.CoupledSets
 }
 
 // metrics holds the obs.Registry counters the cache feeds. With no registry

@@ -550,13 +550,19 @@ func (c *Cache[K, V]) Shards() int { return len(c.shards) }
 
 // Stats aggregates every shard's counters into one consistent-per-shard
 // snapshot (shards are locked one at a time, so cross-shard totals may
-// straddle concurrent operations).
+// straddle concurrent operations). The TakerSets/GiverSets/CoupledSets
+// fields are instantaneous set-role gauges recomputed from the live SCDM
+// state at call time, not accumulated counters.
 func (c *Cache[K, V]) Stats() Stats {
 	var out Stats
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		out.add(sh.stats)
+		t, g, cp, _ := c.scanRoles(sh)
+		out.TakerSets += uint64(t)
+		out.GiverSets += uint64(g)
+		out.CoupledSets += uint64(cp)
 		sh.mu.Unlock()
 	}
 	return out

@@ -41,7 +41,7 @@ func DecodeRequest(data []byte, lim Limits) (*Request, int, error) {
 func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 	var err error
 	switch req.Op {
-	case OpPing, OpStats:
+	case OpPing, OpStats, OpDemand:
 		// Empty payload; done() rejects any extra bytes.
 	case OpGet, OpDel:
 		req.Key, err = c.key()
@@ -133,6 +133,10 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 		if resp.Status == StatusOK || resp.Status == StatusNotStored {
 			resp.Value, err = c.value(lim.MaxValueLen)
 		}
+	case resp.Op == OpDemand:
+		if resp.Status == StatusOK {
+			resp.Demand, err = c.demand()
+		}
 	case resp.Op == OpMGet:
 		// Each entry costs at least its 1-byte presence flag.
 		var n int
@@ -163,6 +167,28 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 		}
 	}
 	return err
+}
+
+// demand reads the fixed 52-byte DEMAND payload (see appendDemand for the
+// field order). The size check up front turns every truncation into one
+// error instead of nine partial reads.
+func (c *cursor) demand() (*NodeDemand, error) {
+	if len(c.b) < nodeDemandLen {
+		return nil, frameErrf("truncated DEMAND payload: want %d bytes, have %d", nodeDemandLen, len(c.b))
+	}
+	var d NodeDemand
+	var err error
+	for _, p := range []*uint32{&d.NodeID, &d.Sets, &d.TakerSets, &d.GiverSets, &d.CoupledSets} {
+		if *p, err = c.u32(); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range []*uint64{&d.ScSSum, &d.ScSMax, &d.Live, &d.Capacity} {
+		if *p, err = c.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return &d, nil
 }
 
 // kv reads a key then a value.

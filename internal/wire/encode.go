@@ -14,7 +14,7 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 
 	var err error
 	switch req.Op {
-	case OpPing, OpStats:
+	case OpPing, OpStats, OpDemand:
 		// Empty payload.
 	case OpGet, OpDel:
 		if err = checkKey(req.Key); err == nil {
@@ -91,6 +91,15 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 			}
 			buf = appendValue(buf, resp.Value)
 		}
+	case resp.Op == OpDemand:
+		// The fixed binary snapshot travels only on StatusOK.
+		if resp.Status == StatusOK {
+			if resp.Demand == nil {
+				err = fmt.Errorf("wire: DEMAND OK response without a demand snapshot")
+				break
+			}
+			buf = appendDemand(buf, resp.Demand)
+		}
 	case resp.Op == OpMGet:
 		if len(resp.Values) != len(resp.Found) {
 			err = fmt.Errorf("wire: MGET response with %d values but %d found flags", len(resp.Values), len(resp.Found))
@@ -141,8 +150,26 @@ func appendKV(buf []byte, k string, v []byte, lim Limits) ([]byte, error) {
 	return buf, nil
 }
 
+// appendDemand appends the fixed 52-byte DEMAND payload: the five uint32
+// fields in declaration order, then the four uint64 fields.
+func appendDemand(buf []byte, d *NodeDemand) []byte {
+	buf = appendU32(buf, d.NodeID)
+	buf = appendU32(buf, d.Sets)
+	buf = appendU32(buf, d.TakerSets)
+	buf = appendU32(buf, d.GiverSets)
+	buf = appendU32(buf, d.CoupledSets)
+	buf = appendU64(buf, d.ScSSum)
+	buf = appendU64(buf, d.ScSMax)
+	buf = appendU64(buf, d.Live)
+	return appendU64(buf, d.Capacity)
+}
+
 func appendU16(buf []byte, v uint16) []byte {
 	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
 func appendU64(buf []byte, v uint64) []byte {

@@ -75,6 +75,11 @@ func FuzzWireDecode(f *testing.F) {
 				len(resp2.Values) != len(resp.Values) {
 				t.Fatalf("response round trip drifted: %+v vs %+v", resp, resp2)
 			}
+			if resp.Demand != nil || resp2.Demand != nil {
+				if resp.Demand == nil || resp2.Demand == nil || *resp2.Demand != *resp.Demand {
+					t.Fatalf("demand round trip drifted: %+v vs %+v", resp.Demand, resp2.Demand)
+				}
+			}
 		} else if !errors.Is(err, ErrFrame) {
 			t.Fatalf("response decode error %v does not wrap ErrFrame", err)
 		}

@@ -76,6 +76,10 @@ const (
 	OpMSet
 	// OpStats asks for the server's statistics snapshot (JSON payload).
 	OpStats
+	// OpDemand asks for the node's aggregate capacity-demand signal — the
+	// per-set SCDM state rolled up to node level (NodeDemand). Empty
+	// request payload; the response carries a fixed binary NodeDemand.
+	OpDemand
 
 	opMax // one past the last valid opcode
 )
@@ -99,6 +103,8 @@ func (o Op) String() string {
 		return "MSET"
 	case OpStats:
 		return "STATS"
+	case OpDemand:
+		return "DEMAND"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -204,6 +210,55 @@ type KV struct {
 	Value []byte
 }
 
+// NodeDemand is the DEMAND response payload: one node's aggregate
+// capacity-demand signal, derived from its cache's per-set SCDM monitors
+// (stemcache.Demand). The cluster rebalancer reads these to classify whole
+// nodes as takers (starved: most sets' SC_S saturated) or givers (slack:
+// most sets' SC_S MSB clear), mirroring the paper's set-level roles one
+// level up. It travels as a fixed 52-byte big-endian payload so a demand
+// poll costs one small frame, not a JSON parse.
+type NodeDemand struct {
+	// NodeID identifies the answering node within its cluster (the
+	// server's configured id; 0 when unconfigured).
+	NodeID uint32
+	// Sets is the cache's total set count.
+	Sets uint32
+	// TakerSets counts sets whose SC_S is saturated.
+	TakerSets uint32
+	// GiverSets counts sets whose SC_S MSB is clear.
+	GiverSets uint32
+	// CoupledSets counts sets currently in a taker-giver association.
+	CoupledSets uint32
+	// ScSSum is the sum of all sets' SC_S counters; ScSMax is the
+	// saturation denominator (Sets × counter max).
+	ScSSum uint64
+	ScSMax uint64
+	// Live and Capacity are the cache's resident entry count and
+	// normalized entry capacity.
+	Live     uint64
+	Capacity uint64
+}
+
+// nodeDemandLen is the fixed DEMAND response payload size: five uint32
+// fields plus four uint64 fields.
+const nodeDemandLen = 5*4 + 4*8
+
+// TakerFrac returns the fraction of sets classified as takers, in [0, 1].
+func (d NodeDemand) TakerFrac() float64 {
+	if d.Sets == 0 {
+		return 0
+	}
+	return float64(d.TakerSets) / float64(d.Sets)
+}
+
+// Saturation returns the mean SC_S saturation across sets, in [0, 1].
+func (d NodeDemand) Saturation() float64 {
+	if d.ScSMax == 0 {
+		return 0
+	}
+	return float64(d.ScSSum) / float64(d.ScSMax)
+}
+
 // Request is the decoded form of one request frame.
 type Request struct {
 	// Op selects the operation.
@@ -241,6 +296,8 @@ type Response struct {
 	Found []bool
 	// Values answers MGET (parallel to Found).
 	Values [][]byte
+	// Demand answers DEMAND (StatusOK only); nil otherwise.
+	Demand *NodeDemand
 }
 
 // ErrFrame is the base error wrapped by every decoder rejection, so callers

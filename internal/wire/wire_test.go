@@ -25,6 +25,7 @@ func requestFixtures() []*Request {
 		{Op: OpMGet, ID: 9, Keys: []string{"a", "", "long-key"}},
 		{Op: OpMGet, ID: 10, Keys: []string{}},
 		{Op: OpMSet, ID: 11, Pairs: []KV{{Key: "a", Value: []byte("1")}, {Key: "b", Value: nil}}},
+		{Op: OpDemand, ID: 12},
 	}
 }
 
@@ -42,6 +43,11 @@ func responseFixtures() []*Response {
 			Found: []bool{true, false, true}, Values: [][]byte{[]byte("a"), nil, {}}},
 		{Op: OpStats, ID: 10, Status: StatusOK, Value: []byte(`{"gets":1}`)},
 		{Op: OpGet, ID: 11, Status: StatusErr, Value: []byte("boom")},
+		{Op: OpDemand, ID: 12, Status: StatusOK, Demand: &NodeDemand{
+			NodeID: 2, Sets: 512, TakerSets: 96, GiverSets: 300, CoupledSets: 64,
+			ScSSum: 9000, ScSMax: 512 * 127, Live: 4000, Capacity: 4096,
+		}},
+		{Op: OpDemand, ID: 13, Status: StatusErr, Value: []byte("draining")},
 	}
 }
 
@@ -246,6 +252,63 @@ func TestSetTTLRoundTripsNanoseconds(t *testing.T) {
 	}
 	if got.TTL != req.TTL {
 		t.Fatalf("TTL %v != %v", got.TTL, req.TTL)
+	}
+}
+
+// TestDemandPayload pins the DEMAND response contract: fixed 52-byte OK
+// payload, no snapshot on non-OK statuses, truncation rejected, and an OK
+// encode without a snapshot refused at the sender.
+func TestDemandPayload(t *testing.T) {
+	lim := DefaultLimits()
+	d := &NodeDemand{NodeID: 1, Sets: 128, TakerSets: 128, ScSSum: 127 * 128, ScSMax: 127 * 128}
+	buf, err := AppendResponse(nil, &Response{Op: OpDemand, ID: 5, Status: StatusOK, Demand: d}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(buf) - HeaderLen; got != nodeDemandLen {
+		t.Fatalf("DEMAND payload is %d bytes, want %d", got, nodeDemandLen)
+	}
+	resp, _, err := DecodeResponse(buf, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Demand, d) {
+		t.Fatalf("demand round trip: got %+v want %+v", resp.Demand, d)
+	}
+	if resp.Demand.TakerFrac() != 1 || resp.Demand.Saturation() != 1 {
+		t.Errorf("TakerFrac = %v, Saturation = %v, want 1, 1",
+			resp.Demand.TakerFrac(), resp.Demand.Saturation())
+	}
+
+	// Truncated payload must be rejected as a frame error.
+	short := append([]byte(nil), buf[:len(buf)-1]...)
+	binary.BigEndian.PutUint32(short[8:12], uint32(nodeDemandLen-1))
+	if _, _, err := DecodeResponse(short, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated DEMAND accepted: %v", err)
+	}
+
+	// An OK response with no snapshot cannot be encoded.
+	if _, err := AppendResponse(nil, &Response{Op: OpDemand, Status: StatusOK}, lim); err == nil {
+		t.Fatal("DEMAND OK without snapshot encoded")
+	}
+
+	// A non-OK status carries no snapshot.
+	buf, err = AppendResponse(nil, &Response{Op: OpDemand, ID: 6, Status: StatusNotFound}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err = DecodeResponse(buf, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Demand != nil {
+		t.Fatalf("non-OK DEMAND decoded a snapshot: %+v", resp.Demand)
+	}
+
+	// Zero denominators must not divide by zero.
+	var zero NodeDemand
+	if zero.TakerFrac() != 0 || zero.Saturation() != 0 {
+		t.Errorf("zero demand: TakerFrac = %v, Saturation = %v", zero.TakerFrac(), zero.Saturation())
 	}
 }
 

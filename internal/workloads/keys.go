@@ -27,8 +27,20 @@ import (
 // give byte-identical key sequences, so a STEM server and a baseline server
 // can be driven with exactly the same load.
 
+//   - "hotspot-shift": a Zipfian hot set that jumps to a disjoint key
+//     partition every HotspotShiftEvery(capacity) draws. Against a cluster,
+//     each partition hashes to a different node mix, so the load (and the
+//     capacity demand it induces) migrates between nodes mid-run — the
+//     workload the STEM-style node rebalancer exists for.
+
 // KeyDists lists the serving key distributions NewKeyStream accepts.
-func KeyDists() []string { return []string{"zipf", "scan", "mixed"} }
+func KeyDists() []string { return []string{"zipf", "scan", "mixed", "hotspot-shift"} }
+
+// HotspotShiftEvery is the partition dwell time of the "hotspot-shift"
+// stream, in draws per worker: long enough for a cache sized near capacity
+// to converge on the hot set, short enough that a run of a few multiples
+// sees several shifts.
+func HotspotShiftEvery(capacity int) int { return capacity * 6 }
 
 // NewKeyStream returns a deterministic key generator for a single worker
 // driving a cache of the given entry capacity: NewWorkerKeyStream with the
@@ -77,6 +89,24 @@ func NewWorkerKeyStream(dist string, capacity int, seed uint64, w, workers int) 
 				return "h" + strconv.Itoa(zipfKeyRank(r, hot))
 			}
 			return sweep()
+		}, nil
+	case "hotspot-shift":
+		// The hot set is deliberately close to (3/4 of) the stated capacity:
+		// a single cache holding it entirely hits well, but the node of a
+		// cluster that owns most of the current partition is pushed past its
+		// share — the demand signal the node rebalancer feeds on. Partitions
+		// are keyed by prefix ("hs<p>:<rank>") so successive hot sets are
+		// disjoint and hash to fresh, uncorrelated ring positions.
+		hot := (capacity * 3) / 4
+		if hot < 1 {
+			hot = 1
+		}
+		every := HotspotShiftEvery(capacity)
+		draws := 0
+		return func() string {
+			p := draws / every
+			draws++
+			return "hs" + strconv.Itoa(p) + ":" + strconv.Itoa(zipfKeyRank(r, hot))
 		}, nil
 	default:
 		return nil, fmt.Errorf("workloads: unknown key distribution %q (have %v)", dist, KeyDists())

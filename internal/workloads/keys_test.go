@@ -165,6 +165,52 @@ func TestWorkerKeyStreamPartition(t *testing.T) {
 	}
 }
 
+// TestHotspotShiftJumpsPartitions pins the hotspot-shift contract: every
+// key is "hs<p>:<rank>" with rank inside the hot set, the partition p
+// advances exactly at HotspotShiftEvery boundaries, and successive
+// partitions' keyspaces are disjoint (distinct prefixes).
+func TestHotspotShiftJumpsPartitions(t *testing.T) {
+	const capacity = 256
+	hot := (capacity * 3) / 4
+	every := HotspotShiftEvery(capacity)
+	next, err := NewKeyStream("hotspot-shift", capacity, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*every; i++ {
+		k := next()
+		rest, ok := strings.CutPrefix(k, "hs")
+		if !ok {
+			t.Fatalf("key %d = %q lacks the hs prefix", i, k)
+		}
+		pStr, rankStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			t.Fatalf("key %d = %q lacks a partition separator", i, k)
+		}
+		p, err := strconv.Atoi(pStr)
+		if err != nil || p != i/every {
+			t.Fatalf("key %d = %q in partition %d, want %d", i, k, p, i/every)
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil || rank < 0 || rank >= hot {
+			t.Fatalf("key %d = %q rank outside [0, %d)", i, k, hot)
+		}
+	}
+
+	// The head of each partition's Zipf must dominate, same as "zipf".
+	fresh, err := NewKeyStream("hotspot-shift", capacity, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < every; i++ {
+		counts[fresh()]++
+	}
+	if counts["hs0:0"] < every/20 {
+		t.Fatalf("hotspot head key seen %d of %d draws; not skewed", counts["hs0:0"], every)
+	}
+}
+
 func TestNewKeyStreamRejects(t *testing.T) {
 	if _, err := NewKeyStream("bogus", 1024, 1); err == nil {
 		t.Fatal("unknown distribution accepted")
