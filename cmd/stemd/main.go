@@ -9,6 +9,7 @@
 //	stemd -addr :7070 -shards 32 -ways 16 -default-ttl 5m
 //	stemd -addr :7070 -lru                # sharded-LRU baseline, same geometry
 //	stemd -addr :7070 -metrics :6060 -pprof -trace events.jsonl
+//	stemd -addr :0 -addr-file addr.txt -trace ev.jsonl -slow-request 2ms
 //	stemd -addr :7071 -node-id 1 -cluster-seed 21   # one node of a cluster
 //
 // As a cluster member (-node-id ≥ 0), stemd derives its cache seed from the
@@ -56,6 +57,8 @@ func main() {
 		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
 		pprofFlag   = flag.Bool("pprof", false, "with -metrics, also serve /debug/pprof")
 		tracePath   = flag.String("trace", "", `write mechanism events as JSONL to this file ("-" for stdout)`)
+		slowReq     = flag.Duration("slow-request", 0, "with -trace: emit a slow_request event for requests whose decode+handle exceeds this (0 = off)")
+		addrFile    = flag.String("addr-file", "", "write the bound listen address to this file once serving (for scripts using :0)")
 	)
 	flag.Parse()
 
@@ -66,6 +69,7 @@ func main() {
 		maxConns: *maxConns, readTimeout: *readTimeout, writeTimeout: *writeTimeout,
 		idleTimeout: *idleTimeout, drainTimeout: *drainTimeout,
 		metricsAddr: *metricsAddr, pprof: *pprofFlag, tracePath: *tracePath,
+		slowRequest: *slowReq, addrFile: *addrFile,
 	}, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "stemd:", err)
 		os.Exit(1)
@@ -94,6 +98,8 @@ type runConfig struct {
 	metricsAddr string
 	pprof       bool
 	tracePath   string
+	slowRequest time.Duration
+	addrFile    string
 }
 
 // run builds the cache and server, then blocks until a termination signal
@@ -121,10 +127,16 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 		ccfg.Seed = cluster.NodeSeed(cfg.clusterSeed, cfg.nodeID)
 	}
 	var reg *obs.Registry
+	var events obs.Observer
 	if opts := tool.Options(); opts != nil {
 		reg = opts.Registry
 		ccfg.Metrics = opts.Registry
 		ccfg.Observer = opts.Tracer
+		// Slow-request events go to the same JSONL stream as the mechanism
+		// events, so stemtrace can window one against the other.
+		if opts.Tracer != nil {
+			events = opts.Tracer
+		}
 	}
 	var cache *stemcache.Cache[string, []byte]
 	if cfg.lru {
@@ -145,12 +157,22 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 		IdleTimeout:  cfg.idleTimeout,
 		DrainTimeout: cfg.drainTimeout,
 		Metrics:      reg,
+		SlowRequest:  cfg.slowRequest,
+		Events:       events,
 	})
 	if err != nil {
 		return err
 	}
 	if err := srv.Start(cfg.addr); err != nil {
 		return err
+	}
+	if cfg.addrFile != "" {
+		// Written after the bind, so a script that waits for the file to
+		// appear can connect immediately.
+		if err := os.WriteFile(cfg.addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			srv.Close()
+			return err
+		}
 	}
 
 	engine := "STEM"

@@ -1,9 +1,26 @@
-// Command stemload is a closed-loop load generator for stemd: N workers run
-// a cache-aside loop (GET, on miss SET) against a server, drawing keys from
+// Command stemload is a load generator for stemd: N workers run a
+// cache-aside loop (GET, on miss SET) against a server, drawing keys from
 // one of the deterministic serving distributions in internal/workloads, and
 // report throughput, client latency percentiles, and hit rates.
 //
-// Three modes:
+// Loop disciplines:
+//
+//   - Closed loop (default): each worker issues its next operation as soon
+//     as the previous one completes. This measures service time under
+//     self-limiting load, but hides queueing delay — when the server
+//     stalls, the generator politely stops sending (coordinated omission).
+//   - Open loop (-rate R): operations are scheduled by a Poisson arrival
+//     process at R ops/s in aggregate, independent of completions, and
+//     each operation's latency is measured from its *scheduled* send time.
+//     A stalled server keeps accumulating scheduled arrivals, so the delay
+//     its stall inflicted on every queued request lands in the histogram
+//     instead of being silently omitted. Above saturation the open-loop
+//     tail is therefore the honest one: expect p99(open) ≥ p99(closed).
+//
+// Latencies are recorded in mergeable log-linear histograms (~3% relative
+// error), not sample arrays, so -ops can grow without memory growing.
+//
+// Target modes:
 //
 //   - With -addr, stemload drives an existing server and reports its
 //     numbers.
@@ -11,12 +28,15 @@
 //     addresses, e.g. the set stemcluster prints) through the consistent-hash
 //     routing client and reports aggregate plus per-node numbers. -seed and
 //     -vnodes must match the cluster's.
-//   - Without either, stemload self-hosts the comparison the STEM paper is
-//     about: it starts two in-process servers over the same geometry — one
-//     STEM-managed, one the sharded-LRU baseline — drives both with
-//     byte-identical key streams, and reports hit rates side by side. On the
-//     "mixed" (zipf+scan) distribution the STEM engine's set-level BIP
-//     dueling should win.
+//   - Without either: self-hosted comparisons. Plain, it runs the STEM vs
+//     sharded-LRU hit-rate comparison the paper is about. With -rate it
+//     instead runs the coordinated-omission experiment: one STEM server,
+//     a closed-loop pass then an open-loop pass at -rate, both reported
+//     side by side (the BENCH_latency.json document).
+//
+// With -trace-every N, every N-th request carries a wire trace extension
+// and the report includes the server/network latency split measured from
+// the echoed server timings.
 //
 // Usage:
 //
@@ -24,6 +44,8 @@
 //	stemload -dist scan -ops 500000
 //	stemload -dist hotspot-shift          # migrating hot set (the cluster workload)
 //	stemload -addr :7070 -conns 16
+//	stemload -addr :7070 -rate 50000      # open loop at 50k ops/s
+//	stemload -rate 200000 -json BENCH_latency.json   # closed vs open, one server
 //	stemload -cluster 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 -seed 21
 //	stemload -json BENCH_serving.json     # machine-readable trajectory point
 package main
@@ -32,15 +54,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
-	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/stemcache"
 	"repro/internal/workloads"
 )
@@ -60,6 +84,8 @@ func main() {
 		capacity  = flag.Int("capacity", 1<<13, "cache capacity in entries (self-hosted servers; also scales the keyspace)")
 		valueSize = flag.Int("value-size", 128, "value payload bytes")
 		seed      = flag.Uint64("seed", 0x57E4, "key stream seed (worker w draws from seed+w)")
+		rate      = flag.Float64("rate", 0, "open-loop Poisson arrival rate, total ops/s (0 = closed loop)")
+		traceEach = flag.Int("trace-every", 0, "trace every Nth request end to end (0 = off)")
 		jsonPath  = flag.String("json", "", `write results as JSON to this file ("-" for stdout)`)
 	)
 	flag.Parse()
@@ -67,6 +93,7 @@ func main() {
 	if err := run(*addr, *clusterEP, loadConfig{
 		Dist: *dist, Ops: *ops, Conns: *conns, Capacity: *capacity,
 		ValueSize: *valueSize, Seed: *seed, VNodes: *vnodes,
+		Rate: *rate, TraceEvery: *traceEach,
 	}, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "stemload:", err)
 		os.Exit(1)
@@ -83,18 +110,35 @@ type loadConfig struct {
 	Seed      uint64 `json:"seed"`
 	// VNodes applies to -cluster runs only (0 = the cluster default).
 	VNodes int `json:"vnodes,omitempty"`
+	// Rate > 0 selects the open loop: Poisson arrivals at Rate ops/s in
+	// aggregate, latency measured from the scheduled send time.
+	Rate float64 `json:"rate,omitempty"`
+	// TraceEvery > 0 traces every Nth request end to end.
+	TraceEvery int `json:"trace_every,omitempty"`
 }
 
 // result is one engine's measured outcome — the BENCH_*.json trajectory
 // point schema.
 type result struct {
-	Engine        string  `json:"engine"`
+	Engine string `json:"engine"`
+	// Mode is the loop discipline that produced the numbers: "closed" or
+	// "open" (see the package comment for why their tails differ).
+	Mode          string  `json:"mode"`
 	Seconds       float64 `json:"seconds"`
 	OpsPerSec     float64 `json:"ops_per_sec"`
 	LatP50Micros  float64 `json:"lat_p50_us"`
 	LatP90Micros  float64 `json:"lat_p90_us"`
 	LatP99Micros  float64 `json:"lat_p99_us"`
-	ClientHitRate float64 `json:"client_hit_rate"`
+	LatP999Micros float64 `json:"lat_p999_us"`
+	LatMeanMicros float64 `json:"lat_mean_us"`
+	LatMaxMicros  float64 `json:"lat_max_us"`
+	// TraceSamples and the p99 split appear when -trace-every sampled at
+	// least one operation: ServerP99Micros is queue+handle on the server's
+	// clock, NetP99Micros is everything else (wire, kernel, scheduling).
+	TraceSamples    uint64  `json:"trace_samples,omitempty"`
+	ServerP99Micros float64 `json:"server_p99_us,omitempty"`
+	NetP99Micros    float64 `json:"net_p99_us,omitempty"`
+	ClientHitRate   float64 `json:"client_hit_rate"`
 	// ServerHitRate is the cache's own Gets-hit fraction from STATS — the
 	// number the STEM-vs-LRU comparison is about.
 	ServerHitRate float64 `json:"server_hit_rate"`
@@ -134,6 +178,14 @@ func run(addr, clusterEP string, cfg loadConfig, jsonPath string) error {
 			return err
 		}
 		results = append(results, res)
+	case cfg.Rate > 0:
+		// Self-hosted coordinated-omission experiment: one STEM server, a
+		// closed-loop pass to establish the self-limited baseline, then the
+		// open-loop pass at -rate over the same (now warm) server.
+		var err error
+		if results, err = latencyComparison(cfg); err != nil {
+			return err
+		}
 	default:
 		// Self-hosted comparison: identical geometry, identical key streams,
 		// driven sequentially so the engines never contend for the machine.
@@ -149,9 +201,13 @@ func run(addr, clusterEP string, cfg loadConfig, jsonPath string) error {
 	for _, r := range results {
 		printResult(r, cfg)
 	}
-	if len(results) == 2 {
+	if len(results) == 2 && results[0].Engine == "stem" && results[1].Engine == "lru" {
 		d := results[0].ServerHitRate - results[1].ServerHitRate
 		fmt.Printf("STEM - LRU server hit rate: %+.4f\n", d)
+	}
+	if len(results) == 2 && results[0].Mode == "closed" && results[1].Mode == "open" {
+		fmt.Printf("open - closed p99: %+.1fus (open loop charges queueing delay the closed loop omits)\n",
+			results[1].LatP99Micros-results[0].LatP99Micros)
 	}
 
 	if jsonPath != "" {
@@ -173,11 +229,15 @@ func run(addr, clusterEP string, cfg loadConfig, jsonPath string) error {
 // printResult renders one engine's numbers, including the instantaneous
 // set-role gauges (taker/giver/coupled) the STATS extension exports.
 func printResult(r result, cfg loadConfig) {
-	fmt.Printf("engine        %s\n", r.Engine)
+	fmt.Printf("engine        %s  (%s loop)\n", r.Engine, r.Mode)
 	fmt.Printf("ops           %d in %.2fs  (%.0f ops/s, %d workers, %s keys)\n",
 		cfg.Ops, r.Seconds, r.OpsPerSec, cfg.Conns, cfg.Dist)
-	fmt.Printf("latency       p50 %.1fus  p90 %.1fus  p99 %.1fus\n",
-		r.LatP50Micros, r.LatP90Micros, r.LatP99Micros)
+	fmt.Printf("latency       p50 %.1fus  p90 %.1fus  p99 %.1fus  p99.9 %.1fus  mean %.1fus  max %.1fus\n",
+		r.LatP50Micros, r.LatP90Micros, r.LatP99Micros, r.LatP999Micros, r.LatMeanMicros, r.LatMaxMicros)
+	if r.TraceSamples > 0 {
+		fmt.Printf("trace split   %d samples  server p99 %.1fus  net p99 %.1fus\n",
+			r.TraceSamples, r.ServerP99Micros, r.NetP99Micros)
+	}
 	fmt.Printf("hit rate      %.4f client  %.4f server\n", r.ClientHitRate, r.ServerHitRate)
 	if c := r.Server.Cache; c.Spills > 0 || c.PolicySwaps > 0 {
 		fmt.Printf("mechanisms    %d spills  %d policy swaps  %d shadow hits\n",
@@ -199,6 +259,47 @@ func printResult(r result, cfg loadConfig) {
 
 // selfHost runs one engine in-process and drives it over loopback.
 func selfHost(engine string, cfg loadConfig) (result, error) {
+	srv, err := startEngine(engine, cfg)
+	if err != nil {
+		return result{}, err
+	}
+	defer srv.stop()
+	return drive(engine, srv.addr, cfg)
+}
+
+// latencyComparison is the coordinated-omission experiment: one STEM server
+// serves a closed-loop pass and then an open-loop pass at cfg.Rate. The
+// closed pass doubles as warm-up, so the open pass measures queueing against
+// a steady-state cache rather than a cold one.
+func latencyComparison(cfg loadConfig) ([]result, error) {
+	srv, err := startEngine("stem", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.stop()
+
+	closedCfg := cfg
+	closedCfg.Rate = 0
+	closed, err := drive("stem", srv.addr, closedCfg)
+	if err != nil {
+		return nil, fmt.Errorf("closed pass: %w", err)
+	}
+	open, err := drive("stem", srv.addr, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("open pass: %w", err)
+	}
+	return []result{closed, open}, nil
+}
+
+// hostedServer is one self-hosted engine: the loopback server plus the
+// teardown for it and its cache.
+type hostedServer struct {
+	addr string
+	stop func()
+}
+
+// startEngine builds the named engine's cache and serves it on loopback.
+func startEngine(engine string, cfg loadConfig) (hostedServer, error) {
 	ccfg := stemcache.Config{Capacity: cfg.Capacity, Seed: cfg.Seed}
 	var cache *stemcache.Cache[string, []byte]
 	var err error
@@ -208,18 +309,21 @@ func selfHost(engine string, cfg loadConfig) (result, error) {
 		cache, err = stemcache.New[string, []byte](ccfg)
 	}
 	if err != nil {
-		return result{}, err
+		return hostedServer{}, err
 	}
-	defer cache.Close()
 	srv, err := server.New(cache, server.Config{})
 	if err != nil {
-		return result{}, err
+		cache.Close()
+		return hostedServer{}, err
 	}
 	if err := srv.Start("127.0.0.1:0"); err != nil {
-		return result{}, err
+		cache.Close()
+		return hostedServer{}, err
 	}
-	defer srv.Close()
-	return drive(engine, srv.Addr(), cfg)
+	return hostedServer{
+		addr: srv.Addr(),
+		stop: func() { srv.Close(); cache.Close() },
+	}, nil
 }
 
 // kvStore is the client surface the worker loop needs — satisfied by both
@@ -229,19 +333,34 @@ type kvStore interface {
 	Set(key string, value []byte) error
 }
 
-// runWorkers drives the closed cache-aside loop (GET, on miss SET) with
-// cfg.Conns workers and returns the merged latency samples (sorted,
-// microseconds), hit count, GET count, and wall time.
-func runWorkers(cl kvStore, cfg loadConfig) (lats []float64, hits, gets int, seconds float64, err error) {
+// passOutcome is one load pass's merged measurement.
+type passOutcome struct {
+	hist    *obs.LatencyHistogram // GET latency, microseconds
+	hits    int
+	gets    int
+	seconds float64
+}
+
+// runWorkers drives the cache-aside loop (GET, on miss SET) with cfg.Conns
+// workers — closed loop, or open loop when cfg.Rate > 0 — and returns the
+// merged outcome. Latency is per GET, in microseconds: completion minus
+// issue time (closed) or completion minus *scheduled* arrival time (open),
+// which is what makes the open loop coordinated-omission-safe.
+func runWorkers(cl kvStore, cfg loadConfig) (passOutcome, error) {
 	value := make([]byte, cfg.ValueSize)
 	for i := range value {
 		value[i] = byte('a' + i%26)
 	}
 
 	perWorker := cfg.Ops / cfg.Conns
+	// Per-worker Poisson thinning: the aggregate rate splits evenly, and
+	// each worker draws its own exponential inter-arrival gaps from its own
+	// seeded stream, so a run is reproducible for a fixed seed.
+	perRate := cfg.Rate / float64(cfg.Conns)
 	type workerOut struct {
-		lats []float64 // microseconds per GET
+		hist obs.LatencyHistogram
 		hits int
+		gets int
 		err  error
 	}
 	outs := make([]workerOut, cfg.Conns)
@@ -257,12 +376,35 @@ func runWorkers(cl kvStore, cfg loadConfig) (lats []float64, hits, gets int, sec
 				out.err = err
 				return
 			}
-			out.lats = make([]float64, 0, perWorker)
+			var rng *sim.RNG
+			var sched time.Duration // scheduled offset of the next arrival
+			if perRate > 0 {
+				rng = sim.NewRNG(cfg.Seed + uint64(w))
+			}
 			for i := 0; i < perWorker; i++ {
 				k := next()
-				t0 := wallClock()
+				issue := wallClock()
+				if rng != nil {
+					// Exponential inter-arrival gap: -ln(1-U)/λ. U < 1
+					// always (Float64 is [0,1)), so the log is finite.
+					gap := -math.Log(1-rng.Float64()) / perRate
+					sched += time.Duration(gap * float64(time.Second))
+					target := start.Add(sched)
+					if d := target.Sub(issue); d > 0 {
+						time.Sleep(d)
+					}
+					// Measure from the schedule, never from the (possibly
+					// late) actual send: a backed-up worker charges its
+					// backlog to the server, not to the omitted samples.
+					issue = target
+				}
 				_, found, err := cl.Get(k)
-				out.lats = append(out.lats, float64(wallClock().Sub(t0))/1e3)
+				if lat := wallClock().Sub(issue).Microseconds(); lat > 0 {
+					out.hist.Observe(uint64(lat))
+				} else {
+					out.hist.Observe(0)
+				}
+				out.gets++
 				if err != nil {
 					out.err = err
 					return
@@ -277,36 +419,51 @@ func runWorkers(cl kvStore, cfg loadConfig) (lats []float64, hits, gets int, sec
 		}(w)
 	}
 	wg.Wait()
-	seconds = wallClock().Sub(start).Seconds()
 
+	pass := passOutcome{hist: &obs.LatencyHistogram{}, seconds: wallClock().Sub(start).Seconds()}
 	for w := range outs {
 		if outs[w].err != nil {
-			return nil, 0, 0, 0, outs[w].err
+			return passOutcome{}, outs[w].err
 		}
-		lats = append(lats, outs[w].lats...)
-		hits += outs[w].hits
-		gets += len(outs[w].lats)
+		pass.hist.Merge(&outs[w].hist)
+		pass.hits += outs[w].hits
+		pass.gets += outs[w].gets
 	}
-	sort.Float64s(lats)
-	return lats, hits, gets, seconds, nil
+	return pass, nil
 }
 
-// buildResult folds the worker outcome into the common result fields.
-func buildResult(engine string, lats []float64, hits, gets int, seconds float64) result {
+// buildResult folds one pass's outcome into the common result fields.
+func buildResult(engine string, pass passOutcome, cfg loadConfig) result {
+	mode := "closed"
+	if cfg.Rate > 0 {
+		mode = "open"
+	}
+	h := pass.hist
 	return result{
 		Engine:        engine,
-		Seconds:       seconds,
-		OpsPerSec:     float64(gets) / seconds,
-		LatP50Micros:  percentile(lats, 0.50),
-		LatP90Micros:  percentile(lats, 0.90),
-		LatP99Micros:  percentile(lats, 0.99),
-		ClientHitRate: float64(hits) / float64(max(gets, 1)),
+		Mode:          mode,
+		Seconds:       pass.seconds,
+		OpsPerSec:     float64(pass.gets) / pass.seconds,
+		LatP50Micros:  float64(h.Quantile(0.50)),
+		LatP90Micros:  float64(h.Quantile(0.90)),
+		LatP99Micros:  float64(h.Quantile(0.99)),
+		LatP999Micros: float64(h.Quantile(0.999)),
+		LatMeanMicros: h.Mean(),
+		LatMaxMicros:  float64(h.Max()),
+		ClientHitRate: float64(pass.hits) / float64(max(pass.gets, 1)),
 	}
 }
 
-// drive runs the closed-loop workers against addr and gathers the result.
+// drive runs the workers against addr and gathers the result.
 func drive(engine, addr string, cfg loadConfig) (result, error) {
-	cl, err := client.New(client.Config{Addr: addr, PoolSize: cfg.Conns})
+	ccfg := client.Config{Addr: addr, PoolSize: cfg.Conns}
+	var treg *obs.Registry
+	if cfg.TraceEvery > 0 {
+		treg = obs.NewRegistry()
+		ccfg.TraceEvery = cfg.TraceEvery
+		ccfg.Metrics = treg
+	}
+	cl, err := client.New(ccfg)
 	if err != nil {
 		return result{}, err
 	}
@@ -315,7 +472,7 @@ func drive(engine, addr string, cfg loadConfig) (result, error) {
 		return result{}, fmt.Errorf("server unreachable at %s: %w", addr, err)
 	}
 
-	lats, hits, gets, seconds, err := runWorkers(cl, cfg)
+	pass, err := runWorkers(cl, cfg)
 	if err != nil {
 		return result{}, err
 	}
@@ -329,20 +486,47 @@ func drive(engine, addr string, cfg loadConfig) (result, error) {
 		return result{}, fmt.Errorf("STATS payload: %w", err)
 	}
 
-	res := buildResult(engine, lats, hits, gets, seconds)
+	res := buildResult(engine, pass, cfg)
 	res.ServerHitRate = snap.HitRate
 	res.Server = snap
+	attachTraceSplit(&res, treg)
 	return res, nil
+}
+
+// attachTraceSplit copies the traced server/network p99 split out of the
+// client's registry into the result, when tracing was on and sampled
+// anything.
+func attachTraceSplit(res *result, treg *obs.Registry) {
+	if treg == nil {
+		return
+	}
+	srvH := treg.Latency("client.lat.server_us")
+	if srvH.Count() == 0 {
+		return
+	}
+	res.TraceSamples = srvH.Count()
+	res.ServerP99Micros = float64(srvH.Quantile(0.99))
+	res.NetP99Micros = float64(treg.Latency("client.lat.net_us").Quantile(0.99))
 }
 
 // driveCluster runs the closed-loop workers through the consistent-hash
 // routing client and aggregates every node's STATS.
 func driveCluster(addrs []string, cfg loadConfig) (result, error) {
+	nodeCfg := client.Config{PoolSize: cfg.Conns}
+	var treg *obs.Registry
+	if cfg.TraceEvery > 0 {
+		// One registry shared by every node's client: the client.lat.*
+		// histograms are atomic and mergeable, so per-node samples simply
+		// aggregate into the cluster-wide split.
+		treg = obs.NewRegistry()
+		nodeCfg.TraceEvery = cfg.TraceEvery
+		nodeCfg.Metrics = treg
+	}
 	cl, err := cluster.NewClient(cluster.Config{
 		Addrs:  addrs,
 		VNodes: cfg.VNodes,
 		Seed:   cfg.Seed,
-		Client: client.Config{PoolSize: cfg.Conns},
+		Client: nodeCfg,
 	})
 	if err != nil {
 		return result{}, err
@@ -352,7 +536,7 @@ func driveCluster(addrs []string, cfg loadConfig) (result, error) {
 		return result{}, fmt.Errorf("cluster unreachable: %w", err)
 	}
 
-	lats, hits, gets, seconds, err := runWorkers(cl, cfg)
+	pass, err := runWorkers(cl, cfg)
 	if err != nil {
 		return result{}, err
 	}
@@ -361,7 +545,7 @@ func driveCluster(addrs []string, cfg loadConfig) (result, error) {
 	if err != nil {
 		return result{}, err
 	}
-	res := buildResult("cluster", lats, hits, gets, seconds)
+	res := buildResult("cluster", pass, cfg)
 	var srvHits, srvGets uint64
 	res.Nodes = make([]server.StatsSnapshot, len(raws))
 	for i, raw := range raws {
@@ -374,17 +558,6 @@ func driveCluster(addrs []string, cfg loadConfig) (result, error) {
 	if srvGets > 0 {
 		res.ServerHitRate = float64(srvHits) / float64(srvGets)
 	}
+	attachTraceSplit(&res, treg)
 	return res, nil
-}
-
-// percentile reads the p-quantile from sorted samples.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }

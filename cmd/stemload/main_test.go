@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestOpenLoopTailDominatesClosedLoop is the coordinated-omission claim,
+// measured: against the same server, an open-loop pass scheduled far above
+// the server's achievable throughput must report a p99 at least as large as
+// the closed loop's, because every scheduled-but-delayed arrival charges its
+// queueing delay to the histogram instead of being silently omitted.
+func TestOpenLoopTailDominatesClosedLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives a loopback server for thousands of ops")
+	}
+	cfg := loadConfig{
+		Dist:      "mixed",
+		Ops:       8_000,
+		Conns:     2,
+		Capacity:  1 << 10,
+		ValueSize: 64,
+		Seed:      0x57E4,
+		// Far above what a loopback round trip can sustain, so the open
+		// pass is guaranteed to run saturated from the first arrivals.
+		Rate:       5_000_000,
+		TraceEvery: 8,
+	}
+	results, err := latencyComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("latencyComparison returned %d results, want 2", len(results))
+	}
+	closed, open := results[0], results[1]
+	if closed.Mode != "closed" || open.Mode != "open" {
+		t.Fatalf("modes = %q, %q; want closed, open", closed.Mode, open.Mode)
+	}
+	if open.LatP99Micros < closed.LatP99Micros {
+		t.Errorf("open-loop p99 %.1fus < closed-loop p99 %.1fus: coordinated omission not charged",
+			open.LatP99Micros, closed.LatP99Micros)
+	}
+	for _, r := range results {
+		if r.Engine != "stem" {
+			t.Errorf("engine %q, want stem", r.Engine)
+		}
+		if r.LatP50Micros > r.LatP99Micros || r.LatP99Micros > r.LatP999Micros {
+			t.Errorf("%s: quantiles not monotone: p50 %.1f p99 %.1f p99.9 %.1f",
+				r.Mode, r.LatP50Micros, r.LatP99Micros, r.LatP999Micros)
+		}
+		if r.LatMaxMicros < r.LatP999Micros {
+			t.Errorf("%s: max %.1fus below p99.9 %.1fus", r.Mode, r.LatMaxMicros, r.LatP999Micros)
+		}
+		if r.TraceSamples == 0 {
+			t.Errorf("%s: tracing every 8th op sampled nothing", r.Mode)
+		}
+		if r.OpsPerSec <= 0 || r.Seconds <= 0 {
+			t.Errorf("%s: degenerate throughput %v ops/s over %vs", r.Mode, r.OpsPerSec, r.Seconds)
+		}
+	}
+
+	// The report document must survive a marshal round trip with the mode
+	// and the trace split intact — CI archives it as BENCH_latency.json.
+	doc := report{Bench: "stemload", Config: cfg, Results: results}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[1].Mode != "open" || back.Results[1].TraceSamples == 0 {
+		t.Errorf("report round trip lost fields: %+v", back.Results)
+	}
+}

@@ -39,7 +39,8 @@ func isObsPackage(path string) bool {
 
 type atomicsState struct {
 	pass *ModulePass
-	// cellFields are atomic-typed (or array-of-atomic) fields of obs structs.
+	// cellFields are atomic-typed (or array/slice-of-atomic) fields of obs
+	// structs.
 	cellFields map[*types.Var]string // field -> "Type.field" label
 	// cellTypes are obs struct types with at least one cell field.
 	cellTypes map[*types.Named]bool
@@ -110,8 +111,11 @@ func (st *atomicsState) collectObsTypes(pkg *Package) {
 			label := named.Obj().Name() + "." + f.Name()
 			st.obsFields[f] = label
 			ft := f.Type()
-			if arr, ok := types.Unalias(ft).(*types.Array); ok {
-				ft = arr.Elem()
+			switch seq := types.Unalias(ft).(type) {
+			case *types.Array:
+				ft = seq.Elem()
+			case *types.Slice:
+				ft = seq.Elem()
 			}
 			if isAtomicType(ft) {
 				st.cellFields[f] = label
@@ -247,6 +251,22 @@ func (st *atomicsState) cellUseLegal(sel *ast.SelectorExpr, parents map[ast.Node
 		case *ast.RangeStmt:
 			// `for i := range x.cells` reads only the length.
 			return pp.X == n && pp.Value == nil
+		case *ast.AssignStmt:
+			// `x.cells = make([]atomic.T, n)` installs a fresh backing
+			// slice — the one sanctioned header write, for construction.
+			// Anything else (aliasing the header, append's reallocation)
+			// hands the cells to code the atomics contract can't see.
+			for i, lhs := range pp.Lhs {
+				if lhs != n || i >= len(pp.Rhs) {
+					continue
+				}
+				if call, ok := pp.Rhs[i].(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+						return true
+					}
+				}
+			}
+			return false
 		case *ast.CallExpr:
 			// len(x.cells) / cap(x.cells) read only the length.
 			if id, ok := pp.Fun.(*ast.Ident); ok && (id.Name == "len" || id.Name == "cap") {

@@ -21,6 +21,7 @@ var fixtureCases = []struct {
 }{
 	{name: "det", path: "fixture/internal/sim"},
 	{name: "obsfix", path: "fixture/internal/obs"},
+	{name: "latfix", path: "fixture2/internal/obs"},
 	{name: "cachefix", path: "fixture/internal/stemcache"},
 	{name: "serverfix", path: "fixture/internal/server"},
 	{name: "clusterfix", path: "fixture/internal/cluster"},
@@ -85,6 +86,7 @@ func TestFixturesAreDirty(t *testing.T) {
 	targets := map[string]string{
 		"det":        "determinism",
 		"obsfix":     "atomics",
+		"latfix":     "atomics",
 		"cachefix":   "lockorder",
 		"serverfix":  "lockorder",
 		"clusterfix": "lockorder",

@@ -1,0 +1,75 @@
+// Package obs is the slice-of-atomic fixture for the atomics analyzer: a
+// histogram-shaped metric cell whose buckets live in a []atomic.Uint64. The
+// tests bind it to the import path fixture2/internal/obs so the obs-package
+// rules fire on it.
+package obs
+
+import "sync/atomic"
+
+// Hist is a metric cell backed by a slice of atomics.
+type Hist struct {
+	cells []atomic.Uint64
+}
+
+// NewHist installs the backing slice with make — the one sanctioned
+// slice-header write.
+func NewHist(n int) *Hist {
+	h := &Hist{}
+	h.cells = make([]atomic.Uint64, n)
+	return h
+}
+
+// Observe is the sanctioned element use: index, then an atomic method.
+func (h *Hist) Observe(i int) {
+	if h == nil {
+		return
+	}
+	h.cells[i].Add(1)
+}
+
+// Len reads only the slice length, which is legal.
+func (h *Hist) Len() int {
+	if h == nil {
+		return 0
+	}
+	return len(h.cells)
+}
+
+// Sum indexes legally but is missing the nil-receiver guard.
+func (h *Hist) Sum() uint64 {
+	var s uint64
+	for i := range h.cells {
+		s += h.cells[i].Load()
+	}
+	return s
+}
+
+// CopyElem copies an atomic bucket out of the slice — an unsynchronized
+// read of the cell's word.
+func CopyElem(h *Hist) atomic.Uint64 {
+	return h.cells[0]
+}
+
+// AddrElem takes a bucket's address, which is legal.
+func AddrElem(h *Hist) *atomic.Uint64 {
+	return &h.cells[0]
+}
+
+// RangeValues copies every bucket while iterating.
+func RangeValues(h *Hist) uint64 {
+	var s uint64
+	for _, c := range h.cells {
+		s += c.Load()
+	}
+	return s
+}
+
+// Grow reallocates the backing array out from under concurrent readers.
+func Grow(h *Hist) {
+	h.cells = append(h.cells, atomic.Uint64{})
+}
+
+// Alias hands the backing array to code the atomics contract cannot see.
+func Alias(h *Hist) []atomic.Uint64 {
+	return h.cells
+}

@@ -31,8 +31,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -61,6 +63,18 @@ type Config struct {
 	Backoff time.Duration
 	// Limits bounds frames; must agree with the server's. Zero: defaults.
 	Limits wire.Limits
+	// TraceEvery enables end-to-end tracing: every TraceEvery-th request
+	// carries a wire trace extension, and the echoed server timings are
+	// split into total / server / network latency per sample. 1 traces
+	// every request; 0 (default) disables tracing.
+	TraceEvery int
+	// Metrics, when non-nil alongside TraceEvery, receives the per-sample
+	// latency splits as "client.lat.total_us", "client.lat.server_us" and
+	// "client.lat.net_us" histograms.
+	Metrics *obs.Registry
+	// OnTrace, when non-nil, receives every completed trace sample
+	// synchronously on the operation's goroutine. Keep it cheap.
+	OnTrace func(TraceSample)
 }
 
 func (c Config) withDefaults() Config {
@@ -80,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backoff <= 0 {
 		c.Backoff = 10 * time.Millisecond
+	}
+	if c.TraceEvery < 0 {
+		c.TraceEvery = 0
 	}
 	return c
 }
@@ -108,6 +125,17 @@ type Client struct {
 	mu     sync.Mutex
 	idle   []*cconn
 	closed bool
+
+	// Tracing state (see trace.go). epoch anchors the client's monotonic
+	// microsecond clock; traceSeq picks every TraceEvery-th operation;
+	// traceSalt makes trace ids unique across client instances. The
+	// histogram cells are nil-safe no-op sinks without a registry.
+	epoch     time.Time
+	traceSalt uint64
+	traceSeq  atomic.Uint64
+	latTotal  *obs.LatencyHistogram
+	latServer *obs.LatencyHistogram
+	latNet    *obs.LatencyHistogram
 }
 
 // cconn is one pooled connection with its buffers.
@@ -127,7 +155,15 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Addr == "" {
 		return nil, errors.New("client: empty Addr")
 	}
-	return &Client{cfg: cfg.withDefaults()}, nil
+	c := &Client{cfg: cfg.withDefaults()}
+	if c.cfg.TraceEvery > 0 {
+		c.epoch = wallClock()
+		c.traceSalt = mix64(uint64(c.epoch.UnixNano()))
+		c.latTotal = c.cfg.Metrics.Latency("client.lat.total_us")
+		c.latServer = c.cfg.Metrics.Latency("client.lat.server_us")
+		c.latNet = c.cfg.Metrics.Latency("client.lat.net_us")
+	}
+	return c, nil
 }
 
 // Close releases pooled connections. In-flight operations finish their
@@ -203,6 +239,7 @@ func (c *Client) roundTrip(cc *cconn, reqs []*wire.Request) ([]*wire.Response, e
 	for _, req := range reqs {
 		cc.nextID++
 		req.ID = cc.nextID
+		c.attachTrace(req)
 		var err error
 		if cc.wbuf, err = wire.AppendRequest(cc.wbuf, req, c.cfg.Limits); err != nil {
 			// Encoding failures are caller bugs (oversized operands), not
@@ -229,6 +266,9 @@ func (c *Client) roundTrip(cc *cconn, reqs []*wire.Request) ([]*wire.Response, e
 		if resp.ID != req.ID || resp.Op != req.Op {
 			return nil, fmt.Errorf("%w: response (%v, id %d) does not match request (%v, id %d)",
 				wire.ErrFrame, resp.Op, resp.ID, req.Op, req.ID)
+		}
+		if err := c.finishTrace(req, resp); err != nil {
+			return nil, err
 		}
 		resps[i] = resp
 	}

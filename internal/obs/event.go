@@ -45,6 +45,17 @@ const (
 	// Field reuse: Tick is the epoch, Set the slot id, ScS the source node,
 	// Partner the destination node, Life the number of keys handed off.
 	EvSlotMigrate
+	// EvSlowRequest: a served request exceeded the server's slow-request
+	// threshold. Tick is the server's request sequence number, Set is -1,
+	// Op names the opcode, Micros is the request's server-side duration
+	// (decode + handle), and Trace carries the request's trace ID when the
+	// client sent one (0 otherwise) — the join key that lets stemtrace read
+	// a latency spike against concurrent demand/migration events.
+	EvSlowRequest
+
+	// evLast is the highest defined event type; sizing and iteration over
+	// all event types use it so new events extend one place.
+	evLast = EvSlowRequest
 )
 
 var eventNames = map[EventType]string{
@@ -58,6 +69,7 @@ var eventNames = map[EventType]string{
 	EvSnapshot:    "snapshot",
 	EvNodeDemand:  "node_demand",
 	EvSlotMigrate: "slot_migrate",
+	EvSlowRequest: "slow_request",
 }
 
 // String returns the JSONL wire name of the event type.
@@ -105,6 +117,12 @@ type Event struct {
 	Policy string `json:"policy,omitempty"`
 	// Life is the association lifetime in ticks, set on EvDecouple.
 	Life uint64 `json:"life,omitempty"`
+	// Op is the wire opcode name on EvSlowRequest ("get", "mset", ...).
+	Op string `json:"op,omitempty"`
+	// Micros is the request's server-side duration on EvSlowRequest.
+	Micros uint64 `json:"us,omitempty"`
+	// Trace is the request's trace ID on EvSlowRequest (0 = untraced).
+	Trace uint64 `json:"trace,omitempty"`
 	// Snap is the payload of EvSnapshot events.
 	Snap *Snapshot `json:"snap,omitempty"`
 }
@@ -161,14 +179,14 @@ func (m multiObserver) Event(e Event) {
 // then forwards to next (which may be nil).
 func NewRegistryObserver(reg *Registry, next Observer) Observer {
 	ro := &registryObserver{next: next, life: reg.Histogram("events.couple_lifetime")}
-	for t := EvShadowHit; t <= EvSlotMigrate; t++ {
+	for t := EvShadowHit; t <= evLast; t++ {
 		ro.counts[t] = reg.Counter("events." + t.String())
 	}
 	return ro
 }
 
 type registryObserver struct {
-	counts [EvSlotMigrate + 1]*Counter
+	counts [evLast + 1]*Counter
 	life   *Histogram
 	next   Observer
 }

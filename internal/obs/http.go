@@ -1,13 +1,32 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
+)
+
+// Introspection-server hardening. The endpoint is meant for operators and
+// scrapers on a trusted network, but it still must not be the process's
+// weakest link: without header/idle timeouts a single slowloris-style
+// connection (headers dripped one byte at a time, or a keep-alive socket
+// parked forever) pins a goroutine and a file descriptor indefinitely.
+// Package vars rather than consts so the drain tests can shrink them.
+var (
+	// serveReadHeaderTimeout bounds reading one request's headers.
+	serveReadHeaderTimeout = 5 * time.Second
+	// serveIdleTimeout closes keep-alive connections with no next request.
+	serveIdleTimeout = 60 * time.Second
+	// serveDrainTimeout bounds Close's graceful drain of in-flight requests
+	// before the remaining connections are cut.
+	serveDrainTimeout = 2 * time.Second
 )
 
 // Server is a live introspection endpoint: the registry as JSON at /metrics
-// (and /), optionally the net/http/pprof handlers under /debug/pprof/.
+// (and /), Prometheus text exposition at /metrics/prometheus, optionally the
+// net/http/pprof handlers under /debug/pprof/.
 type Server struct {
 	srv  *http.Server
 	addr string
@@ -19,6 +38,7 @@ type Server struct {
 func Serve(addr string, reg *Registry, withPprof bool) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg)
+	mux.Handle("/metrics/prometheus", reg.PromHandler())
 	mux.Handle("/", reg)
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,7 +51,14 @@ func Serve(addr string, reg *Registry, withPprof bool) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{srv: &http.Server{Handler: mux}, addr: ln.Addr().String()}
+	s := &Server{
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: serveReadHeaderTimeout,
+			IdleTimeout:       serveIdleTimeout,
+		},
+		addr: ln.Addr().String(),
+	}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -39,5 +66,15 @@ func Serve(addr string, reg *Registry, withPprof bool) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.addr }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close drains the server: the listener stops accepting, in-flight requests
+// get serveDrainTimeout to finish and flush, and connections still busy
+// afterwards are closed forcibly. Idempotent.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), serveDrainTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Grace expired (or the context tripped): cut the stragglers.
+		return s.srv.Close()
+	}
+	return nil
+}

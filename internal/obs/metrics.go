@@ -1,8 +1,9 @@
 // Package obs is the repository's observability layer: a lightweight
-// metrics registry (typed counters, gauges and log2-bucketed histograms),
-// a structured event trace for the STEM/SBC coupling mechanisms, periodic
-// run snapshots, and an HTTP endpoint that exposes all of it live while a
-// simulation runs.
+// metrics registry (typed counters, gauges, log2-bucketed histograms and
+// log-linear latency histograms), a structured event trace for the STEM/SBC
+// coupling mechanisms, periodic run snapshots, and an HTTP endpoint that
+// exposes all of it live — as JSON and as Prometheus text exposition —
+// while a simulation or server runs.
 //
 // The package is stdlib-only and built around two rules:
 //
@@ -164,7 +165,7 @@ func (h *Histogram) marshal() map[string]any {
 // off".
 type Registry struct {
 	mu      sync.Mutex
-	metrics map[string]any // *Counter | *Gauge | *Histogram | func() float64
+	metrics map[string]any // *Counter | *Gauge | *Histogram | *LatencyHistogram | func() float64
 }
 
 // NewRegistry builds an empty registry.
@@ -214,6 +215,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return lookup(r, name, func() *Histogram { return &Histogram{} })
 }
 
+// Latency returns the log-linear latency histogram registered under name,
+// creating it on first use.
+func (r *Registry) Latency(name string) *LatencyHistogram {
+	if r == nil {
+		return nil
+	}
+	return lookup(r, name, func() *LatencyHistogram { return &LatencyHistogram{} })
+}
+
 // GaugeFunc registers a derived read-only gauge computed at serve time.
 // Re-registering a name replaces the function.
 func (r *Registry) GaugeFunc(name string, fn func() float64) {
@@ -257,6 +267,8 @@ func (r *Registry) Reset() {
 			m.reset()
 		case *Histogram:
 			m.reset()
+		case *LatencyHistogram:
+			m.reset()
 		}
 	}
 }
@@ -278,6 +290,8 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Gauge:
 			out[n] = m.Value()
 		case *Histogram:
+			out[n] = m.marshal()
+		case *LatencyHistogram:
 			out[n] = m.marshal()
 		case func() float64:
 			out[n] = m()

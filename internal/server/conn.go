@@ -91,7 +91,10 @@ func (c *conn) serve() {
 		}
 
 		// First byte present: the whole frame must land within ReadTimeout.
-		c.nc.SetReadDeadline(wallClock().Add(c.srv.cfg.ReadTimeout))
+		// t0 doubles as the decode stage's start — the clock read feeding
+		// the deadline is the one every request pays anyway.
+		t0 := wallClock()
+		c.nc.SetReadDeadline(t0.Add(c.srv.cfg.ReadTimeout))
 		var rq *wire.Request
 		var err error
 		rq, rbuf, err = wire.ReadRequest(c.br, rbuf, c.srv.lim)
@@ -102,13 +105,35 @@ func (c *conn) serve() {
 		req = *rq
 		idle = 0
 
+		// Stage clocks tick when the server is instrumented or the request
+		// itself asks for timing; otherwise the loop stays at one read per
+		// request.
+		timed := c.srv.timed || req.Trace != nil
+		var t1, t2 time.Time
+		if timed {
+			t1 = wallClock()
+		}
 		c.srv.handle(&req, &resp)
+		if timed {
+			t2 = wallClock()
+		}
+		if req.Trace != nil {
+			// Echo the extension with the server-side split filled in, so
+			// the client can separate server time from network time.
+			resp.Trace = &wire.TraceExt{
+				ID:           req.Trace.ID,
+				SendMicros:   req.Trace.SendMicros,
+				QueueMicros:  wire.SaturateMicros(t1.Sub(t0)),
+				HandleMicros: wire.SaturateMicros(t2.Sub(t1)),
+			}
+		}
 		wbuf = wbuf[:0]
 		wbuf, err = wire.AppendResponse(wbuf, &resp, c.srv.lim)
 		if err != nil {
 			// Response exceeds wire limits (e.g. a cached value larger than
-			// the reply cap): degrade to an in-protocol error.
-			resp = wire.Response{Op: resp.Op, ID: resp.ID, Status: wire.StatusErr, Value: []byte(err.Error())}
+			// the reply cap): degrade to an in-protocol error, keeping the
+			// trace echo so a failing traced request still yields a sample.
+			resp = wire.Response{Op: resp.Op, ID: resp.ID, Status: wire.StatusErr, Value: []byte(err.Error()), Trace: resp.Trace}
 			if wbuf, err = wire.AppendResponse(wbuf[:0], &resp, c.srv.lim); err != nil {
 				return
 			}
@@ -125,6 +150,9 @@ func (c *conn) serve() {
 				c.srv.met.ioErrors.Inc()
 				return
 			}
+		}
+		if timed {
+			c.srv.observeRequest(req.Op, t1.Sub(t0), t2.Sub(t1), wallClock().Sub(t2), req.Trace)
 		}
 	}
 }

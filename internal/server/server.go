@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,12 +75,23 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Limits bounds accepted frames (see wire.Limits). Zero value: defaults.
 	Limits wire.Limits
-	// Metrics, when non-nil, receives server counters under "server.*".
+	// Metrics, when non-nil, receives server counters under "server.*" and
+	// per-opcode stage latency histograms under "server.lat.<op>.*_us"
+	// (decode, handle, write — see conn.serve for the stage boundaries).
 	Metrics *obs.Registry
 	// NodeID identifies this server within a cluster; it is echoed in
 	// DEMAND responses and the STATS document so a cluster client can tell
 	// which node answered. 0 for a standalone server.
 	NodeID int
+	// SlowRequest, when positive, makes the server emit an EvSlowRequest
+	// event to Events for every request whose server-side time (frame read
+	// + decode + cache op) reaches the threshold. 0 disables.
+	SlowRequest time.Duration
+	// Events receives EvSlowRequest events (typically the same JSONL tracer
+	// that records the cache's mechanism events, so slow requests land on
+	// the same timeline as demand and migration). Ignored unless
+	// SlowRequest is set.
+	Events obs.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -124,13 +136,28 @@ type Server struct {
 	protoErrors atomic.Uint64
 
 	met serverMetrics
+	// timed makes every request pay its stage clock reads (metrics or
+	// slow-request tracing configured); untraced requests on an untimed
+	// server read the clock once, for the read deadline they need anyway.
+	timed bool
 }
 
-// serverMetrics are the obs counters; all-nil without a registry.
+// serverMetrics are the obs counters; all-nil without a registry (every
+// cell is a nil-safe no-op sink, so the hot path never branches on
+// "metrics enabled").
 type serverMetrics struct {
 	accepted, requests, responses *obs.Counter
 	protoErrors, ioErrors         *obs.Counter
 	batchKeys                     *obs.Counter
+	// lat holds the per-opcode stage histograms, indexed by raw opcode
+	// byte. Written once in New, read-only afterwards.
+	lat [256]stageLat
+}
+
+// stageLat times one opcode's request stages: decode (frame read + parse),
+// handle (cache op), write (response encode + buffered write + flush).
+type stageLat struct {
+	decode, handle, write *obs.LatencyHistogram
 }
 
 // New builds a server over cache. The cache must outlive the server; the
@@ -157,8 +184,17 @@ func New(cache *stemcache.Cache[string, []byte], cfg Config) (*Server, error) {
 			ioErrors:    reg.Counter("server.io_errors"),
 			batchKeys:   reg.Counter("server.batch_keys"),
 		}
+		for op := wire.OpPing; op.Valid(); op++ {
+			name := "server.lat." + strings.ToLower(op.String())
+			s.met.lat[op] = stageLat{
+				decode: reg.Latency(name + ".decode_us"),
+				handle: reg.Latency(name + ".handle_us"),
+				write:  reg.Latency(name + ".write_us"),
+			}
+		}
 		reg.GaugeFunc("server.conns_active", func() float64 { return float64(s.ConnCount()) })
 	}
+	s.timed = cfg.Metrics != nil || (cfg.SlowRequest > 0 && cfg.Events != nil)
 	return s, nil
 }
 
@@ -439,6 +475,33 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		resp.Value = []byte(fmt.Sprintf("unhandled opcode %v", req.Op))
 	}
 	s.met.responses.Inc()
+}
+
+// observeRequest folds one request's stage timings into the per-opcode
+// histograms and emits EvSlowRequest when the server-side time (decode +
+// handle, the part the server controls; write waits on the client) reaches
+// the configured threshold. Runs on the connection goroutine after the
+// response was written.
+func (s *Server) observeRequest(op wire.Op, decode, handle, write time.Duration, tr *wire.TraceExt) {
+	m := s.met.lat[op]
+	m.decode.Observe(uint64(max(decode.Microseconds(), 0)))
+	m.handle.Observe(uint64(max(handle.Microseconds(), 0)))
+	m.write.Observe(uint64(max(write.Microseconds(), 0)))
+	if s.cfg.SlowRequest <= 0 || s.cfg.Events == nil || decode+handle < s.cfg.SlowRequest {
+		return
+	}
+	var traceID uint64
+	if tr != nil {
+		traceID = tr.ID
+	}
+	s.cfg.Events.Event(obs.Event{
+		Type:   obs.EvSlowRequest,
+		Tick:   s.requests.Load(),
+		Set:    -1,
+		Op:     strings.ToLower(op.String()),
+		Micros: uint64(max((decode + handle).Microseconds(), 0)),
+		Trace:  traceID,
+	})
 }
 
 // handleNX is the set-if-absent path: stemcache.GetOrSet's loaded report

@@ -1,0 +1,228 @@
+package server_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/stemcache"
+	"repro/internal/wire"
+)
+
+// TestTracePropagationEndToEnd drives a real client against a real server
+// and proves the tracing contract end to end: every operation's trace id
+// survives client → server → response, the server's reported time never
+// exceeds the client-observed total, slow-request events carry the same
+// ids, and the latency histograms on both ends fill up.
+func TestTracePropagationEndToEnd(t *testing.T) {
+	cache, err := stemcache.New[string, []byte](stemcache.Config{Capacity: 1 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+
+	var evMu sync.Mutex
+	var slow []obs.Event
+	reg := obs.NewRegistry()
+	srv, err := server.New(cache, server.Config{
+		Metrics:     reg,
+		SlowRequest: 1, // 1ns: every request is "slow", so every id must surface
+		Events: obs.ObserverFunc(func(e obs.Event) {
+			evMu.Lock()
+			slow = append(slow, e)
+			evMu.Unlock()
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	creg := obs.NewRegistry()
+	var smMu sync.Mutex
+	var samples []client.TraceSample
+	cl, err := client.New(client.Config{
+		Addr:       srv.Addr(),
+		TraceEvery: 1,
+		Metrics:    creg,
+		OnTrace: func(s client.TraceSample) {
+			smMu.Lock()
+			samples = append(samples, s)
+			smMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// A spread of opcodes, single ops and a pipelined batch.
+	if err := cl.Set("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Get("absent"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Del("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	b := cl.NewBatch()
+	for i := 0; i < 8; i++ {
+		b.Set("bk", []byte("bv"))
+		b.Get("bk")
+	}
+	if _, err := b.Do(); err != nil {
+		t.Fatal(err)
+	}
+	const wantSamples = 5 + 16
+
+	smMu.Lock()
+	got := append([]client.TraceSample(nil), samples...)
+	smMu.Unlock()
+	if len(got) != wantSamples {
+		t.Fatalf("collected %d trace samples, want %d", len(got), wantSamples)
+	}
+	ids := map[uint64]bool{}
+	for _, s := range got {
+		if s.TraceID == 0 {
+			t.Errorf("%v sample has zero trace id", s.Op)
+		}
+		if ids[s.TraceID] {
+			t.Errorf("trace id %#x reused", s.TraceID)
+		}
+		ids[s.TraceID] = true
+		if s.Server > s.Total {
+			t.Errorf("%v: server time %v exceeds client-observed total %v", s.Op, s.Server, s.Total)
+		}
+		if s.Net != s.Total-s.Server {
+			t.Errorf("%v: net %v != total %v - server %v", s.Op, s.Net, s.Total, s.Server)
+		}
+	}
+
+	// Every request was above the 1ns slow threshold, so every trace id
+	// must appear on the server's event stream — and no others.
+	srv.Close() // flush: handlers are done after Close returns
+	evMu.Lock()
+	events := append([]obs.Event(nil), slow...)
+	evMu.Unlock()
+	if len(events) != wantSamples {
+		t.Fatalf("server emitted %d slow-request events, want %d", len(events), wantSamples)
+	}
+	for _, e := range events {
+		if e.Type != obs.EvSlowRequest {
+			t.Errorf("unexpected event type %v", e.Type)
+		}
+		if e.Set != -1 {
+			t.Errorf("slow-request event Set = %d, want -1", e.Set)
+		}
+		if e.Op == "" {
+			t.Error("slow-request event without opcode name")
+		}
+		if !ids[e.Trace] {
+			t.Errorf("server saw trace id %#x the client never sent", e.Trace)
+		}
+	}
+
+	// Both ends' histograms must have filled.
+	if n := creg.Latency("client.lat.total_us").Count(); n != wantSamples {
+		t.Errorf("client total histogram holds %d samples, want %d", n, wantSamples)
+	}
+	if n := creg.Latency("client.lat.server_us").Count(); n != wantSamples {
+		t.Errorf("client server histogram holds %d samples, want %d", n, wantSamples)
+	}
+	getHist := reg.Latency("server.lat.get.handle_us")
+	if getHist.Count() == 0 {
+		t.Error("server GET handle histogram is empty")
+	}
+	if reg.Latency("server.lat.set.decode_us").Count() == 0 {
+		t.Error("server SET decode histogram is empty")
+	}
+}
+
+// TestUntracedClientStaysUntraced: with TraceEvery = 0 no extension is
+// attached and the server answers untraced frames exactly as before.
+func TestUntracedClientStaysUntraced(t *testing.T) {
+	cache, err := stemcache.New[string, []byte](stemcache.Config{Capacity: 1 << 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := client.New(client.Config{
+		Addr:    srv.Addr(),
+		OnTrace: func(client.TraceSample) { t.Error("untraced client produced a sample") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := cl.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+}
+
+// TestTraceEverySamplesEveryNth: TraceEvery = 4 traces operations 1, 5, 9,
+// ... — a sampling rate, not a per-op cost.
+func TestTraceEverySamplesEveryNth(t *testing.T) {
+	cache, err := stemcache.New[string, []byte](stemcache.Config{Capacity: 1 << 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cache.Close()
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var samples []client.TraceSample
+	cl, err := client.New(client.Config{
+		Addr:       srv.Addr(),
+		TraceEvery: 4,
+		OnTrace:    func(s client.TraceSample) { samples = append(samples, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const ops = 10 // traces ops 1, 5, 9 → 3 samples
+	for i := 0; i < ops; i++ {
+		if err := cl.Ping(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if want := (ops + 3) / 4; len(samples) != want {
+		t.Fatalf("TraceEvery=4 over %d ops yielded %d samples, want %d", ops, len(samples), want)
+	}
+	for _, s := range samples {
+		if s.Op != wire.OpPing || s.Status != wire.StatusOK {
+			t.Errorf("unexpected sample %+v", s)
+		}
+	}
+}

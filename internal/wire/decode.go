@@ -29,6 +29,12 @@ func DecodeRequest(data []byte, lim Limits) (*Request, int, error) {
 		Flags: fl,
 	}
 	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	if fl&FlagTrace != 0 {
+		var err error
+		if req.Trace, err = c.traceReq(); err != nil {
+			return nil, 0, err
+		}
+	}
 	if err := parseRequestPayload(req, c, lim); err != nil {
 		return nil, 0, err
 	}
@@ -100,12 +106,15 @@ func DecodeResponse(data []byte, lim Limits) (*Response, int, error) {
 	if len(data)-HeaderLen < n {
 		return nil, 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
 	}
-	op, status := Op(opB), Status(st)
+	// The status byte's high bit flags a traced response; mask it off
+	// before validating the status proper.
+	traced := st&respFlagTrace != 0
+	op, status := Op(opB), Status(st&^respFlagTrace)
 	if !op.Valid() {
 		return nil, 0, frameErrf("unknown opcode %d", opB)
 	}
 	if !status.Valid() {
-		return nil, 0, frameErrf("unknown status %d", st)
+		return nil, 0, frameErrf("unknown status %d", st&^respFlagTrace)
 	}
 	resp := &Response{
 		Op:     op,
@@ -113,6 +122,12 @@ func DecodeResponse(data []byte, lim Limits) (*Response, int, error) {
 		Status: status,
 	}
 	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	if traced {
+		var err error
+		if resp.Trace, err = c.traceResp(); err != nil {
+			return nil, 0, err
+		}
+	}
 	if err := parseResponsePayload(resp, c, lim); err != nil {
 		return nil, 0, err
 	}
@@ -189,6 +204,41 @@ func (c *cursor) demand() (*NodeDemand, error) {
 		}
 	}
 	return &d, nil
+}
+
+// traceReq reads the 16-byte request trace prefix. The size check up front
+// turns a truncation into one error instead of two partial reads.
+func (c *cursor) traceReq() (*TraceExt, error) {
+	if c.remaining() < traceReqLen {
+		return nil, frameErrf("truncated trace extension: want %d bytes, have %d", traceReqLen, c.remaining())
+	}
+	var t TraceExt
+	var err error
+	if t.ID, err = c.u64(); err != nil {
+		return nil, err
+	}
+	if t.SendMicros, err = c.u64(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// traceResp reads the 24-byte response trace prefix.
+func (c *cursor) traceResp() (*TraceExt, error) {
+	if c.remaining() < traceRespLen {
+		return nil, frameErrf("truncated trace extension: want %d bytes, have %d", traceRespLen, c.remaining())
+	}
+	t, err := c.traceReq()
+	if err != nil {
+		return nil, err
+	}
+	if t.QueueMicros, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if t.HandleMicros, err = c.u32(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // kv reads a key then a value.

@@ -12,6 +12,18 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 	var hdr [HeaderLen]byte
 	buf = append(buf, hdr[:]...)
 
+	// The Trace field drives the wire bit: a non-nil Trace sets FlagTrace
+	// and emits the prefix; a FlagTrace bit without the extension would
+	// desynchronize the stream, so it is rejected here at the sender.
+	flags := req.Flags
+	if req.Trace != nil {
+		flags |= FlagTrace
+		buf = appendU64(buf, req.Trace.ID)
+		buf = appendU64(buf, req.Trace.SendMicros)
+	} else if flags&FlagTrace != 0 {
+		return buf[:start], fmt.Errorf("wire: FlagTrace set without a trace extension")
+	}
+
 	var err error
 	switch req.Op {
 	case OpPing, OpStats, OpDemand:
@@ -63,7 +75,7 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 	if n > lim.MaxPayload {
 		return buf[:start], fmt.Errorf("wire: request payload %d exceeds limit %d", n, lim.MaxPayload)
 	}
-	h := header(req.Op, req.Flags, req.ID, n)
+	h := header(req.Op, flags, req.ID, n)
 	copy(buf[start:], h[:])
 	return buf, nil
 }
@@ -74,6 +86,22 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 	start := len(buf)
 	var hdr [HeaderLen]byte
 	buf = append(buf, hdr[:]...)
+
+	// A traced response carries the echoed-and-extended trace prefix ahead
+	// of the opcode payload (even for StatusErr: a failing traced request
+	// still yields a latency sample). The flag rides the status byte's high
+	// bit, so the status itself must stay below it.
+	st := uint8(resp.Status)
+	if st&respFlagTrace != 0 {
+		return buf[:start], fmt.Errorf("wire: status %d collides with the response trace bit", st)
+	}
+	if resp.Trace != nil {
+		st |= respFlagTrace
+		buf = appendU64(buf, resp.Trace.ID)
+		buf = appendU64(buf, resp.Trace.SendMicros)
+		buf = appendU32(buf, resp.Trace.QueueMicros)
+		buf = appendU32(buf, resp.Trace.HandleMicros)
+	}
 
 	var err error
 	switch {
@@ -133,7 +161,7 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 	if n > lim.MaxPayload {
 		return buf[:start], fmt.Errorf("wire: response payload %d exceeds limit %d", n, lim.MaxPayload)
 	}
-	h := header(resp.Op, uint8(resp.Status), resp.ID, n)
+	h := header(resp.Op, st, resp.ID, n)
 	copy(buf[start:], h[:])
 	return buf, nil
 }

@@ -40,6 +40,20 @@ func FuzzWireDecode(f *testing.F) {
 	big := header(OpPing, 0, 7, 1<<30)
 	f.Add(big[:]) // payload length beyond every limit
 
+	// Trace-extension malformations: the flag promising a prefix the
+	// payload cannot satisfy, the flag clear with prefix-sized trailing
+	// bytes, and the response trace bit over a truncated extension.
+	h = header(OpPing, FlagTrace, 7, 8)
+	f.Add(append(h[:], 1, 2, 3, 4, 5, 6, 7, 8)) // FlagTrace, half an extension
+	h = header(OpPing, FlagTrace, 7, 0)
+	f.Add(h[:]) // FlagTrace, no extension bytes at all
+	h = header(OpPing, 0, 7, traceReqLen)
+	f.Add(append(h[:], make([]byte, traceReqLen)...)) // flag clear, trace-sized junk
+	h = header(OpPing, uint8(StatusOK)|respFlagTrace, 7, traceRespLen-1)
+	f.Add(append(h[:], make([]byte, traceRespLen-1)...)) // traced response, one byte short
+	h = header(OpGet, uint8(StatusOK)|respFlagTrace, 7, traceRespLen+5)
+	f.Add(append(h[:], make([]byte, traceRespLen+5)...)) // traced response + value
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data, lim)
 		if err == nil {
@@ -55,6 +69,13 @@ func FuzzWireDecode(f *testing.F) {
 			if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key ||
 				len(req2.Keys) != len(req.Keys) || len(req2.Pairs) != len(req.Pairs) {
 				t.Fatalf("request round trip drifted: %+v vs %+v", req, req2)
+			}
+			if (req.Trace == nil) != (req2.Trace == nil) ||
+				(req.Trace != nil && *req2.Trace != *req.Trace) {
+				t.Fatalf("request trace drifted: %+v vs %+v", req.Trace, req2.Trace)
+			}
+			if (req.Trace != nil) != (req.Flags&FlagTrace != 0) {
+				t.Fatalf("trace/flag desync: flags %x trace %+v", req.Flags, req.Trace)
 			}
 		} else if !errors.Is(err, ErrFrame) {
 			t.Fatalf("request decode error %v does not wrap ErrFrame", err)
@@ -79,6 +100,10 @@ func FuzzWireDecode(f *testing.F) {
 				if resp.Demand == nil || resp2.Demand == nil || *resp2.Demand != *resp.Demand {
 					t.Fatalf("demand round trip drifted: %+v vs %+v", resp.Demand, resp2.Demand)
 				}
+			}
+			if (resp.Trace == nil) != (resp2.Trace == nil) ||
+				(resp.Trace != nil && *resp2.Trace != *resp.Trace) {
+				t.Fatalf("response trace drifted: %+v vs %+v", resp.Trace, resp2.Trace)
 			}
 		} else if !errors.Is(err, ErrFrame) {
 			t.Fatalf("response decode error %v does not wrap ErrFrame", err)

@@ -23,6 +23,12 @@
 // count first. All integers are big endian. TTLs travel as uint64
 // nanoseconds.
 //
+// A request with FlagTrace set carries a 16-byte trace extension (trace id,
+// client send-timestamp micros) as a payload prefix ahead of the
+// opcode-specific payload; the response echoes it — flagged by the status
+// byte's high bit — extended to 24 bytes with the server's queue and handle
+// timings (see TraceExt).
+//
 // The decoder is strict: a frame with a bad magic, unknown version or
 // opcode, a payload length beyond the configured limit, or a payload whose
 // inner lengths disagree with the outer length is rejected with an error —
@@ -35,6 +41,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -119,7 +126,65 @@ const (
 	// (stemcache.GetOrSet); the response reports StatusNotStored with the
 	// resident value when the key already existed.
 	FlagNX uint8 = 1 << 0
+	// FlagTrace marks a request carrying a trace extension: a 16-byte
+	// prefix (trace id + client send timestamp) ahead of the opcode payload.
+	// The server echoes the extension on the response — extended with its
+	// own queue and handle timings — so the client can split each traced
+	// op's latency into network and server components (see TraceExt).
+	FlagTrace uint8 = 1 << 1
 )
+
+// respFlagTrace marks a traced response. Responses have no flags byte —
+// byte 3 carries the status — so the trace bit rides the status byte's high
+// bit, which no Status value can reach (statusMax is tiny and the decoder
+// rejects unknown statuses). The decoder masks it off before validating.
+const respFlagTrace uint8 = 1 << 7
+
+// TraceExt is the optional per-request trace extension enabled by
+// FlagTrace. On requests only ID and SendMicros travel (16 bytes); on
+// responses the server echoes both and appends its queue and handle timings
+// (24 bytes). All timestamps are microseconds.
+//
+// The micros fields are intentionally asymmetric: SendMicros is an opaque
+// client clock reading (only ever compared against the same client's clock,
+// so it needs the full 64-bit range), while QueueMicros/HandleMicros are
+// durations measured by the server and saturate at ~71 minutes — far beyond
+// any plausible request timeout.
+type TraceExt struct {
+	// ID is the client-chosen trace id, echoed verbatim by the server and
+	// attached to the server's slow-request events — the join key between
+	// client-side samples and server-side traces.
+	ID uint64
+	// SendMicros is the client's send timestamp on its own monotonic clock,
+	// echoed verbatim. The client computes total latency as now−SendMicros
+	// without trusting the server's clock.
+	SendMicros uint64
+	// QueueMicros is the server-side time from accepting the frame to the
+	// request being fully decoded (read + decode). Response-only.
+	QueueMicros uint32
+	// HandleMicros is the server-side time spent executing the cache
+	// operation. Response-only.
+	HandleMicros uint32
+}
+
+// Trace extension payload-prefix sizes.
+const (
+	traceReqLen  = 8 + 8         // ID + SendMicros
+	traceRespLen = 8 + 8 + 4 + 4 // + QueueMicros + HandleMicros
+)
+
+// SaturateMicros converts a duration to whole microseconds, clamped to the
+// uint32 range used by the response trace timings.
+func SaturateMicros(d time.Duration) uint32 {
+	us := d.Microseconds()
+	switch {
+	case us < 0:
+		return 0
+	case us > math.MaxUint32:
+		return math.MaxUint32
+	}
+	return uint32(us)
+}
 
 // Status enumerates response outcomes.
 type Status uint8
@@ -277,6 +342,10 @@ type Request struct {
 	Keys []string
 	// Pairs is the MSET operand.
 	Pairs []KV
+	// Trace is the optional trace extension. Non-nil requests are encoded
+	// with FlagTrace set and the 16-byte trace prefix ahead of the opcode
+	// payload; decoding a FlagTrace frame populates it.
+	Trace *TraceExt
 }
 
 // Response is the decoded form of one response frame.
@@ -298,6 +367,11 @@ type Response struct {
 	Values [][]byte
 	// Demand answers DEMAND (StatusOK only); nil otherwise.
 	Demand *NodeDemand
+	// Trace echoes the request's trace extension with the server timings
+	// filled in. It travels as a 24-byte payload prefix on every traced
+	// response — including StatusErr, so a failing traced request still
+	// yields a latency sample.
+	Trace *TraceExt
 }
 
 // ErrFrame is the base error wrapped by every decoder rejection, so callers

@@ -26,6 +26,10 @@ func requestFixtures() []*Request {
 		{Op: OpMGet, ID: 10, Keys: []string{}},
 		{Op: OpMSet, ID: 11, Pairs: []KV{{Key: "a", Value: []byte("1")}, {Key: "b", Value: nil}}},
 		{Op: OpDemand, ID: 12},
+		{Op: OpGet, ID: 13, Key: "traced", Trace: &TraceExt{ID: 0xDEADBEEFCAFE, SendMicros: 123456789}},
+		{Op: OpSet, ID: 14, Flags: FlagNX, Key: "k", Value: []byte("v"), Trace: &TraceExt{ID: 1, SendMicros: 2}},
+		{Op: OpPing, ID: 15, Trace: &TraceExt{}},
+		{Op: OpMGet, ID: 16, Keys: []string{"a", "b"}, Trace: &TraceExt{ID: 7, SendMicros: 1 << 60}},
 	}
 }
 
@@ -48,6 +52,12 @@ func responseFixtures() []*Response {
 			ScSSum: 9000, ScSMax: 512 * 127, Live: 4000, Capacity: 4096,
 		}},
 		{Op: OpDemand, ID: 13, Status: StatusErr, Value: []byte("draining")},
+		{Op: OpGet, ID: 14, Status: StatusOK, Value: []byte("v"),
+			Trace: &TraceExt{ID: 0xDEADBEEFCAFE, SendMicros: 123456789, QueueMicros: 12, HandleMicros: 345}},
+		{Op: OpGet, ID: 15, Status: StatusErr, Value: []byte("boom"),
+			Trace: &TraceExt{ID: 9, SendMicros: 8, QueueMicros: 1, HandleMicros: 0}},
+		{Op: OpMGet, ID: 16, Status: StatusOK, Found: []bool{true}, Values: [][]byte{[]byte("x")},
+			Trace: &TraceExt{ID: 1, SendMicros: 1, QueueMicros: 1<<32 - 1, HandleMicros: 1<<32 - 1}},
 	}
 }
 
@@ -55,6 +65,11 @@ func responseFixtures() []*Response {
 // round-trip comparison with DeepEqual is exact: nil and empty slices are
 // indistinguishable on the wire.
 func normReq(r *Request) {
+	// A non-nil Trace encodes with FlagTrace set, so the decoded form
+	// always carries the bit.
+	if r.Trace != nil {
+		r.Flags |= FlagTrace
+	}
 	if len(r.Value) == 0 {
 		r.Value = nil
 	}
@@ -309,6 +324,80 @@ func TestDemandPayload(t *testing.T) {
 	var zero NodeDemand
 	if zero.TakerFrac() != 0 || zero.Saturation() != 0 {
 		t.Errorf("zero demand: TakerFrac = %v, Saturation = %v", zero.TakerFrac(), zero.Saturation())
+	}
+}
+
+// TestTraceExtension pins the trace-extension contract beyond the
+// round-trip fixtures: prefix sizes, sender-side rejection of a flag/field
+// mismatch, truncation errors, and the saturating micros conversion.
+func TestTraceExtension(t *testing.T) {
+	lim := DefaultLimits()
+
+	// The prefix adds exactly traceReqLen / traceRespLen bytes.
+	plain, err := AppendRequest(nil, &Request{Op: OpPing, ID: 1}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := AppendRequest(nil, &Request{Op: OpPing, ID: 1, Trace: &TraceExt{ID: 1}}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced)-len(plain) != traceReqLen {
+		t.Fatalf("request trace prefix is %d bytes, want %d", len(traced)-len(plain), traceReqLen)
+	}
+	plainR, err := AppendResponse(nil, &Response{Op: OpPing, ID: 1, Status: StatusOK}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedR, err := AppendResponse(nil, &Response{Op: OpPing, ID: 1, Status: StatusOK, Trace: &TraceExt{ID: 1}}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracedR)-len(plainR) != traceRespLen {
+		t.Fatalf("response trace prefix is %d bytes, want %d", len(tracedR)-len(plainR), traceRespLen)
+	}
+
+	// FlagTrace without the extension would desynchronize the stream; the
+	// encoder refuses it.
+	if _, err := AppendRequest(nil, &Request{Op: OpPing, Flags: FlagTrace}, lim); err == nil {
+		t.Fatal("FlagTrace without trace extension encoded")
+	}
+
+	// A status colliding with the response trace bit is refused.
+	if _, err := AppendResponse(nil, &Response{Op: OpPing, Status: Status(respFlagTrace)}, lim); err == nil {
+		t.Fatal("status with trace bit encoded")
+	}
+
+	// Truncated extensions are frame errors, on both frame kinds.
+	shortReq := append([]byte(nil), traced[:HeaderLen+traceReqLen-1]...)
+	binary.BigEndian.PutUint32(shortReq[8:12], traceReqLen-1)
+	if _, _, err := DecodeRequest(shortReq, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated request trace accepted: %v", err)
+	}
+	shortResp := append([]byte(nil), tracedR[:HeaderLen+traceRespLen-1]...)
+	binary.BigEndian.PutUint32(shortResp[8:12], traceRespLen-1)
+	if _, _, err := DecodeResponse(shortResp, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated response trace accepted: %v", err)
+	}
+
+	// An untraced frame carrying trace-sized trailing bytes is rejected by
+	// the exact-consumption check, not silently skipped.
+	junk := append([]byte(nil), plain...)
+	junk = append(junk, make([]byte, traceReqLen)...)
+	binary.BigEndian.PutUint32(junk[8:12], traceReqLen)
+	if _, _, err := DecodeRequest(junk, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("untraced frame with trailing trace bytes accepted: %v", err)
+	}
+
+	// SaturateMicros clamps on both ends.
+	if got := SaturateMicros(-time.Second); got != 0 {
+		t.Errorf("SaturateMicros(-1s) = %d", got)
+	}
+	if got := SaturateMicros(1500 * time.Microsecond); got != 1500 {
+		t.Errorf("SaturateMicros(1.5ms) = %d, want 1500", got)
+	}
+	if got := SaturateMicros(2 * time.Hour); got != 1<<32-1 {
+		t.Errorf("SaturateMicros(2h) = %d, want saturated", got)
 	}
 }
 
