@@ -45,6 +45,12 @@ func main() {
 		defaultTTL = flag.Duration("default-ttl", 0, "TTL applied by SET (0 = never expire; SETTTL overrides per key)")
 		lru        = flag.Bool("lru", false, "serve the sharded-LRU baseline instead of STEM (same geometry)")
 
+		loadTTL     = flag.Duration("load-ttl", 0, "freshness TTL for values installed by LOAD fills (0 = -default-ttl)")
+		staleTTL    = flag.Duration("stale-ttl", 0, "window after -load-ttl in which LOAD serves stale while one client revalidates (0 = off)")
+		negativeTTL = flag.Duration("negative-ttl", time.Second, "how long LOAD caches origin misses (0 = off)")
+		ttlJitter   = flag.Float64("ttl-jitter", 0, "fraction in [0,1) subtracted randomly from loaded TTLs to decorrelate expiry (0 = off)")
+		leaseWait   = flag.Duration("lease-wait", 0, "how long a LOAD waits on another client's fetch lease before taking it over (0 = default 1s)")
+
 		nodeID      = flag.Int("node-id", -1, "cluster node id (-1 = standalone; ≥ 0 joins a cluster)")
 		clusterSeed = flag.Uint64("cluster-seed", 0, "shared cluster seed; with -node-id it derives the cache seed (overriding -seed)")
 
@@ -65,6 +71,8 @@ func main() {
 	if err := run(runConfig{
 		addr: *addr, capacity: *capacity, shards: *shards, ways: *ways,
 		seed: *seed, defaultTTL: *defaultTTL, lru: *lru,
+		loadTTL: *loadTTL, staleTTL: *staleTTL, negativeTTL: *negativeTTL,
+		ttlJitter: *ttlJitter, leaseWait: *leaseWait,
 		nodeID: *nodeID, clusterSeed: *clusterSeed,
 		maxConns: *maxConns, readTimeout: *readTimeout, writeTimeout: *writeTimeout,
 		idleTimeout: *idleTimeout, drainTimeout: *drainTimeout,
@@ -85,6 +93,12 @@ type runConfig struct {
 	seed       uint64
 	defaultTTL time.Duration
 	lru        bool
+
+	loadTTL     time.Duration
+	staleTTL    time.Duration
+	negativeTTL time.Duration
+	ttlJitter   float64
+	leaseWait   time.Duration
 
 	nodeID      int
 	clusterSeed uint64
@@ -122,6 +136,11 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 		Ways:       cfg.ways,
 		Seed:       cfg.seed,
 		DefaultTTL: cfg.defaultTTL,
+
+		LoadTTL:     cfg.loadTTL,
+		StaleTTL:    cfg.staleTTL,
+		NegativeTTL: cfg.negativeTTL,
+		TTLJitter:   cfg.ttlJitter,
 	}
 	if cfg.nodeID >= 0 {
 		ccfg.Seed = cluster.NodeSeed(cfg.clusterSeed, cfg.nodeID)
@@ -156,6 +175,7 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 		WriteTimeout: cfg.writeTimeout,
 		IdleTimeout:  cfg.idleTimeout,
 		DrainTimeout: cfg.drainTimeout,
+		LeaseWait:    cfg.leaseWait,
 		Metrics:      reg,
 		SlowRequest:  cfg.slowRequest,
 		Events:       events,

@@ -87,8 +87,28 @@ func main() {
 		rate      = flag.Float64("rate", 0, "open-loop Poisson arrival rate, total ops/s (0 = closed loop)")
 		traceEach = flag.Int("trace-every", 0, "trace every Nth request end to end (0 = off)")
 		jsonPath  = flag.String("json", "", `write results as JSON to this file ("-" for stdout)`)
+
+		herd        = flag.Bool("herd", false, "run the thundering-herd read-through scenario instead of the cache-aside load (self-hosted; see herd.go)")
+		herdWorkers = flag.Int("herd-workers", 64, "with -herd: concurrent clients stampeding each key")
+		herdRounds  = flag.Int("herd-rounds", 20, "with -herd: number of cold keys stampeded in turn")
+		originDelay = flag.Duration("origin-delay", 20*time.Millisecond, "with -herd: fake origin service time")
 	)
 	flag.Parse()
+
+	if *herd {
+		if *addr != "" || *clusterEP != "" {
+			fmt.Fprintln(os.Stderr, "stemload: -herd is self-hosted; it excludes -addr and -cluster")
+			os.Exit(1)
+		}
+		if err := runHerd(herdConfig{
+			Workers: *herdWorkers, Rounds: *herdRounds, OriginDelay: *originDelay,
+			Capacity: *capacity, Seed: *seed,
+		}, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "stemload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*addr, *clusterEP, loadConfig{
 		Dist: *dist, Ops: *ops, Conns: *conns, Capacity: *capacity,

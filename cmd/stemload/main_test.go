@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // TestOpenLoopTailDominatesClosedLoop is the coordinated-omission claim,
@@ -73,5 +74,46 @@ func TestOpenLoopTailDominatesClosedLoop(t *testing.T) {
 	}
 	if len(back.Results) != 2 || back.Results[1].Mode != "open" || back.Results[1].TraceSamples == 0 {
 		t.Errorf("report round trip lost fields: %+v", back.Results)
+	}
+}
+
+// TestThunderingHerdAmplification is the read-through acceptance claim: 64
+// workers stampeding one expiring hot key against a slow origin must cost
+// one origin fetch per cold key — amplification pinned at 1.05, i.e. at
+// most one duplicate fetch in twenty rounds — and the stale-while-revalidate
+// phase must answer every worker from the stale value with zero origin
+// calls on any foreground path. CI runs this under -race and emits the same
+// scenario as BENCH_loader.json.
+func TestThunderingHerdAmplification(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives 64 clients against a loopback server")
+	}
+	cfg := herdConfig{
+		Workers:     64,
+		Rounds:      20,
+		OriginDelay: 20 * time.Millisecond,
+		Capacity:    1 << 12,
+		Seed:        0x57E4,
+	}
+	res, err := herdScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Amplification > 1.05 {
+		t.Fatalf("origin amplification = %.3f (%d calls / %d rounds); want <= 1.05",
+			res.Amplification, res.OriginCalls, cfg.Rounds)
+	}
+	if res.StaleForegroundCalls != 0 {
+		t.Fatalf("stale foreground origin calls = %d; want 0 (SWR must keep the origin off the critical path)",
+			res.StaleForegroundCalls)
+	}
+	if res.StaleReturns != cfg.Workers {
+		t.Fatalf("stale returns = %d; want %d", res.StaleReturns, cfg.Workers)
+	}
+	if res.StaleServed == 0 {
+		t.Fatal("server reported StaleServed = 0; the SWR phase never served stale")
+	}
+	if res.LoadDedup == 0 {
+		t.Fatal("server reported LoadDedup = 0; the herd never shared a lease")
 	}
 }

@@ -6,22 +6,50 @@ import (
 )
 
 // APIDoc enforces documentation on the public surface: every exported
-// symbol of the module's root package (the `stem` API) carries a godoc
-// comment, and the comment opens with the symbol's name (optionally after
-// "A", "An" or "The"), so rendered godoc reads as reference material.
+// symbol of the module's root package (the `stem` API) and of the serving
+// tier's library packages (stemcache, wire, server, client, cluster — whose
+// exported names the root package and the cmd/ binaries re-surface) carries
+// a godoc comment, and the comment opens with the symbol's name (optionally
+// after "A", "An" or "The"), so rendered godoc reads as reference material.
 // Grouped declarations — `const (...)` / `type (...)` blocks — may share
 // one block comment; individual specs inside a documented block are exempt
 // from the name rule but must still be covered by some comment.
 var APIDoc = &Analyzer{
 	Name: "apidoc",
-	Doc:  "exported symbols of the public stem package must carry godoc comments opening with the symbol name",
+	Doc:  "exported symbols of the public stem package and the serving-tier libraries must carry godoc comments opening with the symbol name",
 	Run:  runAPIDoc,
 }
 
+// apidocLibraries are the internal packages whose exported surface is held
+// to the public-API documentation standard: the serving tier that README.md
+// and the re-exporting root package present as product. Matched by suffix so
+// the analyzer fixtures bind into scope the same way lockorder's do.
+var apidocLibraries = []string{
+	"/internal/stemcache",
+	"/internal/wire",
+	"/internal/server",
+	"/internal/client",
+	"/internal/cluster",
+}
+
+// inAPIDocScope reports whether a package's exported names are part of the
+// documented product surface.
+func inAPIDocScope(path string) bool {
+	if !strings.Contains(path, "/") {
+		// The module root package (import path without a slash) is the
+		// public API itself.
+		return true
+	}
+	for _, lib := range apidocLibraries {
+		if path == lib[1:] || strings.HasSuffix(path, lib) {
+			return true
+		}
+	}
+	return false
+}
+
 func runAPIDoc(pass *Pass) {
-	// The module root package is the one whose import path has no slash;
-	// everything under internal/ or cmd/ is not the public surface.
-	if strings.Contains(pass.Pkg.Path, "/") {
+	if !inAPIDocScope(pass.Pkg.Path) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {
@@ -47,7 +75,7 @@ func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
 		}
 	}
 	if d.Doc == nil {
-		pass.Reportf(d.Name.Pos(), "exported %s %s is undocumented; the root package is the public API surface", declKind(d), d.Name.Name)
+		pass.Reportf(d.Name.Pos(), "exported %s %s is undocumented; this package is part of the documented product surface", declKind(d), d.Name.Name)
 		return
 	}
 	checkNameConvention(pass, d.Name, d.Doc)
@@ -99,7 +127,7 @@ func checkSpecDoc(pass *Pass, d *ast.GenDecl, grouped bool, name *ast.Ident, doc
 	if !grouped {
 		// Standalone declaration: the decl doc is the symbol's doc.
 		if d.Doc == nil && doc == nil && line == nil {
-			pass.Reportf(name.Pos(), "exported %s %s is undocumented; the root package is the public API surface", genKind(d), name.Name)
+			pass.Reportf(name.Pos(), "exported %s %s is undocumented; this package is part of the documented product surface", genKind(d), name.Name)
 			return
 		}
 		if doc == nil {

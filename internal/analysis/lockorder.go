@@ -11,8 +11,9 @@ import (
 // the repository-wide panic convention:
 //
 //   - Lock hierarchy: each concurrent package's mutexes form a strict order —
-//     stemcache's Cache.closeMu before shard.mu before Cache.obsMu, the
-//     network server's Server.mu before conn.mu, and the cluster tier's
+//     stemcache's Cache.closeMu before Cache.loadMu before shard.mu before
+//     Cache.obsMu, the network server's Server.mu before conn.mu before
+//     Server.leaseMu, and the cluster tier's
 //     Ring.mu before Node.mu before Rebalancer.obsMu (see lockRankFor).
 //     Acquiring
 //     against that order (or acquiring the same lock twice) deadlocks, but
@@ -30,7 +31,7 @@ import (
 //     preceding line. Misuse of public APIs must return errors instead.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→shard.mu→obsMu, server's Server.mu→conn.mu, cluster's Ring.mu→Node.mu→Rebalancer.obsMu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
+	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→loadMu→shard.mu→obsMu, server's Server.mu→conn.mu→leaseMu, cluster's Ring.mu→Node.mu→Rebalancer.obsMu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
 	Run:  runLockOrder,
 }
 
@@ -53,8 +54,9 @@ func (k lockKey) String() string {
 // a strictly smaller rank.
 var stemcacheLockRank = map[lockKey]int{
 	{typ: "Cache", field: "closeMu"}: 0,
-	{typ: "shard", field: "mu"}:      1,
-	{typ: "Cache", field: "obsMu"}:   2,
+	{typ: "Cache", field: "loadMu"}:  1,
+	{typ: "shard", field: "mu"}:      2,
+	{typ: "Cache", field: "obsMu"}:   3,
 }
 
 // isStemcachePackage matches the real package and bound fixtures.
@@ -64,11 +66,14 @@ func isStemcachePackage(path string) bool {
 
 // serverLockRank is the sanctioned acquisition order inside internal/server:
 // Server.mu (the connection registry and lifecycle state) before conn.mu (a
-// single connection's drain/close flags). Neither may be held while calling
-// into the cache, whose own hierarchy sits below both.
+// single connection's drain/close flags) before Server.leaseMu (the
+// read-through lease table, the innermost class — never held across a cache
+// call or anything blocking). None may be held while calling into the
+// cache, whose own hierarchy sits below all three.
 var serverLockRank = map[lockKey]int{
-	{typ: "Server", field: "mu"}: 0,
-	{typ: "conn", field: "mu"}:   1,
+	{typ: "Server", field: "mu"}:      0,
+	{typ: "conn", field: "mu"}:        1,
+	{typ: "Server", field: "leaseMu"}: 2,
 }
 
 // isServerPackage matches the real package and bound fixtures.
@@ -98,9 +103,9 @@ func isClusterPackage(path string) bool {
 func lockRankFor(path string) (map[lockKey]int, string) {
 	switch {
 	case isStemcachePackage(path):
-		return stemcacheLockRank, "closeMu → shard.mu → obsMu"
+		return stemcacheLockRank, "closeMu → loadMu → shard.mu → obsMu"
 	case isServerPackage(path):
-		return serverLockRank, "Server.mu → conn.mu"
+		return serverLockRank, "Server.mu → conn.mu → leaseMu"
 	case isClusterPackage(path):
 		return clusterLockRank, "Ring.mu → Node.mu → Rebalancer.obsMu"
 	}

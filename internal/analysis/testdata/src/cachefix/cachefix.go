@@ -1,6 +1,6 @@
 // Package stemcache is the lockorder-analyzer fixture. The tests bind it to
 // fixture/internal/stemcache, so the Cache/shard lock hierarchy applies:
-// Cache.closeMu before shard.mu before Cache.obsMu.
+// Cache.closeMu before Cache.loadMu before shard.mu before Cache.obsMu.
 package stemcache
 
 import "sync"
@@ -9,9 +9,10 @@ type shard struct {
 	mu sync.Mutex
 }
 
-// Cache mirrors the real package's three lock classes.
+// Cache mirrors the real package's four lock classes.
 type Cache struct {
 	closeMu sync.Mutex
+	loadMu  sync.Mutex
 	obsMu   sync.Mutex
 	shards  []shard
 }
@@ -25,6 +26,28 @@ func (c *Cache) goodOrder() {
 	c.obsMu.Unlock()
 	sh.mu.Unlock()
 	c.closeMu.Unlock()
+}
+
+// goodLoadFence takes loadMu under closeMu and releases it before the
+// shards, like the real Close — no findings.
+func (c *Cache) goodLoadFence() {
+	c.closeMu.Lock()
+	c.loadMu.Lock()
+	c.loadMu.Unlock()
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	sh.mu.Unlock()
+	c.closeMu.Unlock()
+}
+
+// badLoadOrder takes the singleflight lock while holding a shard lock —
+// the load path must settle flights before touching shards, never under
+// them.
+func (c *Cache) badLoadOrder(sh *shard) {
+	sh.mu.Lock()
+	c.loadMu.Lock()
+	c.loadMu.Unlock()
+	sh.mu.Unlock()
 }
 
 // badOrder takes a shard lock while already holding obsMu.

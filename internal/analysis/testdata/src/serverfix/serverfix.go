@@ -1,6 +1,6 @@
 // Package server is the lockorder-analyzer fixture for the network server's
 // hierarchy. The tests bind it to fixture/internal/server, so the Server/conn
-// lock ranks apply: Server.mu before conn.mu.
+// lock ranks apply: Server.mu before conn.mu before Server.leaseMu.
 package server
 
 import "sync"
@@ -10,10 +10,12 @@ type conn struct {
 	draining bool
 }
 
-// Server mirrors the real package's two lock classes.
+// Server mirrors the real package's three lock classes.
 type Server struct {
-	mu    sync.Mutex
-	conns map[*conn]struct{}
+	mu      sync.Mutex
+	leaseMu sync.Mutex
+	conns   map[*conn]struct{}
+	leases  map[string]struct{}
 }
 
 // goodOrder acquires down the hierarchy — no findings.
@@ -31,6 +33,24 @@ func (s *Server) goodHandoff(c *conn) {
 	s.mu.Unlock()
 	c.mu.Lock()
 	c.mu.Unlock()
+}
+
+// goodLeaseInnermost takes the lease table under a connection's lock —
+// in-order and legal, like handleLoad classifying under a live request.
+func (s *Server) goodLeaseInnermost(c *conn) {
+	c.mu.Lock()
+	s.leaseMu.Lock()
+	s.leaseMu.Unlock()
+	c.mu.Unlock()
+}
+
+// badLeaseOrder touches the connection registry while holding the lease
+// table — the lease table is the innermost class and may wrap nothing.
+func (s *Server) badLeaseOrder(c *conn) {
+	s.leaseMu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.leaseMu.Unlock()
 }
 
 // badOrder takes the registry lock while holding a connection's lock.

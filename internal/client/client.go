@@ -113,6 +113,7 @@ type ServerError struct {
 	Msg string
 }
 
+// Error formats the failed op and the server's message.
 func (e *ServerError) Error() string {
 	return fmt.Sprintf("client: server error on %v: %s", e.Op, e.Msg)
 }
@@ -136,6 +137,10 @@ type Client struct {
 	latTotal  *obs.LatencyHistogram
 	latServer *obs.LatencyHistogram
 	latNet    *obs.LatencyHistogram
+
+	// refreshWG tracks background stale-refresh goroutines (load.go);
+	// Close waits for them so a refresh never outlives its client.
+	refreshWG sync.WaitGroup
 }
 
 // cconn is one pooled connection with its buffers.
@@ -167,7 +172,9 @@ func New(cfg Config) (*Client, error) {
 }
 
 // Close releases pooled connections. In-flight operations finish their
-// current attempt; subsequent operations fail with ErrClosed. Idempotent.
+// current attempt; subsequent operations fail with ErrClosed. Close also
+// waits for background stale-refresh goroutines (GetOrLoad), so it blocks
+// while an Origin call of one is still running. Idempotent.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	idle := c.idle
@@ -176,6 +183,7 @@ func (c *Client) Close() error {
 	for _, cc := range idle {
 		cc.nc.Close()
 	}
+	c.refreshWG.Wait()
 	return nil
 }
 

@@ -34,6 +34,7 @@ type NodeError struct {
 	Err error
 }
 
+// Error formats the node index and the underlying error.
 func (e NodeError) Error() string {
 	return fmt.Sprintf("node %d: %v", e.Node, e.Err)
 }
@@ -48,6 +49,7 @@ type PartialError struct {
 	Errs []NodeError
 }
 
+// Error joins the per-node failures into one message.
 func (e *PartialError) Error() string {
 	parts := make([]string, len(e.Errs))
 	for i, ne := range e.Errs {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -147,6 +148,19 @@ func (c *Client) Del(key string) (found bool, err error) {
 	node := c.route(key)
 	defer c.exit(node)
 	return c.multi.Node(node).Del(key)
+}
+
+// GetOrLoad reads key through its owning node's lease protocol
+// (client.Client.GetOrLoad): consistent hashing sends every process asking
+// for a key to the same node, so the node-local lease table deduplicates
+// origin fetches across the whole fleet — one origin fetch per miss,
+// cluster-wide. After a ring migration a key's old owner may hold a now
+// unreachable lease; it simply times out (server LeaseWait) with no effect
+// on the new owner.
+func (c *Client) GetOrLoad(ctx context.Context, key string, origin client.Origin) ([]byte, error) {
+	node := c.route(key)
+	defer c.exit(node)
+	return c.multi.Node(node).GetOrLoad(ctx, key, origin)
 }
 
 // routeBatch resolves owners for n keys via pick-by-index, charging slot

@@ -26,11 +26,20 @@
 //     only then do connections close. Close is idempotent and safe to call
 //     concurrently with handlers.
 //
-// The package has two lock classes, ranked Server.mu before conn.mu (the
-// stemlint lockorder analyzer enforces this): Server.mu guards the
-// connection registry and lifecycle state, conn.mu a single connection's
-// drain/close state. Neither is ever held while calling into the cache, so
-// the cache's internal shard.mu sits below both.
+// The package has three lock classes, ranked Server.mu before conn.mu
+// before Server.leaseMu (the stemlint lockorder analyzer enforces this):
+// Server.mu guards the connection registry and lifecycle state, conn.mu a
+// single connection's drain/close state, and leaseMu the read-through lease
+// table (see handleLoad). None is ever held while calling into the cache,
+// so the cache's internal shard.mu sits below all three.
+//
+// Read-through leases: OpLoad extends the cache's in-process singleflight
+// across client processes. The first connection to miss a key is granted a
+// lease (StatusLease + token) and fetches the origin; connections asking
+// for the same key meanwhile block on the lease — bounded by LeaseWait, so
+// a crashed leaseholder stalls followers for at most one wait before one of
+// them takes over — and are answered from the cache once the leader fills.
+// The fleet performs one origin fetch per miss instead of one per client.
 package server
 
 import (
@@ -83,6 +92,11 @@ type Config struct {
 	// DEMAND responses and the STATS document so a cluster client can tell
 	// which node answered. 0 for a standalone server.
 	NodeID int
+	// LeaseWait bounds how long an OpLoad waits on another client's
+	// outstanding fetch lease before breaking it and taking over. It is the
+	// blast radius of a crashed leaseholder: followers stall at most this
+	// long. Default 1s.
+	LeaseWait time.Duration
 	// SlowRequest, when positive, makes the server emit an EvSlowRequest
 	// event to Events for every request whose server-side time (frame read
 	// + decode + cache op) reaches the threshold. 0 disables.
@@ -110,6 +124,9 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.LeaseWait <= 0 {
+		c.LeaseWait = time.Second
+	}
 	return c
 }
 
@@ -130,10 +147,21 @@ type Server struct {
 	wg  sync.WaitGroup // accept loop + connection handlers
 	sem chan struct{}  // max-conns gate
 
+	// leaseMu guards leases — the per-key read-through fetch leases that
+	// deduplicate origin fetches across client processes. Rank: below
+	// Server.mu and conn.mu (handle runs with neither held); never held
+	// while calling into the cache or blocking on a channel.
+	leaseMu  sync.Mutex
+	leases   map[string]*lease
+	leaseSeq atomic.Uint64 // token source; 0 is reserved for "no lease"
+	quit     chan struct{} // closed by Close; unblocks lease waiters
+
 	// Served-traffic counters (atomic: read by STATS while handlers run).
 	accepted    atomic.Uint64
 	requests    atomic.Uint64
 	protoErrors atomic.Uint64
+	loadReqs    atomic.Uint64 // OpLoad lookups (fills excluded)
+	loadDedups  atomic.Uint64 // OpLoad lookups that parked on another's lease
 
 	met serverMetrics
 	// timed makes every request pay its stage clock reads (metrics or
@@ -149,6 +177,9 @@ type serverMetrics struct {
 	accepted, requests, responses *obs.Counter
 	protoErrors, ioErrors         *obs.Counter
 	batchKeys                     *obs.Counter
+	loads, loadDedup              *obs.Counter
+	staleServed, negativeHits     *obs.Counter
+	leaseBreaks                   *obs.Counter
 	// lat holds the per-opcode stage histograms, indexed by raw opcode
 	// byte. Written once in New, read-only afterwards.
 	lat [256]stageLat
@@ -169,11 +200,13 @@ func New(cache *stemcache.Cache[string, []byte], cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cache: cache,
-		cfg:   cfg,
-		lim:   cfg.Limits,
-		conns: map[*conn]struct{}{},
-		sem:   make(chan struct{}, cfg.MaxConns),
+		cache:  cache,
+		cfg:    cfg,
+		lim:    cfg.Limits,
+		conns:  map[*conn]struct{}{},
+		sem:    make(chan struct{}, cfg.MaxConns),
+		leases: map[string]*lease{},
+		quit:   make(chan struct{}),
 	}
 	if reg := cfg.Metrics; reg != nil {
 		s.met = serverMetrics{
@@ -183,6 +216,14 @@ func New(cache *stemcache.Cache[string, []byte], cfg Config) (*Server, error) {
 			protoErrors: reg.Counter("server.proto_errors"),
 			ioErrors:    reg.Counter("server.io_errors"),
 			batchKeys:   reg.Counter("server.batch_keys"),
+			// Read-through counters: the served-traffic view of the load
+			// path (the cache's own "stemcache.*" counters see both wire
+			// and in-process traffic).
+			loads:        reg.Counter("server.loads"),
+			loadDedup:    reg.Counter("server.load_dedup"),
+			staleServed:  reg.Counter("server.stale_served"),
+			negativeHits: reg.Counter("server.negative_hits"),
+			leaseBreaks:  reg.Counter("server.lease_breaks"),
 		}
 		for op := wire.OpPing; op.Valid(); op++ {
 			name := "server.lat." + strings.ToLower(op.String())
@@ -318,6 +359,10 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	// Wake every OpLoad blocked on a lease before draining: a waiter
+	// parked in handleLoad holds its connection, and the drain below waits
+	// for exactly those connections.
+	close(s.quit)
 	ln := s.ln
 	drain := make([]*conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -376,6 +421,13 @@ type StatsSnapshot struct {
 	Requests uint64 `json:"requests"`
 	// ProtoErrors counts malformed frames received.
 	ProtoErrors uint64 `json:"proto_errors"`
+	// Loads counts OpLoad lookups served (fill frames excluded); LoadDedup
+	// counts the subset answered by parking on another client's fetch lease
+	// instead of consulting the origin — the server-side stampede-protection
+	// view (the cache's own Loads/LoadDedup count in-process GetOrLoad
+	// singleflight, which wire traffic does not use).
+	Loads     uint64 `json:"loads"`
+	LoadDedup uint64 `json:"load_dedup"`
 }
 
 // statsJSON renders the STATS payload.
@@ -391,6 +443,8 @@ func (s *Server) statsJSON() ([]byte, error) {
 		ConnsAccepted: s.accepted.Load(),
 		Requests:      s.requests.Load(),
 		ProtoErrors:   s.protoErrors.Load(),
+		Loads:         s.loadReqs.Load(),
+		LoadDedup:     s.loadDedups.Load(),
 	}
 	return json.Marshal(snap)
 }
@@ -458,6 +512,8 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 			s.cache.Set(kv.Key, kv.Value)
 		}
 		s.met.batchKeys.Add(uint64(len(req.Pairs)))
+	case wire.OpLoad:
+		s.handleLoad(req, resp)
 	case wire.OpDemand:
 		resp.Demand = s.demand()
 	case wire.OpStats:

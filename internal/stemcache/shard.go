@@ -32,12 +32,21 @@ const (
 // hash maps to its coupled taker; those carry the cc ("cooperatively
 // cached") bit, the software form of the paper's CC bit.
 type entry[K comparable, V any] struct {
-	key   K
-	val   V
-	hash  uint64
-	exp   int64 // expiry in unix nanoseconds; 0 = never
+	key  K
+	val  V
+	hash uint64
+	exp  int64 // expiry in unix nanoseconds; 0 = never
+	// fresh is the read-through freshness deadline in unix nanoseconds:
+	// past fresh but not past exp the entry is stale — served by the load
+	// path (GetOrLoad/LookupLoad) while a background refresh runs, a miss
+	// for plain Get. 0 means fresh until exp (every plain Set).
+	fresh int64
 	valid bool
 	cc    bool
+	// neg marks a cached absence: the loader answered ErrNotFound and the
+	// miss itself is cached until exp (negative caching). The value is the
+	// zero V; plain Get reports a miss, the load path reports ErrNotFound.
+	neg bool
 }
 
 // kvSet is one cache set: Ways entries, a replacement policy, and the
@@ -81,26 +90,30 @@ func freeWay[K comparable, V any](s *kvSet[K, V]) int {
 func (c *Cache[K, V]) gid(shIdx, idx int) int { return shIdx*c.sets + idx }
 
 // findLocal returns the way of set idx holding key as a local (non-cc)
-// entry, or -1. A matching entry that has expired is collected on the spot
-// and reported as absent (lazy expiry).
-func (c *Cache[K, V]) findLocal(sh *shard[K, V], idx int, key K, h uint64, nowN int64) int {
+// entry, or -1, plus whether the entry is stale (past its freshness
+// deadline but not yet expired). A matching entry that has expired is
+// collected on the spot and reported as absent (lazy expiry). Residency,
+// staleness and death are all decided by the single nowN the caller read
+// under the shard lock, so a key read exactly at a deadline classifies the
+// same way for every operation serialized at that instant.
+func (c *Cache[K, V]) findLocal(sh *shard[K, V], idx int, key K, h uint64, nowN int64) (way int, stale bool) {
 	s := &sh.sets[idx]
 	for w := range s.entries {
 		e := &s.entries[w]
 		if e.valid && !e.cc && e.hash == h && e.key == key {
 			if e.exp != 0 && nowN > e.exp {
 				c.expireLocal(sh, idx, w)
-				return -1
+				return -1, false
 			}
-			return w
+			return w, e.fresh != 0 && nowN > e.fresh
 		}
 	}
-	return -1
+	return -1, false
 }
 
 // findCC returns the way of giver set gidx holding key as a cooperatively
-// cached entry, or -1, collecting it if expired.
-func (c *Cache[K, V]) findCC(sh *shard[K, V], shIdx, gidx int, key K, h uint64, nowN int64) int {
+// cached entry, or -1, collecting it if expired; stale as in findLocal.
+func (c *Cache[K, V]) findCC(sh *shard[K, V], shIdx, gidx int, key K, h uint64, nowN int64) (way int, stale bool) {
 	g := &sh.sets[gidx]
 	for w := range g.entries {
 		e := &g.entries[w]
@@ -109,12 +122,12 @@ func (c *Cache[K, V]) findCC(sh *shard[K, V], shIdx, gidx int, key K, h uint64, 
 				c.dropCC(sh, shIdx, gidx, w)
 				sh.stats.Expirations++
 				c.met.expired.Inc()
-				return -1
+				return -1, false
 			}
-			return w
+			return w, e.fresh != 0 && nowN > e.fresh
 		}
 	}
-	return -1
+	return -1, false
 }
 
 // expireLocal collects the expired local entry at (idx, w).

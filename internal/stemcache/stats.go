@@ -41,6 +41,24 @@ type Stats struct {
 	// Receives counts entries accepted by giver sets; equals Spills.
 	Receives uint64
 
+	// Read-through counters (loader.go). StaleServed hits and NegativeHits
+	// misses are included in Hits and Misses respectively, so
+	// Gets == Hits + Misses still holds with loading in play.
+
+	// Loads counts loader invocations started by the load path (foreground
+	// singleflight leaders plus background revalidations).
+	Loads uint64
+	// LoadDedup counts GetOrLoad calls that shared another goroutine's
+	// in-flight load instead of starting their own — origin fetches the
+	// singleflight table saved.
+	LoadDedup uint64
+	// StaleServed counts load-path hits answered with a stale value inside
+	// the StaleTTL window (a subset of Hits).
+	StaleServed uint64
+	// NegativeHits counts load-path reads answered by a cached negative
+	// marker (a subset of Misses): origin fetches negative caching saved.
+	NegativeHits uint64
+
 	// The three fields below are instantaneous set-role gauges, not
 	// monotonic counters: each Stats() call recomputes them from the live
 	// SCDM state (deterministically, for a deterministic op history). They
@@ -83,6 +101,10 @@ func (s *Stats) add(o Stats) {
 	s.Decouplings += o.Decouplings
 	s.Spills += o.Spills
 	s.Receives += o.Receives
+	s.Loads += o.Loads
+	s.LoadDedup += o.LoadDedup
+	s.StaleServed += o.StaleServed
+	s.NegativeHits += o.NegativeHits
 	s.TakerSets += o.TakerSets
 	s.GiverSets += o.GiverSets
 	s.CoupledSets += o.CoupledSets
@@ -97,6 +119,9 @@ type metrics struct {
 	secondaryHits, shadowHits           *obs.Counter
 	policySwaps, couplings, decouplings *obs.Counter
 	spills, receives                    *obs.Counter
+	loads, loadDedup                    *obs.Counter
+	staleServed, negativeHits           *obs.Counter
+	loaderLat                           *obs.LatencyHistogram
 }
 
 // newMetrics registers the cache's counters under "stemcache.*". A nil
@@ -117,5 +142,10 @@ func newMetrics(reg *obs.Registry) metrics {
 		decouplings:   reg.Counter("stemcache.decouplings"),
 		spills:        reg.Counter("stemcache.spills"),
 		receives:      reg.Counter("stemcache.receives"),
+		loads:         reg.Counter("stemcache.loads"),
+		loadDedup:     reg.Counter("stemcache.load_dedup"),
+		staleServed:   reg.Counter("stemcache.stale_served"),
+		negativeHits:  reg.Counter("stemcache.negative_hits"),
+		loaderLat:     reg.Latency("stemcache.lat.loader_us"),
 	}
 }

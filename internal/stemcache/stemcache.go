@@ -30,7 +30,21 @@
 //
 // Entries may carry a TTL. Expiry is lazy: an expired entry is collected by
 // whichever operation next touches it (and counts as a miss), never by a
-// background goroutine — the cache starts no goroutines at all.
+// background sweeper. Every operation classifies an entry as live, stale or
+// dead against a single clock read taken under the shard lock, so a key
+// read exactly at its deadline is deterministically one or the other —
+// never double-counted in the hit/miss statistics.
+//
+// Beyond the passive Get/Set surface the cache can load through to an
+// origin: GetOrLoad runs a Loader on a miss with singleflight deduplication
+// (one loader call per key no matter how many goroutines miss
+// concurrently), caches loader misses as negative entries (NegativeTTL),
+// decorrelates mass expiry with TTL jitter, and — with StaleTTL configured
+// — serves stale values immediately while one bounded background worker
+// pool revalidates them (stale-while-revalidate). See loader.go. The
+// revalidation pool is the only goroutine source in the package: a cache
+// with StaleTTL zero starts no goroutines at all, and Close drains the
+// pool when it exists.
 //
 // With default hashing, caches keyed by strings or integers are fully
 // deterministic for a fixed Config.Seed: a single-goroutine run produces
@@ -39,8 +53,10 @@
 package stemcache
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -88,6 +104,35 @@ type Config struct {
 	// SelectorSize is the per-shard giver-heap capacity. Default: 16.
 	SelectorSize int
 
+	// Read-through loading (GetOrLoad; see loader.go). All four knobs
+	// default to off, leaving the passive Get/Set cache unchanged.
+
+	// LoadTTL is the freshness TTL applied to values stored by the load
+	// path (GetOrLoad, SetLoaded). Zero falls back to DefaultTTL; if that
+	// is also zero, loaded values never expire and stale-while-revalidate
+	// never engages.
+	LoadTTL time.Duration
+	// StaleTTL is the stale-while-revalidate window: after a loaded
+	// value's freshness TTL passes, GetOrLoad keeps serving the stale
+	// value for up to StaleTTL longer while a background worker refreshes
+	// it. Zero disables SWR (loaded values simply expire) and keeps the
+	// cache goroutine-free.
+	StaleTTL time.Duration
+	// NegativeTTL caches loader misses: for NegativeTTL after a loader
+	// reported ErrNotFound, GetOrLoad answers ErrNotFound again without
+	// calling the loader. Zero disables negative caching.
+	NegativeTTL time.Duration
+	// TTLJitter decorrelates mass expiry: each loaded value's freshness
+	// TTL is shortened by a uniform random fraction drawn from
+	// [0, TTLJitter), so a burst of loads does not install a cohort of
+	// entries that all expire at the same instant. Must be in [0, 1);
+	// zero disables jitter.
+	TTLJitter float64
+	// RevalidateWorkers bounds the background refresh pool that
+	// stale-while-revalidate uses; ignored unless StaleTTL > 0.
+	// Default 4.
+	RevalidateWorkers int
+
 	// DisableCoupling turns off spatial management (no spilling); what
 	// remains is per-set LRU/BIP dueling.
 	DisableCoupling bool
@@ -132,6 +177,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("stemcache: SignatureBits must be in [0, %d], got %d", hashfn.MaxBits, c.SignatureBits)
 	case c.SelectorSize < 0:
 		return fmt.Errorf("stemcache: SelectorSize must be >= 0, got %d", c.SelectorSize)
+	case c.LoadTTL < 0:
+		return fmt.Errorf("stemcache: LoadTTL must be >= 0, got %v", c.LoadTTL)
+	case c.StaleTTL < 0:
+		return fmt.Errorf("stemcache: StaleTTL must be >= 0, got %v", c.StaleTTL)
+	case c.NegativeTTL < 0:
+		return fmt.Errorf("stemcache: NegativeTTL must be >= 0, got %v", c.NegativeTTL)
+	case c.TTLJitter < 0 || c.TTLJitter >= 1:
+		return fmt.Errorf("stemcache: TTLJitter must be in [0, 1), got %v", c.TTLJitter)
+	case c.RevalidateWorkers < 0:
+		return fmt.Errorf("stemcache: RevalidateWorkers must be >= 0, got %d", c.RevalidateWorkers)
 	}
 	return nil
 }
@@ -158,6 +213,9 @@ func (c *Config) normalize() {
 	}
 	if c.SelectorSize <= 0 {
 		c.SelectorSize = 16
+	}
+	if c.RevalidateWorkers <= 0 {
+		c.RevalidateWorkers = 4
 	}
 }
 
@@ -188,6 +246,26 @@ type Cache[K comparable, V any] struct {
 	observer obs.Observer
 
 	now func() int64 // nanoseconds; swapped out by TTL tests
+
+	// Read-through state (loader.go). loadMu guards the singleflight
+	// table, the pending-refresh set, the jitter RNG and loadClosed; its
+	// rank sits between closeMu and shard.mu, though it is never actually
+	// held across a shard-lock acquisition.
+	loadMu     sync.Mutex
+	flights    map[K]*flight[V]
+	pending    map[K]struct{}
+	loadRNG    *sim.RNG
+	loadClosed bool
+	// The stale-while-revalidate worker pool: nil channel when StaleTTL
+	// is zero (no goroutines). Close drains it via refreshWG.
+	refreshC      chan refreshJob[K, V]
+	refreshWG     sync.WaitGroup
+	refreshCancel func()
+
+	// Singleflight outcome counters. They are cross-shard (a load is not
+	// owned by any shard lock), hence atomic rather than sh.stats fields.
+	loads     atomic.Uint64
+	loadDedup atomic.Uint64
 
 	closeMu sync.Mutex
 	closed  bool
@@ -246,7 +324,19 @@ func newCache[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, 
 		observer:  cfg.Observer,
 		// The wall clock only decides TTL expiry, never eviction order, so
 		// Stats stay seed-deterministic; tests swap c.now for a fake clock.
-		now: func() int64 { return time.Now().UnixNano() }, //lint:allow(determinism) TTL expiry boundary; eviction decisions never read this clock
+		now:     func() int64 { return time.Now().UnixNano() }, //lint:allow(determinism) TTL expiry boundary; eviction decisions never read this clock
+		flights: map[K]*flight[V]{},
+		pending: map[K]struct{}{},
+		loadRNG: sim.NewRNG(cfg.Seed ^ 0x10ad),
+	}
+	if cfg.StaleTTL > 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		c.refreshCancel = cancel
+		c.refreshC = make(chan refreshJob[K, V], 4*cfg.RevalidateWorkers)
+		for i := 0; i < cfg.RevalidateWorkers; i++ {
+			c.refreshWG.Add(1)
+			go c.revalidateWorker(ctx)
+		}
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -283,34 +373,51 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	var zero V
 	h := c.hasher(key)
 	sh, shIdx := c.shardOf(h)
-	nowN := c.now()
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// The clock is read under the lock: the one nowN decides residency,
+	// staleness and expiry together, so operations serialized by the shard
+	// lock agree on an entry's state at its exact deadline.
+	nowN := c.now()
 	sh.tick++
 	sh.stats.Gets++
 	c.met.gets.Inc()
 
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
-	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
-		sh.stats.Hits++
-		c.met.hits.Inc()
-		s.pol.OnHit(w)
-		c.onLocalHit(sh, shIdx, idx)
-		return s.entries[w].val, true
+	if w, stale := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		if e := &s.entries[w]; !stale && !e.neg {
+			sh.stats.Hits++
+			c.met.hits.Inc()
+			s.pol.OnHit(w)
+			c.onLocalHit(sh, shIdx, idx)
+			return e.val, true
+		}
+		// Stale or negative: a miss for plain Get, but the entry stays
+		// resident for the load path (GetOrLoad serves stale values and
+		// answers negative markers with ErrNotFound). The key is still
+		// resident, so this is not shadow-directory demand evidence.
+		sh.stats.Misses++
+		c.met.misses.Inc()
+		return zero, false
 	}
 	if s.role == taker {
 		p := &sh.sets[s.partner]
-		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
-			sh.stats.Hits++
-			sh.stats.SecondaryHits++
-			c.met.hits.Inc()
-			c.met.secondaryHits.Inc()
-			p.pol.OnHit(w)
-			// Cooperative hits update neither set's counters: they are not
-			// local-capacity evidence for either working set.
-			return p.entries[w].val, true
+		if w, stale := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			if e := &p.entries[w]; !stale && !e.neg {
+				sh.stats.Hits++
+				sh.stats.SecondaryHits++
+				c.met.hits.Inc()
+				c.met.secondaryHits.Inc()
+				p.pol.OnHit(w)
+				// Cooperative hits update neither set's counters: they are
+				// not local-capacity evidence for either working set.
+				return e.val, true
+			}
+			sh.stats.Misses++
+			c.met.misses.Inc()
+			return zero, false
 		}
 	}
 	sh.stats.Misses++
@@ -333,22 +440,31 @@ func (c *Cache[K, V]) Set(key K, value V) {
 func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 	h := c.hasher(key)
 	sh, shIdx := c.shardOf(h)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	nowN := c.now()
 	var exp int64
 	if ttl > 0 {
 		exp = nowN + int64(ttl)
 	}
-
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.tick++
 	sh.stats.Puts++
 	c.met.puts.Inc()
+	c.store(sh, shIdx, key, value, h, nowN, 0, exp, false)
+}
 
+// store is the shared write path (caller holds sh.mu and has counted its
+// own op stats): overwrite a resident entry — local or cooperative, live or
+// stale — or run the miss path and insert, with the STEM engine picking the
+// victim. fresh/neg carry the read-through semantics; a plain Set passes
+// fresh 0 and neg false, resetting any loader state the key had.
+func (c *Cache[K, V]) store(sh *shard[K, V], shIdx int, key K, value V, h uint64, nowN, fresh, exp int64, neg bool) {
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
-	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
-		s.entries[w].val, s.entries[w].exp = value, exp
+	if w, _ := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		e := &s.entries[w]
+		e.val, e.exp, e.fresh, e.neg = value, exp, fresh, neg
 		s.pol.OnHit(w)
 		// An overwrite touches a resident entry: local-capacity evidence
 		// for the demand counters, though not a Get hit for Stats.
@@ -357,8 +473,9 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 	}
 	if s.role == taker {
 		p := &sh.sets[s.partner]
-		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
-			p.entries[w].val, p.entries[w].exp = value, exp
+		if w, _ := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			e := &p.entries[w]
+			e.val, e.exp, e.fresh, e.neg = value, exp, fresh, neg
 			p.pol.OnHit(w)
 			return
 		}
@@ -384,7 +501,7 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 		s.pol.OnInvalidate(way)
 		c.routeVictim(sh, shIdx, idx, victim)
 	}
-	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, valid: true}
+	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, fresh: fresh, neg: neg, valid: true}
 	s.pol.OnInsert(way)
 	sh.live++
 }
@@ -407,36 +524,59 @@ func (c *Cache[K, V]) GetOrSet(key K, value V) (actual V, loaded bool) {
 func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual V, loaded bool) {
 	h := c.hasher(key)
 	sh, shIdx := c.shardOf(h)
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	nowN := c.now()
 	var exp int64
 	if ttl > 0 {
 		exp = nowN + int64(ttl)
 	}
-
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	sh.tick++
 	sh.stats.Gets++
 	c.met.gets.Inc()
 
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
-	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
-		sh.stats.Hits++
-		c.met.hits.Inc()
-		s.pol.OnHit(w)
-		c.onLocalHit(sh, shIdx, idx)
-		return s.entries[w].val, true
+	if w, stale := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		e := &s.entries[w]
+		if !stale && !e.neg {
+			sh.stats.Hits++
+			c.met.hits.Inc()
+			s.pol.OnHit(w)
+			c.onLocalHit(sh, shIdx, idx)
+			return e.val, true
+		}
+		// Stale or negative residency loses to the offered value: count
+		// the miss and the put, and overwrite in place (no second copy of
+		// the key may enter the set).
+		sh.stats.Misses++
+		c.met.misses.Inc()
+		sh.stats.Puts++
+		c.met.puts.Inc()
+		e.val, e.exp, e.fresh, e.neg = value, exp, 0, false
+		s.pol.OnInsert(w)
+		return value, false
 	}
 	if s.role == taker {
 		p := &sh.sets[s.partner]
-		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
-			sh.stats.Hits++
-			sh.stats.SecondaryHits++
-			c.met.hits.Inc()
-			c.met.secondaryHits.Inc()
-			p.pol.OnHit(w)
-			return p.entries[w].val, true
+		if w, stale := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+			e := &p.entries[w]
+			if !stale && !e.neg {
+				sh.stats.Hits++
+				sh.stats.SecondaryHits++
+				c.met.hits.Inc()
+				c.met.secondaryHits.Inc()
+				p.pol.OnHit(w)
+				return e.val, true
+			}
+			sh.stats.Misses++
+			c.met.misses.Inc()
+			sh.stats.Puts++
+			c.met.puts.Inc()
+			e.val, e.exp, e.fresh, e.neg = value, exp, 0, false
+			p.pol.OnInsert(w)
+			return value, false
 		}
 	}
 
@@ -469,19 +609,21 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 }
 
 // Delete removes key and reports whether it was resident (an already-expired
-// entry counts as absent). Deletion is not demand evidence: the key's
-// signature is not entered into the shadow directory.
+// entry counts as absent). Stale entries and negative markers are resident
+// state and are removed too, reporting true — Delete is how an invalidation
+// cuts short a stale window or a cached absence. Deletion is not demand
+// evidence: the key's signature is not entered into the shadow directory.
 func (c *Cache[K, V]) Delete(key K) bool {
 	h := c.hasher(key)
 	sh, shIdx := c.shardOf(h)
-	nowN := c.now()
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	nowN := c.now()
 	sh.tick++
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
-	if w := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+	if w, _ := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
 		s.entries[w] = entry[K, V]{}
 		s.pol.OnInvalidate(w)
 		sh.live--
@@ -490,7 +632,7 @@ func (c *Cache[K, V]) Delete(key K) bool {
 		return true
 	}
 	if s.role == taker {
-		if w := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
+		if w, _ := c.findCC(sh, shIdx, s.partner, key, h, nowN); w >= 0 {
 			c.dropCC(sh, shIdx, s.partner, w)
 			sh.stats.Deletes++
 			c.met.deletes.Inc()
@@ -565,14 +707,22 @@ func (c *Cache[K, V]) Stats() Stats {
 		out.CoupledSets += uint64(cp)
 		sh.mu.Unlock()
 	}
+	// Singleflight counters live outside the shards (a load belongs to the
+	// whole cache, not one shard's lock domain).
+	out.Loads = c.loads.Load()
+	out.LoadDedup = c.loadDedup.Load()
 	return out
 }
 
 // Close empties the cache — every entry is released and every set
 // association dissolved — so large cached values become collectable
-// immediately. The cache runs no background goroutines, so Close never
-// blocks; it is idempotent, and the Cache remains structurally usable
-// afterwards (a subsequent Set simply starts refilling it). Demand state
+// immediately. With stale-while-revalidate configured, Close first shuts
+// the revalidation pool down: queued refreshes are abandoned, in-flight
+// loaders see their context cancelled, and Close blocks until every worker
+// has exited (a cache without StaleTTL runs no goroutines and Close never
+// blocks). Close is idempotent, and the Cache remains structurally usable
+// afterwards (a subsequent Set simply starts refilling it), though
+// GetOrLoad no longer schedules background refreshes. Demand state
 // (saturating counters, shadow signatures) and statistics persist.
 func (c *Cache[K, V]) Close() {
 	c.closeMu.Lock()
@@ -581,6 +731,17 @@ func (c *Cache[K, V]) Close() {
 		return
 	}
 	c.closed = true
+	// Stop the revalidation pool before touching entries: loadClosed (set
+	// under loadMu) fences new enqueues, so closing refreshC afterwards
+	// cannot race a send; the cancel unblocks loaders already running.
+	c.loadMu.Lock()
+	c.loadClosed = true
+	c.loadMu.Unlock()
+	if c.refreshC != nil {
+		c.refreshCancel()
+		close(c.refreshC)
+		c.refreshWG.Wait()
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()

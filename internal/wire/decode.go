@@ -51,6 +51,24 @@ func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 		// Empty payload; done() rejects any extra bytes.
 	case OpGet, OpDel:
 		req.Key, err = c.key()
+	case OpLoad:
+		switch {
+		case req.Flags&FlagFill == 0:
+			if req.Flags&FlagNegative != 0 {
+				return frameErrf("FlagNegative without FlagFill")
+			}
+			req.Key, err = c.key()
+		case req.Flags&FlagNegative != 0:
+			if req.Token, err = c.u64(); err != nil {
+				return err
+			}
+			req.Key, err = c.key()
+		default:
+			if req.Token, err = c.u64(); err != nil {
+				return err
+			}
+			req.Key, req.Value, err = c.kv(lim)
+		}
 	case OpSet:
 		req.Key, req.Value, err = c.kv(lim)
 	case OpSetTTL:
@@ -147,6 +165,18 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 	case resp.Op == OpGet || resp.Op == OpSet || resp.Op == OpSetTTL || resp.Op == OpStats:
 		if resp.Status == StatusOK || resp.Status == StatusNotStored {
 			resp.Value, err = c.value(lim.MaxValueLen)
+		}
+	case resp.Op == OpLoad:
+		switch resp.Status {
+		case StatusOK, StatusStale:
+			if resp.Status == StatusStale {
+				if resp.Token, err = c.u64(); err != nil {
+					return err
+				}
+			}
+			resp.Value, err = c.value(lim.MaxValueLen)
+		case StatusLease:
+			resp.Token, err = c.u64()
 		}
 	case resp.Op == OpDemand:
 		if resp.Status == StatusOK {

@@ -32,6 +32,29 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 		if err = checkKey(req.Key); err == nil {
 			buf = appendKey(buf, req.Key)
 		}
+	case OpLoad:
+		switch {
+		case flags&FlagFill == 0:
+			// Plain read-through lookup: just the key. FlagNegative only
+			// modifies a fill.
+			if flags&FlagNegative != 0 {
+				err = fmt.Errorf("wire: FlagNegative without FlagFill")
+				break
+			}
+			if err = checkKey(req.Key); err == nil {
+				buf = appendKey(buf, req.Key)
+			}
+		case flags&FlagNegative != 0:
+			// Negative fill: the origin reported the key absent, so no
+			// value travels.
+			buf = appendU64(buf, req.Token)
+			if err = checkKey(req.Key); err == nil {
+				buf = appendKey(buf, req.Key)
+			}
+		default:
+			buf = appendU64(buf, req.Token)
+			buf, err = appendKV(buf, req.Key, req.Value, lim)
+		}
 	case OpSet:
 		buf, err = appendKV(buf, req.Key, req.Value, lim)
 	case OpSetTTL:
@@ -118,6 +141,25 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 				break
 			}
 			buf = appendValue(buf, resp.Value)
+		}
+	case resp.Op == OpLoad:
+		// The payload varies by status: OK carries the value (empty for a
+		// fill acknowledgement), STALE carries the refresh token (0 = held
+		// elsewhere) and the stale value, LEASE carries the fetch token.
+		// NOT_FOUND (cached negative) and NOT_STORED (fill token mismatch)
+		// are status-only.
+		switch resp.Status {
+		case StatusOK, StatusStale:
+			if resp.Status == StatusStale {
+				buf = appendU64(buf, resp.Token)
+			}
+			if len(resp.Value) > lim.MaxValueLen {
+				err = fmt.Errorf("wire: value of %d bytes exceeds %d", len(resp.Value), lim.MaxValueLen)
+				break
+			}
+			buf = appendValue(buf, resp.Value)
+		case StatusLease:
+			buf = appendU64(buf, resp.Token)
 		}
 	case resp.Op == OpDemand:
 		// The fixed binary snapshot travels only on StatusOK.

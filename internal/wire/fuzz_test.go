@@ -40,6 +40,18 @@ func FuzzWireDecode(f *testing.F) {
 	big := header(OpPing, 0, 7, 1<<30)
 	f.Add(big[:]) // payload length beyond every limit
 
+	// LOAD malformations: truncated fill token, FlagNegative without
+	// FlagFill, truncated lease token on the response, and a STALE response
+	// whose token arrives but whose value does not.
+	h = header(OpLoad, FlagFill, 7, 4)
+	f.Add(append(h[:], 1, 2, 3, 4))
+	h = header(OpLoad, FlagNegative, 7, 3)
+	f.Add(append(h[:], 0, 1, 'k'))
+	h = header(OpLoad, uint8(StatusLease), 7, 4)
+	f.Add(append(h[:], 1, 2, 3, 4))
+	h = header(OpLoad, uint8(StatusStale), 7, 8)
+	f.Add(append(h[:], make([]byte, 8)...))
+
 	// Trace-extension malformations: the flag promising a prefix the
 	// payload cannot satisfy, the flag clear with prefix-sized trailing
 	// bytes, and the response trace bit over a truncated extension.
@@ -67,6 +79,7 @@ func FuzzWireDecode(f *testing.F) {
 				t.Fatalf("re-encoded request does not decode: %v", err)
 			}
 			if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key ||
+				req2.Token != req.Token ||
 				len(req2.Keys) != len(req.Keys) || len(req2.Pairs) != len(req.Pairs) {
 				t.Fatalf("request round trip drifted: %+v vs %+v", req, req2)
 			}
@@ -93,6 +106,7 @@ func FuzzWireDecode(f *testing.F) {
 				t.Fatalf("re-encoded response does not decode: %v", err)
 			}
 			if resp2.Op != resp.Op || resp2.ID != resp.ID || resp2.Status != resp.Status ||
+				resp2.Token != resp.Token ||
 				len(resp2.Values) != len(resp.Values) {
 				t.Fatalf("response round trip drifted: %+v vs %+v", resp, resp2)
 			}

@@ -87,6 +87,17 @@ const (
 	// per-set SCDM state rolled up to node level (NodeDemand). Empty
 	// request payload; the response carries a fixed binary NodeDemand.
 	OpDemand
+	// OpLoad is the read-through lookup. A plain OpLoad carries one key and
+	// the server answers with the cache's load-path classification:
+	// StatusOK + value (fresh hit), StatusNotFound (cached negative),
+	// StatusStale + token + value (stale hit; a nonzero token makes the
+	// caller the refresh-lease holder), or StatusLease + token (miss; the
+	// caller holds the fetch lease and must fill). With FlagFill set the
+	// request is the second half of the exchange — token + key + value
+	// (value omitted under FlagNegative) — installing the origin's answer
+	// and releasing the lease; the server answers StatusOK on success or
+	// StatusNotStored when the token no longer matches the live lease.
+	OpLoad
 
 	opMax // one past the last valid opcode
 )
@@ -112,6 +123,8 @@ func (o Op) String() string {
 		return "STATS"
 	case OpDemand:
 		return "DEMAND"
+	case OpLoad:
+		return "LOAD"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -132,6 +145,15 @@ const (
 	// own queue and handle timings — so the client can split each traced
 	// op's latency into network and server components (see TraceExt).
 	FlagTrace uint8 = 1 << 1
+	// FlagFill marks an OpLoad request as a lease fill: the payload carries
+	// the lease token, the key, and the origin's value, completing the
+	// read-through exchange the earlier StatusLease/StatusStale response
+	// opened.
+	FlagFill uint8 = 1 << 2
+	// FlagNegative modifies an OpLoad fill: the origin reported the key
+	// absent, so the payload carries token + key only and the server caches
+	// the absence (a negative marker) instead of a value.
+	FlagNegative uint8 = 1 << 3
 )
 
 // respFlagTrace marks a traced response. Responses have no flags byte —
@@ -201,6 +223,18 @@ const (
 	// StatusErr reports a server-side failure; the payload is a
 	// human-readable message.
 	StatusErr
+	// StatusStale answers OpLoad when the key is resident but past its
+	// freshness deadline: the payload carries a uint64 refresh token and
+	// the stale value. A nonzero token means this caller won the refresh
+	// lease and should fetch the origin and fill in the background; zero
+	// means another client already holds it — just use the stale value.
+	StatusStale
+	// StatusLease answers OpLoad on a miss no one is fetching yet: the
+	// payload is the uint64 lease token. The caller must fetch the origin
+	// and send OpLoad|FlagFill with the token (other clients for the same
+	// key block on the lease server-side, so the fleet performs one origin
+	// fetch per miss).
+	StatusLease
 
 	statusMax
 )
@@ -216,6 +250,10 @@ func (s Status) String() string {
 		return "NOT_STORED"
 	case StatusErr:
 		return "ERR"
+	case StatusStale:
+		return "STALE"
+	case StatusLease:
+		return "LEASE"
 	default:
 		return fmt.Sprintf("Status(%d)", uint8(s))
 	}
@@ -342,6 +380,10 @@ type Request struct {
 	Keys []string
 	// Pairs is the MSET operand.
 	Pairs []KV
+	// Token is the lease token of an OpLoad fill (FlagFill set): the uint64
+	// the server issued with StatusLease or StatusStale, proving this
+	// client is the one elected to fetch the origin.
+	Token uint64
 	// Trace is the optional trace extension. Non-nil requests are encoded
 	// with FlagTrace set and the 16-byte trace prefix ahead of the opcode
 	// payload; decoding a FlagTrace frame populates it.
@@ -367,6 +409,10 @@ type Response struct {
 	Values [][]byte
 	// Demand answers DEMAND (StatusOK only); nil otherwise.
 	Demand *NodeDemand
+	// Token carries the OpLoad lease token: the fetch lease on StatusLease,
+	// or the refresh lease on StatusStale (zero when another client holds
+	// it). Zero on every other status.
+	Token uint64
 	// Trace echoes the request's trace extension with the server timings
 	// filled in. It travels as a 24-byte payload prefix on every traced
 	// response — including StatusErr, so a failing traced request still

@@ -30,6 +30,10 @@ func requestFixtures() []*Request {
 		{Op: OpSet, ID: 14, Flags: FlagNX, Key: "k", Value: []byte("v"), Trace: &TraceExt{ID: 1, SendMicros: 2}},
 		{Op: OpPing, ID: 15, Trace: &TraceExt{}},
 		{Op: OpMGet, ID: 16, Keys: []string{"a", "b"}, Trace: &TraceExt{ID: 7, SendMicros: 1 << 60}},
+		{Op: OpLoad, ID: 17, Key: "load-key"},
+		{Op: OpLoad, ID: 18, Flags: FlagFill, Token: 0xFEEDFACECAFE, Key: "k", Value: []byte("origin")},
+		{Op: OpLoad, ID: 19, Flags: FlagFill | FlagNegative, Token: 7, Key: "ghost"},
+		{Op: OpLoad, ID: 20, Key: "traced", Trace: &TraceExt{ID: 3, SendMicros: 4}},
 	}
 }
 
@@ -58,6 +62,16 @@ func responseFixtures() []*Response {
 			Trace: &TraceExt{ID: 9, SendMicros: 8, QueueMicros: 1, HandleMicros: 0}},
 		{Op: OpMGet, ID: 16, Status: StatusOK, Found: []bool{true}, Values: [][]byte{[]byte("x")},
 			Trace: &TraceExt{ID: 1, SendMicros: 1, QueueMicros: 1<<32 - 1, HandleMicros: 1<<32 - 1}},
+		{Op: OpLoad, ID: 17, Status: StatusOK, Value: []byte("fresh")},
+		{Op: OpLoad, ID: 18, Status: StatusOK}, // fill ack: empty value
+		{Op: OpLoad, ID: 19, Status: StatusStale, Token: 0xABCDEF, Value: []byte("old")},
+		{Op: OpLoad, ID: 20, Status: StatusStale, Token: 0, Value: []byte("old")},
+		{Op: OpLoad, ID: 21, Status: StatusLease, Token: 1},
+		{Op: OpLoad, ID: 22, Status: StatusNotFound},
+		{Op: OpLoad, ID: 23, Status: StatusNotStored},
+		{Op: OpLoad, ID: 24, Status: StatusErr, Value: []byte("draining")},
+		{Op: OpLoad, ID: 25, Status: StatusStale, Token: 9, Value: []byte("old"),
+			Trace: &TraceExt{ID: 2, SendMicros: 3, QueueMicros: 4, HandleMicros: 5}},
 	}
 }
 

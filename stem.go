@@ -470,3 +470,42 @@ func NewCacheWithHasher[K comparable, V any](cfg CacheConfig, hasher func(K) uin
 func NewShardedLRUCache[K comparable, V any](cfg CacheConfig) (*Cache[K, V], error) {
 	return stemcache.NewShardedLRU[K, V](cfg)
 }
+
+// Read-through loading (see the "Read-through loading" section of README.md
+// and DESIGN.md §13): Cache.GetOrLoad turns the passive KV cache into a
+// read-through cache — on a miss it invokes a Loader exactly once per key no
+// matter how many goroutines ask (singleflight), caches origin "not found"
+// answers briefly (negative caching), spreads expirations with TTL jitter,
+// and past the freshness deadline serves the stale value immediately while
+// one background worker revalidates (stale-while-revalidate).
+type (
+	// Loader fetches the authoritative value for a key from the origin.
+	// Returning ErrNotFound caches the absence (negative caching).
+	Loader[K comparable, V any] = stemcache.Loader[K, V]
+	// LoadState classifies what LookupLoad found for a key: LoadMiss,
+	// LoadHit, LoadStale or LoadNegative.
+	LoadState = stemcache.LoadState
+)
+
+// LoadState values.
+const (
+	LoadMiss     = stemcache.LoadMiss
+	LoadHit      = stemcache.LoadHit
+	LoadStale    = stemcache.LoadStale
+	LoadNegative = stemcache.LoadNegative
+)
+
+// ErrNotFound is the sentinel a Loader returns for "the origin says this
+// key does not exist"; GetOrLoad caches the absence for
+// CacheConfig.NegativeTTL and returns ErrNotFound to every caller until it
+// expires.
+var ErrNotFound = stemcache.ErrNotFound
+
+// ChainLoaders composes loaders into one fallback sequence: each is tried
+// in order, any failure falls through to the next, and when every loader
+// fails the last error is returned — the classic
+// fast-tier-then-authoritative-origin lookup path as a single Loader. A
+// cancelled context stops the fallback walk.
+func ChainLoaders[K comparable, V any](loaders ...Loader[K, V]) Loader[K, V] {
+	return stemcache.Chain(loaders...)
+}
