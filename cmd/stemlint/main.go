@@ -1,13 +1,17 @@
 // Command stemlint runs the repository's project-specific static analyzers
 // (see internal/analysis and DESIGN.md §9) over the module:
 //
-//	go run ./cmd/stemlint ./...          # the CI gate
-//	go run ./cmd/stemlint -json ./...    # machine-readable findings
-//	go run ./cmd/stemlint -list          # the analyzer suite
+//	go run ./cmd/stemlint ./...                 # the CI gate
+//	go run ./cmd/stemlint -json ./...           # machine-readable findings
+//	go run ./cmd/stemlint -unused-allows ./...  # also fail on stale suppressions
+//	go run ./cmd/stemlint -list                 # the analyzer suite
 //
 // Exit status: 0 when clean, 1 when any diagnostic survives suppression,
 // 2 on usage or load errors. Findings are suppressed line by line with
-// `//lint:allow(<analyzer>) reason`; the reason is mandatory.
+// `//lint:allow(<analyzer>) reason`; the reason is mandatory. With
+// -unused-allows, suppressions that no longer match any finding are
+// reported (and fail the run) too — run it over the whole module, since a
+// subset run legitimately leaves out-of-scope allows unmatched.
 package main
 
 import (
@@ -23,9 +27,10 @@ func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		list    = flag.Bool("list", false, "list the analyzers and exit")
+		unused  = flag.Bool("unused-allows", false, "also report //lint:allow comments that suppressed nothing")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stemlint [-json] [packages]\n\nRuns the project analyzers (default pattern ./...).\n\n")
+		fmt.Fprintf(os.Stderr, "usage: stemlint [-json] [-unused-allows] [packages]\n\nRuns the project analyzers (default pattern ./...).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,7 +69,11 @@ func main() {
 		fail(err)
 	}
 
-	diags := analysis.Run(loader.Fset, pkgs, analysis.All())
+	res := analysis.RunAll(loader.Fset, pkgs, analysis.All())
+	diags := res.Diagnostics
+	if *unused {
+		diags = append(diags, res.UnusedAllows...)
+	}
 	base, err := os.Getwd()
 	if err != nil {
 		base = root

@@ -17,6 +17,14 @@
 //     // invariant: violation.
 //   - apidoc: the public stem package is the product surface; every exported
 //     symbol carries a doc comment in godoc form.
+//   - hotpath: the serving path (wire codec, server loop, client transport,
+//     cache read) must not allocate in steady state, so functions
+//     call-reachable from each package's hot-root table are flagged for
+//     allocation-causing constructs; error branches are auto-exempt and the
+//     static claim is cross-checked by the AllocsPerRun benchmark gates.
+//   - goleak: every go statement in a library package must be bracketed by
+//     a tracked waiter (wg.Add before launch, defer wg.Done inside), so no
+//     goroutine outlives its component's Close.
 //
 // The cmd/stemlint driver loads, typechecks and runs the suite over ./...;
 // see DESIGN.md §9 for the invariant each analyzer encodes and why -race or
@@ -94,7 +102,7 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in presentation order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Atomics, LockOrder, APIDoc}
+	return []*Analyzer{Determinism, Atomics, LockOrder, APIDoc, Hotpath, Goleak}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -181,7 +181,7 @@ func TestWriteOutputs(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"determinism", "atomics", "lockorder", "apidoc"} {
+	for _, name := range []string{"determinism", "atomics", "lockorder", "apidoc", "hotpath", "goleak"} {
 		if a := analysis.ByName(name); a == nil || a.Name != name {
 			t.Errorf("ByName(%q) = %v", name, a)
 		}
@@ -209,10 +209,15 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := analysis.Run(loader.Fset, pkgs, analysis.All())
-	if len(diags) != 0 {
+	res := analysis.RunAll(loader.Fset, pkgs, analysis.All())
+	if len(res.Diagnostics) != 0 {
 		var sb strings.Builder
-		analysis.WriteText(&sb, diags, loader.Root())
-		t.Errorf("the repository has %d unsuppressed findings:\n%s", len(diags), sb.String())
+		analysis.WriteText(&sb, res.Diagnostics, loader.Root())
+		t.Errorf("the repository has %d unsuppressed findings:\n%s", len(res.Diagnostics), sb.String())
+	}
+	if len(res.UnusedAllows) != 0 {
+		var sb strings.Builder
+		analysis.WriteText(&sb, res.UnusedAllows, loader.Root())
+		t.Errorf("the repository has %d stale //lint:allow comments:\n%s", len(res.UnusedAllows), sb.String())
 	}
 }

@@ -26,6 +26,8 @@ var fixtureCases = []struct {
 	{name: "serverfix", path: "fixture/internal/server"},
 	{name: "clusterfix", path: "fixture/internal/cluster"},
 	{name: "rootfix", path: "rootfix"},
+	{name: "hotfix", path: "fixture/internal/hotfix"},
+	{name: "leakfix", path: "leakfix"},
 }
 
 // newFixtureLoader returns a loader rooted at the module with every fixture
@@ -91,6 +93,8 @@ func TestFixturesAreDirty(t *testing.T) {
 		"serverfix":  "lockorder",
 		"clusterfix": "lockorder",
 		"rootfix":    "apidoc",
+		"hotfix":     "hotpath",
+		"leakfix":    "goleak",
 	}
 	loader := newFixtureLoader(t)
 	for _, c := range fixtureCases {

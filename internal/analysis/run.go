@@ -9,9 +9,29 @@ import (
 	"sort"
 )
 
+// Result is one analysis run's output: the surviving findings plus the
+// stale-suppression audit.
+type Result struct {
+	// Diagnostics are the findings that survived //lint:allow suppression,
+	// plus problems with the suppression comments themselves, sorted by
+	// position.
+	Diagnostics []Diagnostic
+	// UnusedAllows are //lint:allow comments that suppressed nothing in this
+	// run — stale excuses that would silently cover a future regression.
+	// Reported separately so callers opt in (`stemlint -unused-allows`): a
+	// run over a subset of packages or analyzers legitimately leaves
+	// out-of-scope allows unmatched.
+	UnusedAllows []Diagnostic
+}
+
 // Run executes the analyzers over the loaded packages, applies //lint:allow
 // suppressions, and returns the surviving diagnostics sorted by position.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll(fset, pkgs, analyzers).Diagnostics
+}
+
+// RunAll is Run plus the unused-suppression audit.
+func RunAll(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) Result {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		switch {
@@ -38,6 +58,15 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 	}
 	kept = append(kept, sup.problems...)
 
+	return Result{
+		Diagnostics:  sortDiags(kept),
+		UnusedAllows: sortDiags(sup.unused()),
+	}
+}
+
+// sortDiags orders diagnostics by position and drops exact duplicates
+// (module passes can visit one file from several angles).
+func sortDiags(kept []Diagnostic) []Diagnostic {
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i], kept[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -54,8 +83,6 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Diagnost
 		}
 		return a.Message < b.Message
 	})
-
-	// Module passes can visit one file from several angles; drop exact dupes.
 	out := kept[:0]
 	for i, d := range kept {
 		if i > 0 && d == kept[i-1] {

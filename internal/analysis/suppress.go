@@ -14,11 +14,22 @@ import (
 //	//lint:allow(analyzer,other) reason
 var allowRe = regexp.MustCompile(`^//lint:allow\(([^)]*)\)\s*(.*)$`)
 
-// suppressions indexes //lint:allow comments: file → line → analyzer names
-// allowed on that line. A comment covers its own line and the line directly
-// below it, so both trailing and line-above placement work.
+// allowEntry is one analyzer name of one //lint:allow comment. The same
+// entry is registered for the comment's line and the line below, so a match
+// on either marks the suppression used; entries never used are stale and
+// reported by the -unused-allows audit.
+type allowEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// suppressions indexes //lint:allow comments: file → line → analyzer name →
+// entry.
 type suppressions struct {
-	allowed map[string]map[int]map[string]bool
+	allowed map[string]map[int]map[string]*allowEntry
+	// entries lists every allow in scan order for the unused audit.
+	entries []*allowEntry
 	// problems are findings about the suppression comments themselves
 	// (missing reason, unknown analyzer), reported under the "lint" name.
 	problems []Diagnostic
@@ -27,7 +38,7 @@ type suppressions struct {
 // collectSuppressions scans every comment of every file. known is the set of
 // valid analyzer names; anything else in an allow list is reported.
 func collectSuppressions(fset *token.FileSet, pkgs []*Package, known map[string]bool) *suppressions {
-	s := &suppressions{allowed: map[string]map[int]map[string]bool{}}
+	s := &suppressions{allowed: map[string]map[int]map[string]*allowEntry{}}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -68,27 +79,49 @@ func (s *suppressions) scan(fset *token.FileSet, c *ast.Comment, known map[strin
 			})
 			continue
 		}
+		entry := &allowEntry{name: name, pos: pos}
+		s.entries = append(s.entries, entry)
 		file := s.allowed[pos.Filename]
 		if file == nil {
-			file = map[int]map[string]bool{}
+			file = map[int]map[string]*allowEntry{}
 			s.allowed[pos.Filename] = file
 		}
 		for _, line := range []int{pos.Line, pos.Line + 1} {
 			set := file[line]
 			if set == nil {
-				set = map[string]bool{}
+				set = map[string]*allowEntry{}
 				file[line] = set
 			}
-			set[name] = true
+			set[name] = entry
 		}
 	}
 }
 
-// allows reports whether a diagnostic from analyzer at pos is suppressed.
+// allows reports whether a diagnostic from analyzer at pos is suppressed,
+// marking the matched suppression used.
 func (s *suppressions) allows(analyzer string, pos token.Position) bool {
-	file := s.allowed[pos.Filename]
-	if file == nil {
+	entry := s.allowed[pos.Filename][pos.Line][analyzer]
+	if entry == nil {
 		return false
 	}
-	return file[pos.Line][analyzer]
+	entry.used = true
+	return true
+}
+
+// unused returns one diagnostic per allow entry that suppressed nothing:
+// the code it excused was fixed (or never fired), so the comment is stale
+// and would silently excuse a future regression on that line.
+func (s *suppressions) unused() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range s.entries {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: "lint",
+			Pos:      e.pos,
+			Message:  fmt.Sprintf("unused suppression: no %s finding on this or the next line — delete the stale //lint:allow(%s)", e.name, e.name),
+		})
+	}
+	return out
 }

@@ -1,0 +1,66 @@
+// Package leakfix is the goleak-analyzer fixture: a library package whose
+// go statements exercise the goroutine-lifecycle convention. Launches
+// bracketed by a WaitGroup (Add before, deferred Done inside) are clean;
+// untracked launches and Done-without-Add launches are findings; a drain
+// documented with //lint:allow(goleak) is excused.
+package leakfix
+
+import "sync"
+
+// Pool owns a worker WaitGroup the way the real server and cache do.
+type Pool struct {
+	wg   sync.WaitGroup
+	jobs chan int
+}
+
+// StartTracked launches a literal worker under the convention — no finding.
+func (p *Pool) StartTracked() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for range p.jobs {
+		}
+	}()
+}
+
+// StartNamed launches a named worker whose body defers Done — no finding.
+func (p *Pool) StartNamed() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+// worker drains jobs; its deferred Done is what StartNamed is checked
+// against.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for range p.jobs {
+	}
+}
+
+// StartUntracked launches a goroutine nothing waits on — flagged.
+func (p *Pool) StartUntracked() {
+	go func() {
+		for range p.jobs {
+		}
+	}()
+}
+
+// StartUncounted defers Done without an Add before the launch — flagged:
+// Wait can return before the goroutine is counted.
+func (p *Pool) StartUncounted() {
+	go func() {
+		defer p.wg.Done()
+		for range p.jobs {
+		}
+	}()
+}
+
+// StartAllowed documents a different drain mechanism — excused.
+func (p *Pool) StartAllowed(done chan struct{}) {
+	//lint:allow(goleak) fixture: joined by the caller receiving on done
+	go func() {
+		for range p.jobs {
+		}
+		close(done)
+	}()
+}

@@ -243,6 +243,7 @@ func runAll(jobs []job) (map[string]RunResult, error) {
 			}
 		}()
 	}
+	//lint:allow(goleak) feeder exits once every job is enqueued: the waited-on workers drain `in` to close(in)
 	go func() {
 		for _, j := range jobs {
 			in <- j

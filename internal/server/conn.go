@@ -28,6 +28,11 @@ type conn struct {
 	mu       sync.Mutex
 	draining bool
 	closed   bool
+
+	// trace is the per-connection scratch for the response trace echo, so a
+	// traced request does not allocate a TraceExt per reply. Safe because
+	// the response is fully encoded before the next request reuses it.
+	trace wire.TraceExt
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
@@ -95,14 +100,12 @@ func (c *conn) serve() {
 		// the deadline is the one every request pays anyway.
 		t0 := wallClock()
 		c.nc.SetReadDeadline(t0.Add(c.srv.cfg.ReadTimeout))
-		var rq *wire.Request
 		var err error
-		rq, rbuf, err = wire.ReadRequest(c.br, rbuf, c.srv.lim)
+		rbuf, err = wire.ReadRequestInto(&req, c.br, rbuf, c.srv.lim)
 		if err != nil {
 			c.readFailed(err)
 			return
 		}
-		req = *rq
 		idle = 0
 
 		// Stage clocks tick when the server is instrumented or the request
@@ -119,13 +122,15 @@ func (c *conn) serve() {
 		}
 		if req.Trace != nil {
 			// Echo the extension with the server-side split filled in, so
-			// the client can separate server time from network time.
-			resp.Trace = &wire.TraceExt{
+			// the client can separate server time from network time. The
+			// conn-owned scratch keeps traced replies allocation-free.
+			c.trace = wire.TraceExt{
 				ID:           req.Trace.ID,
 				SendMicros:   req.Trace.SendMicros,
 				QueueMicros:  wire.SaturateMicros(t1.Sub(t0)),
 				HandleMicros: wire.SaturateMicros(t2.Sub(t1)),
 			}
+			resp.Trace = &c.trace
 		}
 		wbuf = wbuf[:0]
 		wbuf, err = wire.AppendResponse(wbuf, &resp, c.srv.lim)

@@ -379,6 +379,7 @@ func (s *Server) Close() error {
 	}
 
 	done := make(chan struct{})
+	//lint:allow(goleak) drain watcher: joined via <-done on both select arms once wg.Wait returns
 	go func() {
 		s.wg.Wait()
 		close(done)
@@ -474,7 +475,8 @@ func (s *Server) demand() *wire.NodeDemand {
 func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	s.requests.Add(1)
 	s.met.requests.Inc()
-	*resp = wire.Response{Op: req.Op, ID: req.ID, Status: wire.StatusOK}
+	resp.Reset()
+	resp.Op, resp.ID, resp.Status = req.Op, req.ID, wire.StatusOK
 
 	switch req.Op {
 	case wire.OpPing:
@@ -501,11 +503,15 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 			resp.Status = wire.StatusNotFound
 		}
 	case wire.OpMGet:
-		resp.Found = make([]bool, len(req.Keys))
-		resp.Values = make([][]byte, len(req.Keys))
-		for i, k := range req.Keys {
-			resp.Values[i], resp.Found[i] = s.cache.Get(k)
+		// Append into the reset Response's warm capacity (Reset keeps the
+		// backing arrays) so a steady MGET load allocates nothing here.
+		found, values := resp.Found, resp.Values
+		for _, k := range req.Keys {
+			v, ok := s.cache.Get(k)
+			values = append(values, v)
+			found = append(found, ok)
 		}
+		resp.Found, resp.Values = found, values
 		s.met.batchKeys.Add(uint64(len(req.Keys)))
 	case wire.OpMSet:
 		for _, kv := range req.Pairs {
@@ -528,6 +534,7 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		// Unreachable: the decoder rejects unknown opcodes. Answer rather
 		// than crash if a new opcode outruns this switch.
 		resp.Status = wire.StatusErr
+		//lint:allow(hotpath) unreachable guard: the decoder rejects unknown opcodes before dispatch
 		resp.Value = []byte(fmt.Sprintf("unhandled opcode %v", req.Op))
 	}
 	s.met.responses.Inc()

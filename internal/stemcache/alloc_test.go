@@ -1,0 +1,42 @@
+package stemcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The shard-read allocation benchmark pins the cache's hot-read contract:
+// a Get hit on a warm string-keyed cache performs zero allocations. CI
+// runs it via scripts/bench_hotpath.sh and asserts allocs/op == 0 from
+// BENCH_hotpath.json; the static half of the claim is the hotpath
+// analyzer's Cache.Get root (internal/analysis).
+
+const benchReadKeys = 1 << 10
+
+// benchReadCache returns a cache warmed with benchReadKeys resident string
+// keys, plus the key list used to populate it.
+func benchReadCache(tb testing.TB) (*Cache[string, []byte], []string) {
+	tb.Helper()
+	c, err := New[string, []byte](benchConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	keys := make([]string, benchReadKeys)
+	val := make([]byte, 128)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench:key:%04d", i)
+		c.Set(keys[i], val)
+	}
+	return c, keys
+}
+
+func BenchmarkAllocsHotPathStemCache(b *testing.B) {
+	b.Run("shard-read", func(b *testing.B) {
+		c, keys := benchReadCache(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Get(keys[i&(benchReadKeys-1)])
+		}
+	})
+}

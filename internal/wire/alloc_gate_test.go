@@ -1,0 +1,113 @@
+//go:build !race
+
+// The race detector instruments allocations, so the hard ==0 assertions
+// only hold in a plain build; CI runs this file's gate separately from the
+// -race suite.
+
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHotPathZeroAllocs is the in-tree form of the CI allocation gate: the
+// reusing encode/decode paths for GET and MGET must not allocate in steady
+// state. Each case runs once first so one-time slice growth to steady-state
+// capacity is excluded — that is the contract the hotpath analyzer's
+// buffer-growth allows describe.
+func TestHotPathZeroAllocs(t *testing.T) {
+	lim := Limits{}
+
+	// Each closure captures its reused buffer/struct, the heart of the
+	// zero-alloc contract.
+	encodeCase := func(req *Request) func() {
+		var buf []byte
+		return func() { buf = mustAppendRequest(t, buf[:0], req) }
+	}
+	decodeReqCase := func(req *Request) func() {
+		frame := mustAppendRequest(t, nil, req)
+		var into Request
+		return func() {
+			if _, err := DecodeRequestInto(&into, frame, lim); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	decodeRespCase := func(resp *Response) func() {
+		frame := mustAppendResponse(t, nil, resp)
+		var into Response
+		return func() {
+			if _, err := DecodeResponseInto(&into, frame, lim); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	cases := []struct {
+		name string
+		fn   func() // one steady-state iteration, warmed up before measuring
+	}{
+		{"get-encode", encodeCase(benchGetRequest())},
+		{"get-decode", decodeReqCase(benchGetRequest())},
+		{"get-resp-decode", decodeRespCase(benchGetResponse())},
+		{"mget-encode", encodeCase(benchMGetRequest())},
+		{"mget-decode", decodeReqCase(benchMGetRequest())},
+		{"mget-resp-decode", decodeRespCase(benchMGetResponse())},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.fn() // reach steady state before measuring
+			if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+				t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+			}
+		})
+	}
+}
+
+// TestDecodeIntoMatchesCopyingDecode pins the two decode forms to identical
+// results: the zero-copy Into path must parse exactly what the copying path
+// parses, field for field, for every opcode the gate covers.
+func TestDecodeIntoMatchesCopyingDecode(t *testing.T) {
+	lim := Limits{}
+	reqs := []*Request{benchGetRequest(), benchMGetRequest()}
+	for _, want := range reqs {
+		frame := mustAppendRequest(t, nil, want)
+		copied, n1, err := DecodeRequest(frame, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var into Request
+		n2, err := DecodeRequestInto(&into, frame, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n1 != n2 {
+			t.Fatalf("%v: consumed %d (copying) vs %d (into)", want.Op, n1, n2)
+		}
+		if fmt.Sprintf("%+v", *copied) != fmt.Sprintf("%+v", into) {
+			t.Errorf("%v: copying decode %+v != into decode %+v", want.Op, *copied, into)
+		}
+	}
+
+	resps := []*Response{benchGetResponse(), benchMGetResponse()}
+	for _, want := range resps {
+		frame := mustAppendResponse(t, nil, want)
+		copied, n1, err := DecodeResponse(frame, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var into Response
+		n2, err := DecodeResponseInto(&into, frame, lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n1 != n2 {
+			t.Fatalf("%v: consumed %d (copying) vs %d (into)", want.Op, n1, n2)
+		}
+		if fmt.Sprintf("%+v", *copied) != fmt.Sprintf("%+v", into) {
+			t.Errorf("%v: copying decode %+v != into decode %+v", want.Op, *copied, into)
+		}
+	}
+}

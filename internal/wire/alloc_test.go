@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The allocation benchmarks pin the codec's zero-allocation contract: with
+// a reused buffer and a reused Request/Response, GET and MGET frames encode
+// and decode with 0 allocs/op. CI runs them via scripts/bench_hotpath.sh
+// and asserts allocs/op == 0 from BENCH_hotpath.json; the static half of
+// the same claim is the hotpath analyzer (internal/analysis). The copying
+// DecodeRequest/DecodeResponse forms are deliberately NOT gated — owning
+// the bytes is their contract.
+
+// benchGetRequest is a representative single-key lookup frame.
+func benchGetRequest() *Request {
+	return &Request{Op: OpGet, ID: 7, Key: "bench:key:0123456789"}
+}
+
+// benchGetResponse is a representative hit reply.
+func benchGetResponse() *Response {
+	return &Response{Op: OpGet, ID: 7, Status: StatusOK, Value: make([]byte, 128)}
+}
+
+// benchMGetRequest is a 16-key batch lookup frame.
+func benchMGetRequest() *Request {
+	req := &Request{Op: OpMGet, ID: 9}
+	for i := 0; i < 16; i++ {
+		req.Keys = append(req.Keys, fmt.Sprintf("bench:key:%04d", i))
+	}
+	return req
+}
+
+// benchMGetResponse answers 16 keys with every other one a hit.
+func benchMGetResponse() *Response {
+	resp := &Response{Op: OpMGet, ID: 9, Status: StatusOK}
+	for i := 0; i < 16; i++ {
+		hit := i%2 == 0
+		resp.Found = append(resp.Found, hit)
+		if hit {
+			resp.Values = append(resp.Values, make([]byte, 128))
+		} else {
+			resp.Values = append(resp.Values, nil)
+		}
+	}
+	return resp
+}
+
+// mustAppendRequest encodes req, failing the benchmark on error.
+func mustAppendRequest(tb testing.TB, buf []byte, req *Request) []byte {
+	tb.Helper()
+	out, err := AppendRequest(buf, req, Limits{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// mustAppendResponse encodes resp, failing the benchmark on error.
+func mustAppendResponse(tb testing.TB, buf []byte, resp *Response) []byte {
+	tb.Helper()
+	out, err := AppendResponse(buf, resp, Limits{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+func BenchmarkAllocsHotPathWire(b *testing.B) {
+	b.Run("get-encode", func(b *testing.B) {
+		req := benchGetRequest()
+		var buf []byte
+		buf = mustAppendRequest(b, buf[:0], req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = mustAppendRequest(b, buf[:0], req)
+		}
+	})
+	b.Run("get-decode", func(b *testing.B) {
+		frame := mustAppendRequest(b, nil, benchGetRequest())
+		var req Request
+		if _, err := DecodeRequestInto(&req, frame, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeRequestInto(&req, frame, Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get-resp-encode", func(b *testing.B) {
+		resp := benchGetResponse()
+		var buf []byte
+		buf = mustAppendResponse(b, buf[:0], resp)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = mustAppendResponse(b, buf[:0], resp)
+		}
+	})
+	b.Run("get-resp-decode", func(b *testing.B) {
+		frame := mustAppendResponse(b, nil, benchGetResponse())
+		var resp Response
+		if _, err := DecodeResponseInto(&resp, frame, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeResponseInto(&resp, frame, Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mget-encode", func(b *testing.B) {
+		req := benchMGetRequest()
+		var buf []byte
+		buf = mustAppendRequest(b, buf[:0], req)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = mustAppendRequest(b, buf[:0], req)
+		}
+	})
+	b.Run("mget-decode", func(b *testing.B) {
+		frame := mustAppendRequest(b, nil, benchMGetRequest())
+		var req Request
+		if _, err := DecodeRequestInto(&req, frame, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeRequestInto(&req, frame, Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mget-resp-encode", func(b *testing.B) {
+		resp := benchMGetResponse()
+		var buf []byte
+		buf = mustAppendResponse(b, buf[:0], resp)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = mustAppendResponse(b, buf[:0], resp)
+		}
+	})
+	b.Run("mget-resp-decode", func(b *testing.B) {
+		frame := mustAppendResponse(b, nil, benchMGetResponse())
+		var resp Response
+		if _, err := DecodeResponseInto(&resp, frame, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeResponseInto(&resp, frame, Limits{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

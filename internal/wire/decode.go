@@ -9,39 +9,61 @@ import (
 // DecodeRequest parses one request frame from data, returning the request
 // and the number of bytes consumed. It is the pure-bytes core the stream
 // reader and the fuzz target share: every length is validated against the
-// bytes actually present before anything is allocated.
+// bytes actually present before anything is allocated. Every decoded
+// operand owns its bytes — safe to retain after data is reused.
 func DecodeRequest(data []byte, lim Limits) (*Request, int, error) {
-	lim = lim.withDefaults()
-	opB, fl, n, err := parseHeader(data, lim.MaxPayload)
+	req := &Request{}
+	n, err := decodeRequest(req, data, lim, false)
 	if err != nil {
 		return nil, 0, err
 	}
+	return req, n, nil
+}
+
+// DecodeRequestInto is the zero-allocation form of DecodeRequest: it
+// decodes into a caller-owned Request (reusing its Keys/Pairs capacity) and
+// lookup-only operands — GET/DEL/MGET keys — alias data instead of being
+// copied, so they are valid only until the frame buffer is reused. Operands
+// the receiver retains past the frame (every store: SET, SETTTL, MSET, and
+// LOAD, whose key enters the server's lease table) are still copied, so a
+// handler may pass them straight into a cache. This is the server's per-op
+// read path; with a reused Request and buffer, GET and MGET decode with
+// zero allocations.
+func DecodeRequestInto(req *Request, data []byte, lim Limits) (int, error) {
+	return decodeRequest(req, data, lim, true)
+}
+
+func decodeRequest(req *Request, data []byte, lim Limits, zeroCopy bool) (int, error) {
+	lim = lim.withDefaults()
+	opB, fl, n, err := parseHeader(data, lim.MaxPayload)
+	if err != nil {
+		return 0, err
+	}
 	if len(data)-HeaderLen < n {
-		return nil, 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
+		return 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
 	}
 	op := Op(opB)
 	if !op.Valid() {
-		return nil, 0, frameErrf("unknown opcode %d", opB)
+		return 0, frameErrf("unknown opcode %d", opB)
 	}
-	req := &Request{
-		Op:    op,
-		ID:    binary.BigEndian.Uint32(data[4:8]),
-		Flags: fl,
-	}
-	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	req.Reset()
+	req.Op = op
+	req.ID = binary.BigEndian.Uint32(data[4:8])
+	req.Flags = fl
+	c := cursor{b: data[HeaderLen : HeaderLen+n], zeroCopy: zeroCopy}
 	if fl&FlagTrace != 0 {
 		var err error
 		if req.Trace, err = c.traceReq(); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 	}
-	if err := parseRequestPayload(req, c, lim); err != nil {
-		return nil, 0, err
+	if err := parseRequestPayload(req, &c, lim); err != nil {
+		return 0, err
 	}
 	if err := c.done(); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return req, HeaderLen + n, nil
+	return HeaderLen + n, nil
 }
 
 func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
@@ -52,6 +74,10 @@ func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 	case OpGet, OpDel:
 		req.Key, err = c.key()
 	case OpLoad:
+		// The server's lease table retains a LOAD key past the frame
+		// (lease election on a miss), so every LOAD operand is copied even
+		// in zero-copy mode.
+		c.zeroCopy = false
 		switch {
 		case req.Flags&FlagFill == 0:
 			if req.Flags&FlagNegative != 0 {
@@ -70,8 +96,12 @@ func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 			req.Key, req.Value, err = c.kv(lim)
 		}
 	case OpSet:
+		// Stores hand their operands to a cache that retains them beyond
+		// the frame buffer's lifetime; always copy.
+		c.zeroCopy = false
 		req.Key, req.Value, err = c.kv(lim)
 	case OpSetTTL:
+		c.zeroCopy = false
 		var ttl uint64
 		if ttl, err = c.u64(); err != nil {
 			return err
@@ -87,72 +117,95 @@ func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 		if n, err = c.batchCount(lim.MaxBatch, 2); err != nil {
 			return err
 		}
-		req.Keys = make([]string, 0, n)
+		keys := req.Keys[:0]
 		for i := 0; i < n; i++ {
 			k, err := c.key()
 			if err != nil {
 				return err
 			}
-			req.Keys = append(req.Keys, k)
+			keys = append(keys, k)
 		}
+		req.Keys = keys
 	case OpMSet:
+		// Stored pairs are retained by the cache; always copy.
+		c.zeroCopy = false
 		// Each pair costs at least its 2+4 bytes of length prefixes.
 		var n int
 		if n, err = c.batchCount(lim.MaxBatch, 6); err != nil {
 			return err
 		}
-		req.Pairs = make([]KV, 0, n)
+		pairs := req.Pairs[:0]
 		for i := 0; i < n; i++ {
 			k, v, err := c.kv(lim)
 			if err != nil {
 				return err
 			}
-			req.Pairs = append(req.Pairs, KV{Key: k, Value: v})
+			pairs = append(pairs, KV{Key: k, Value: v})
 		}
+		req.Pairs = pairs
 	}
 	return err
 }
 
 // DecodeResponse parses one response frame from data, returning the
-// response and the number of bytes consumed.
+// response and the number of bytes consumed. Every decoded value owns its
+// bytes — safe to retain after data is reused.
 func DecodeResponse(data []byte, lim Limits) (*Response, int, error) {
-	lim = lim.withDefaults()
-	opB, st, n, err := parseHeader(data, lim.MaxPayload)
+	resp := &Response{}
+	n, err := decodeResponse(resp, data, lim, false)
 	if err != nil {
 		return nil, 0, err
 	}
+	return resp, n, nil
+}
+
+// DecodeResponseInto is the zero-allocation form of DecodeResponse: it
+// decodes into a caller-owned Response (reusing its Found/Values capacity)
+// and decoded values alias data instead of being copied — valid only until
+// the frame buffer is reused, so a caller that hands values onward must
+// copy them itself. With a reused Response and buffer, GET and MGET
+// responses decode with zero allocations.
+func DecodeResponseInto(resp *Response, data []byte, lim Limits) (int, error) {
+	return decodeResponse(resp, data, lim, true)
+}
+
+func decodeResponse(resp *Response, data []byte, lim Limits, zeroCopy bool) (int, error) {
+	lim = lim.withDefaults()
+	opB, st, n, err := parseHeader(data, lim.MaxPayload)
+	if err != nil {
+		return 0, err
+	}
 	if len(data)-HeaderLen < n {
-		return nil, 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
+		return 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
 	}
 	// The status byte's high bit flags a traced response; mask it off
 	// before validating the status proper.
 	traced := st&respFlagTrace != 0
 	op, status := Op(opB), Status(st&^respFlagTrace)
 	if !op.Valid() {
-		return nil, 0, frameErrf("unknown opcode %d", opB)
+		return 0, frameErrf("unknown opcode %d", opB)
 	}
 	if !status.Valid() {
-		return nil, 0, frameErrf("unknown status %d", st&^respFlagTrace)
+		return 0, frameErrf("unknown status %d", st&^respFlagTrace)
 	}
-	resp := &Response{
-		Op:     op,
-		ID:     binary.BigEndian.Uint32(data[4:8]),
-		Status: status,
-	}
-	c := &cursor{b: data[HeaderLen : HeaderLen+n]}
+	resp.Reset()
+	resp.Op = op
+	resp.ID = binary.BigEndian.Uint32(data[4:8])
+	resp.Status = status
+	c := cursor{b: data[HeaderLen : HeaderLen+n], zeroCopy: zeroCopy}
 	if traced {
 		var err error
 		if resp.Trace, err = c.traceResp(); err != nil {
-			return nil, 0, err
+			return 0, err
 		}
 	}
-	if err := parseResponsePayload(resp, c, lim); err != nil {
-		return nil, 0, err
+	if err := parseResponsePayload(resp, &c, lim); err != nil {
+		return 0, err
 	}
 	if err := c.done(); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	return resp, HeaderLen + n, nil
+	return HeaderLen + n, nil
 }
 
 func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
@@ -188,8 +241,7 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 		if n, err = c.batchCount(lim.MaxBatch, 1); err != nil {
 			return err
 		}
-		resp.Found = make([]bool, 0, n)
-		resp.Values = make([][]byte, 0, n)
+		found, values := resp.Found[:0], resp.Values[:0]
 		for i := 0; i < n; i++ {
 			p, err := c.take(1)
 			if err != nil {
@@ -197,19 +249,20 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 			}
 			switch p[0] {
 			case 0:
-				resp.Found = append(resp.Found, false)
-				resp.Values = append(resp.Values, nil)
+				found = append(found, false)
+				values = append(values, nil)
 			case 1:
 				v, err := c.value(lim.MaxValueLen)
 				if err != nil {
 					return err
 				}
-				resp.Found = append(resp.Found, true)
-				resp.Values = append(resp.Values, v)
+				found = append(found, true)
+				values = append(values, v)
 			default:
 				return frameErrf("bad presence byte %d", p[0])
 			}
 		}
+		resp.Found, resp.Values = found, values
 	}
 	return err
 }
@@ -299,6 +352,21 @@ func ReadRequest(r io.Reader, buf []byte, lim Limits) (*Request, []byte, error) 
 	return req, buf, err
 }
 
+// ReadRequestInto reads exactly one request frame from r into a
+// caller-owned Request (see DecodeRequestInto for the aliasing contract:
+// lookup-only operands alias buf until the next read reuses it). With a
+// warm buffer and Request this path performs zero allocations per frame,
+// which is why the server's serve loop uses it.
+func ReadRequestInto(req *Request, r io.Reader, buf []byte, lim Limits) ([]byte, error) {
+	lim = lim.withDefaults()
+	buf, err := readFrame(r, buf, lim)
+	if err != nil {
+		return buf, err
+	}
+	_, err = decodeRequest(req, buf, lim, true)
+	return buf, err
+}
+
 // ReadResponse reads exactly one response frame from r (see ReadRequest).
 func ReadResponse(r io.Reader, buf []byte, lim Limits) (*Response, []byte, error) {
 	lim = lim.withDefaults()
@@ -310,11 +378,27 @@ func ReadResponse(r io.Reader, buf []byte, lim Limits) (*Response, []byte, error
 	return resp, buf, err
 }
 
+// ReadResponseInto reads exactly one response frame from r into a
+// caller-owned Response (see DecodeResponseInto for the aliasing contract:
+// values alias buf until the next read reuses it). The client's round-trip
+// path copies values out before releasing the connection, so the frame
+// buffer stays private to one read.
+func ReadResponseInto(resp *Response, r io.Reader, buf []byte, lim Limits) ([]byte, error) {
+	lim = lim.withDefaults()
+	buf, err := readFrame(r, buf, lim)
+	if err != nil {
+		return buf, err
+	}
+	_, err = decodeResponse(resp, buf, lim, true)
+	return buf, err
+}
+
 // readFrame reads one whole frame (header + payload) into buf. The payload
 // length is validated before the payload read, so a hostile header cannot
 // force an over-allocation.
 func readFrame(r io.Reader, buf []byte, lim Limits) ([]byte, error) {
 	if cap(buf) < HeaderLen {
+		//lint:allow(hotpath) first call only: the returned buffer is reused for every later frame
 		buf = make([]byte, HeaderLen, 4096)
 	}
 	buf = buf[:HeaderLen]
@@ -330,6 +414,7 @@ func readFrame(r io.Reader, buf []byte, lim Limits) ([]byte, error) {
 	}
 	total := HeaderLen + n
 	if cap(buf) < total {
+		//lint:allow(hotpath) growth to the largest frame seen, then amortized zero in steady state
 		nb := make([]byte, total)
 		copy(nb, buf[:HeaderLen])
 		buf = nb

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 )
 
@@ -121,6 +122,33 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		} else if !errors.Is(err, ErrFrame) {
 			t.Fatalf("response decode error %v does not wrap ErrFrame", err)
+		}
+
+		// The zero-copy Into decoders must agree with the copying decoders
+		// on every input: same verdict, same consumed count, same frame.
+		var reqInto Request
+		if cReq, cN, cErr := DecodeRequest(data, lim); cErr == nil {
+			n2, err2 := DecodeRequestInto(&reqInto, data, lim)
+			if err2 != nil || n2 != cN {
+				t.Fatalf("into request decode diverged: n=%d err=%v, copying n=%d", n2, err2, cN)
+			}
+			if !reflect.DeepEqual(*cReq, reqInto) {
+				t.Fatalf("into request decode drifted: %+v vs %+v", *cReq, reqInto)
+			}
+		} else if _, err2 := DecodeRequestInto(&reqInto, data, lim); err2 == nil {
+			t.Fatalf("into request decode accepted what copying decode rejected: %v", cErr)
+		}
+		var respInto Response
+		if cResp, cN, cErr := DecodeResponse(data, lim); cErr == nil {
+			n2, err2 := DecodeResponseInto(&respInto, data, lim)
+			if err2 != nil || n2 != cN {
+				t.Fatalf("into response decode diverged: n=%d err=%v, copying n=%d", n2, err2, cN)
+			}
+			if !reflect.DeepEqual(*cResp, respInto) {
+				t.Fatalf("into response decode drifted: %+v vs %+v", *cResp, respInto)
+			}
+		} else if _, err2 := DecodeResponseInto(&respInto, data, lim); err2 == nil {
+			t.Fatalf("into response decode accepted what copying decode rejected: %v", cErr)
 		}
 
 		// The stream reader must agree with the bytes decoder and must map a

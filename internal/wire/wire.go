@@ -43,6 +43,7 @@ import (
 	"fmt"
 	"math"
 	"time"
+	"unsafe"
 )
 
 // Protocol constants.
@@ -390,6 +391,14 @@ type Request struct {
 	Trace *TraceExt
 }
 
+// Reset clears req for reuse while keeping the Keys and Pairs backing
+// arrays, so a Request reused across frames (DecodeRequestInto) reaches a
+// steady state with no per-frame slice growth.
+func (req *Request) Reset() {
+	keys, pairs := req.Keys[:0], req.Pairs[:0]
+	*req = Request{Keys: keys, Pairs: pairs}
+}
+
 // Response is the decoded form of one response frame.
 type Response struct {
 	// Op echoes the request opcode.
@@ -418,6 +427,15 @@ type Response struct {
 	// response — including StatusErr, so a failing traced request still
 	// yields a latency sample.
 	Trace *TraceExt
+}
+
+// Reset clears resp for reuse while keeping the Found and Values backing
+// arrays (see Request.Reset). The server's handler resets its reused
+// Response with this before filling it, so MGET replies append into warm
+// capacity.
+func (resp *Response) Reset() {
+	found, values := resp.Found[:0], resp.Values[:0]
+	*resp = Response{Found: found, Values: values}
 }
 
 // ErrFrame is the base error wrapped by every decoder rejection, so callers
@@ -460,10 +478,14 @@ func parseHeader(h []byte, maxPayload int) (op, fl uint8, n int, err error) {
 	return h[2], h[3], int(n64), nil
 }
 
-// cursor is a bounds-checked reader over one frame's payload bytes.
+// cursor is a bounds-checked reader over one frame's payload bytes. With
+// zeroCopy set, decoded keys and values alias the frame buffer instead of
+// being copied — the caller owns the buffer's lifetime (see
+// DecodeRequestInto); operands of retaining opcodes are copied regardless.
 type cursor struct {
-	b   []byte
-	off int
+	b        []byte
+	off      int
+	zeroCopy bool
 }
 
 func (c *cursor) remaining() int { return len(c.b) - c.off }
@@ -502,7 +524,9 @@ func (c *cursor) u64() (uint64, error) {
 }
 
 // key reads one uint16-length-prefixed key. The length is validated against
-// the bytes present before the string allocation.
+// the bytes present before anything is materialized. In copying mode the
+// returned string owns its bytes; in zero-copy mode it aliases the frame
+// buffer via unsafeString and is valid only as long as the buffer is.
 func (c *cursor) key() (string, error) {
 	n, err := c.u16()
 	if err != nil {
@@ -512,11 +536,15 @@ func (c *cursor) key() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return string(s), nil
+	if !c.zeroCopy {
+		return string(s), nil //lint:allow(hotpath) copying mode is the retaining decode API; the hot Into path takes the zero-copy branch
+	}
+	return unsafeString(s), nil
 }
 
-// value reads one uint32-length-prefixed value, capped by max. The returned
-// slice is a copy, safe to retain after the frame buffer is reused.
+// value reads one uint32-length-prefixed value, capped by max. In copying
+// mode the returned slice is a copy, safe to retain after the frame buffer
+// is reused; in zero-copy mode it is a subslice of the frame buffer.
 func (c *cursor) value(max int) ([]byte, error) {
 	n, err := c.u32()
 	if err != nil {
@@ -529,9 +557,24 @@ func (c *cursor) value(max int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(s))
-	copy(out, s)
-	return out, nil
+	if !c.zeroCopy {
+		out := make([]byte, len(s)) //lint:allow(hotpath) copying mode is the retaining decode API; the hot Into path takes the zero-copy branch
+		copy(out, s)
+		return out, nil
+	}
+	return s, nil
+}
+
+// unsafeString views b as a string without copying. Safe because the
+// decoder never mutates payload bytes after handing them out; the caller
+// contract (the string lives no longer than the frame buffer, and only for
+// non-retaining operands) is enforced by parseRequestPayload, which forces
+// copying mode for every opcode whose operands outlive the frame.
+func unsafeString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
 }
 
 // done errors unless the payload was consumed exactly.

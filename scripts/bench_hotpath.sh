@@ -1,0 +1,52 @@
+#!/bin/sh
+# Runs the hot-path allocation benchmarks (wire GET/MGET encode+decode and
+# the stemcache shard read), writes the parsed results to BENCH_hotpath.json,
+# and fails if any gated benchmark reports a nonzero allocs/op. This is the
+# dynamic half of the zero-allocation contract; the static half is the
+# hotpath analyzer in internal/analysis (run via stemlint).
+#
+# Usage: scripts/bench_hotpath.sh [output.json]
+set -eu
+
+out="${1:-BENCH_hotpath.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench AllocsHotPath -benchmem -benchtime 100000x \
+  ./internal/wire ./internal/stemcache | tee "$raw"
+
+python3 - "$raw" "$out" <<'EOF'
+import json, re, sys
+
+raw, out = sys.argv[1], sys.argv[2]
+line_re = re.compile(
+    r"^(BenchmarkAllocsHotPath\S+)\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op"
+)
+results = []
+for line in open(raw):
+    m = line_re.match(line)
+    if m:
+        results.append({
+            "name": m.group(1),
+            "ns_per_op": float(m.group(2)),
+            "bytes_per_op": int(m.group(3)),
+            "allocs_per_op": int(m.group(4)),
+        })
+
+doc = {"benchmark": "AllocsHotPath", "results": results}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+# The gate: every hot-path benchmark must be allocation-free, and the run
+# must actually have covered the wire and stemcache suites.
+assert results, "no AllocsHotPath benchmark lines parsed"
+names = {r["name"] for r in results}
+assert any("Wire" in n for n in names), f"wire suite missing: {names}"
+assert any("StemCache" in n for n in names), f"stemcache suite missing: {names}"
+dirty = [r for r in results if r["allocs_per_op"] != 0]
+assert not dirty, "nonzero allocs/op: " + ", ".join(
+    f'{r["name"]}={r["allocs_per_op"]}' for r in dirty
+)
+print(f"{len(results)} hot-path benchmarks, all 0 allocs/op -> {out}")
+EOF
