@@ -92,8 +92,26 @@ func main() {
 		herdWorkers = flag.Int("herd-workers", 64, "with -herd: concurrent clients stampeding each key")
 		herdRounds  = flag.Int("herd-rounds", 20, "with -herd: number of cold keys stampeded in turn")
 		originDelay = flag.Duration("origin-delay", 20*time.Millisecond, "with -herd: fake origin service time")
+
+		tenants   = flag.Bool("tenants", false, "run the multi-tenant capacity-arbitration scenario: three namespaces, one server per policy (self-hosted; see tenants.go)")
+		tenantOps = flag.Int("tenant-epoch-ops", 4096, "with -tenants: operations between arbitration epochs")
 	)
 	flag.Parse()
+
+	if *tenants {
+		if *addr != "" || *clusterEP != "" || *herd {
+			fmt.Fprintln(os.Stderr, "stemload: -tenants is self-hosted; it excludes -addr, -cluster and -herd")
+			os.Exit(1)
+		}
+		if err := runTenants(tenantLoadConfig{
+			Ops: *ops, Capacity: *capacity, Seed: *seed,
+			ValueSize: *valueSize, EpochOps: *tenantOps,
+		}, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "stemload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *herd {
 		if *addr != "" || *clusterEP != "" {

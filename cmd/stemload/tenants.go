@@ -1,0 +1,284 @@
+package main
+
+// The multi-tenant capacity-arbitration scenario (-tenants): the STEM
+// giver/taker idea lifted to tenant granularity, measured end to end. Three
+// namespaces with deliberately mismatched demand share one self-hosted
+// server:
+//
+//   - hot:   zipf-skewed traffic whose working set is larger than its fair
+//     share — shadow-hit demand makes it the taker.
+//   - scan:  a sweep wider than anything the cache could keep — near-zero
+//     shadow-hit demand makes it the giver.
+//   - quiet: a small, low-traffic working set behind a min-reserve — the
+//     tenant a free-for-all would evict.
+//
+// The identical interleaved key stream (workloads.NewTenantKeyStream is
+// deterministic and partition-stable) replays against three fresh servers,
+// one per capacity policy — arbitrated, static partition, observe
+// (free-for-all) — with arbitration epochs driven by operation count so a
+// run is reproducible. Per policy the scenario reports aggregate server hit
+// rate, per-tenant hit rates, and Jain fairness over the active tenants; the
+// paper-shaped claim, pinned by the e2e test, is
+//
+//	aggregate(arbitrated) >= aggregate(static)   // slack goes to the taker
+//	jain(arbitrated)      >= jain(observe)       // the reserve holds
+//
+// i.e. arbitration beats the static partition on throughput without giving
+// up the fairness a free-for-all loses.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/server"
+	"repro/internal/stemcache"
+	"repro/internal/tenant"
+	"repro/internal/workloads"
+)
+
+// tenantLoadConfig shapes one -tenants run.
+type tenantLoadConfig struct {
+	// Ops is the total operation count replayed against each policy's server.
+	Ops int `json:"ops"`
+	// Capacity and Seed shape each self-hosted server's cache; Capacity also
+	// scales the tenants' working sets and quiet's min-reserve.
+	Capacity int    `json:"capacity"`
+	Seed     uint64 `json:"seed"`
+	// ValueSize is the payload written on a cache-aside miss.
+	ValueSize int `json:"value_size"`
+	// EpochOps is the arbitration cadence: one ArbitrateTenants epoch per
+	// this many operations. Op-driven epochs keep the run deterministic —
+	// wall time never decides when capacity moves.
+	EpochOps int `json:"epoch_ops"`
+}
+
+// tenantPolicyResult is one policy's measured outcome.
+type tenantPolicyResult struct {
+	// Policy is the capacity-management mode: "arbitrated", "static" or
+	// "observe" (free-for-all).
+	Policy string `json:"policy"`
+	// AggregateHitRate is the server's overall Gets-hit fraction from STATS.
+	AggregateHitRate float64 `json:"aggregate_hit_rate"`
+	// Jain is Jain's fairness index over the active tenants' hit rates
+	// (1 = perfectly even, 1/n = one tenant has everything).
+	Jain    float64 `json:"jain_fairness"`
+	Seconds float64 `json:"seconds"`
+	// Tenants holds every tenant's accounting row from the server's STATS
+	// document, id order (row 0 is the idle default namespace).
+	Tenants []stemcache.TenantStats `json:"tenants"`
+}
+
+// tenantReport is the BENCH_tenant.json document.
+type tenantReport struct {
+	Bench   string               `json:"bench"`
+	Config  tenantLoadConfig     `json:"config"`
+	Results []tenantPolicyResult `json:"results"`
+	// The two deltas the e2e test pins: arbitration's aggregate hit rate
+	// over the static partition's, and its fairness over the free-for-all's.
+	HitRateVsStatic float64 `json:"arbitrated_minus_static_hit_rate"`
+	JainVsObserve   float64 `json:"arbitrated_minus_observe_jain"`
+}
+
+// tenantRegistry builds the scenario's tenant policy table. The default
+// tenant gets a token weight: every request in this scenario is namespaced,
+// so its share should round toward nothing instead of idling a quarter of
+// the cache. quiet's min-reserve is the receiving constraint under test —
+// capacity arbitration may never shrink it below cap/16.
+func tenantRegistry(capacity int) (*tenant.Registry, error) {
+	reg := tenant.NewRegistry(tenant.Config{Weight: 0.1})
+	for _, tc := range []tenant.Config{
+		{Name: "hot", Weight: 1},
+		{Name: "scan", Weight: 1},
+		{Name: "quiet", Weight: 1, MinReserve: capacity / 16},
+	} {
+		if _, err := reg.Register(tc); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// tenantStreams is the scenario's workload: hot dominates traffic and wants
+// more than its share, scan sweeps uselessly, quiet barely speaks.
+func tenantStreams(cfg tenantLoadConfig) []workloads.TenantStream {
+	return []workloads.TenantStream{
+		{Name: "hot", Dist: "zipf", Capacity: cfg.Capacity / 2, Skew: 1.1, Weight: 8, Seed: cfg.Seed + 1},
+		{Name: "scan", Dist: "scan", Capacity: cfg.Capacity * 2, Weight: 4, Seed: cfg.Seed + 2},
+		{Name: "quiet", Dist: "zipf", Capacity: max(cfg.Capacity/64, 1), Skew: 1.2, Weight: 0.25, Seed: cfg.Seed + 3},
+	}
+}
+
+// runTenants executes the three-policy comparison and writes the report.
+func runTenants(cfg tenantLoadConfig, jsonPath string) error {
+	results, err := tenantScenario(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("policy        %s\n", r.Policy)
+		fmt.Printf("aggregate     %.4f server hit rate  jain %.4f  (%.2fs)\n",
+			r.AggregateHitRate, r.Jain, r.Seconds)
+		for _, ts := range r.Tenants {
+			if ts.Gets == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s    %.4f hit  %d gets  %d shadow hits  %d live / %d target\n",
+				ts.Name, ts.HitRate(), ts.Gets, ts.ShadowHits, ts.Live, ts.Target)
+		}
+		fmt.Println()
+	}
+	doc := tenantReport{Bench: "stemload-tenants", Config: cfg, Results: results}
+	for _, r := range results {
+		switch r.Policy {
+		case "arbitrated":
+			doc.HitRateVsStatic += r.AggregateHitRate
+			doc.JainVsObserve += r.Jain
+		case "static":
+			doc.HitRateVsStatic -= r.AggregateHitRate
+		case "observe":
+			doc.JainVsObserve -= r.Jain
+		}
+	}
+	fmt.Printf("arbitrated - static aggregate hit rate: %+.4f (want >= 0)\n", doc.HitRateVsStatic)
+	fmt.Printf("arbitrated - observe jain fairness:     %+.4f (want >= 0)\n", doc.JainVsObserve)
+
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(b)
+			return err
+		}
+		return os.WriteFile(jsonPath, b, 0o644)
+	}
+	return nil
+}
+
+// tenantScenario replays the identical workload against one fresh server per
+// policy, sequentially so the policies never contend for the machine.
+func tenantScenario(cfg tenantLoadConfig) ([]tenantPolicyResult, error) {
+	if cfg.Ops <= 0 || cfg.EpochOps <= 0 {
+		return nil, fmt.Errorf("need positive -ops and -tenant-epoch-ops")
+	}
+	if cfg.Capacity < 64 {
+		return nil, fmt.Errorf("-capacity %d is below the scenario's minimum 64", cfg.Capacity)
+	}
+	policies := []stemcache.TenantPolicy{
+		stemcache.TenantArbitrated, stemcache.TenantStatic, stemcache.TenantObserve,
+	}
+	results := make([]tenantPolicyResult, 0, len(policies))
+	for _, p := range policies {
+		res, err := tenantPolicyRun(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// tenantPolicyRun drives the full workload against a fresh self-hosted
+// server under one capacity policy. One sequential driver and one client per
+// namespace: the interleaved stream already models concurrency of tenants,
+// and a single in-flight request keeps the replay exactly reproducible.
+func tenantPolicyRun(policy stemcache.TenantPolicy, cfg tenantLoadConfig) (tenantPolicyResult, error) {
+	reg, err := tenantRegistry(cfg.Capacity)
+	if err != nil {
+		return tenantPolicyResult{}, err
+	}
+	cache, err := stemcache.New[string, []byte](stemcache.Config{
+		Capacity:     cfg.Capacity,
+		Seed:         cfg.Seed,
+		Tenants:      reg,
+		TenantPolicy: policy,
+	})
+	if err != nil {
+		return tenantPolicyResult{}, err
+	}
+	defer cache.Close()
+	srv, err := server.New(cache, server.Config{})
+	if err != nil {
+		return tenantPolicyResult{}, err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return tenantPolicyResult{}, err
+	}
+	defer srv.Close()
+
+	streams := tenantStreams(cfg)
+	next, err := workloads.NewTenantKeyStream(streams, cfg.Seed)
+	if err != nil {
+		return tenantPolicyResult{}, err
+	}
+	clients := make(map[string]*client.Client, len(streams))
+	for _, ts := range streams {
+		cl, err := client.New(client.Config{Addr: srv.Addr(), Namespace: ts.Name, PoolSize: 1})
+		if err != nil {
+			return tenantPolicyResult{}, err
+		}
+		defer cl.Close()
+		clients[ts.Name] = cl
+	}
+
+	// Epoch 0 before any traffic rebases every tenant's target to the static
+	// weight-proportional split, so the static partition binds from the first
+	// insert and arbitration starts from the same split it will then move.
+	cache.ArbitrateTenants()
+
+	value := make([]byte, cfg.ValueSize)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	t0 := wallClock()
+	for i := 0; i < cfg.Ops; i++ {
+		ns, key := next()
+		cl := clients[ns]
+		_, found, err := cl.Get(key)
+		if err != nil {
+			return tenantPolicyResult{}, err
+		}
+		if !found {
+			if err := cl.Set(key, value); err != nil {
+				return tenantPolicyResult{}, err
+			}
+		}
+		if (i+1)%cfg.EpochOps == 0 {
+			cache.ArbitrateTenants()
+		}
+	}
+	seconds := wallClock().Sub(t0).Seconds()
+
+	raw, err := clients[streams[0].Name].Stats()
+	if err != nil {
+		return tenantPolicyResult{}, err
+	}
+	var snap server.StatsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return tenantPolicyResult{}, fmt.Errorf("STATS payload: %w", err)
+	}
+	res := tenantPolicyResult{
+		Policy:           policy.String(),
+		AggregateHitRate: snap.HitRate,
+		Jain:             tenantJain(snap.Tenants),
+		Seconds:          seconds,
+		Tenants:          snap.Tenants,
+	}
+	return res, nil
+}
+
+// tenantJain is Jain's fairness index over the hit rates of the tenants that
+// saw traffic (idle tenants have no hit rate to be fair about).
+func tenantJain(rows []stemcache.TenantStats) float64 {
+	var rates []float64
+	for _, ts := range rows {
+		if ts.Gets > 0 {
+			rates = append(rates, ts.HitRate())
+		}
+	}
+	return tenant.Jain(rates)
+}

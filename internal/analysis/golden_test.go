@@ -23,6 +23,7 @@ var fixtureCases = []struct {
 	{name: "obsfix", path: "fixture/internal/obs"},
 	{name: "latfix", path: "fixture2/internal/obs"},
 	{name: "cachefix", path: "fixture/internal/stemcache"},
+	{name: "tenantfix", path: "fixture2/internal/stemcache"},
 	{name: "serverfix", path: "fixture/internal/server"},
 	{name: "clusterfix", path: "fixture/internal/cluster"},
 	{name: "rootfix", path: "rootfix"},
@@ -90,6 +91,7 @@ func TestFixturesAreDirty(t *testing.T) {
 		"obsfix":     "atomics",
 		"latfix":     "atomics",
 		"cachefix":   "lockorder",
+		"tenantfix":  "lockorder",
 		"serverfix":  "lockorder",
 		"clusterfix": "lockorder",
 		"rootfix":    "apidoc",

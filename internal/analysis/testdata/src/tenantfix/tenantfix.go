@@ -1,0 +1,81 @@
+// Package stemcache is the tenant-arbitration lockorder fixture. The tests
+// bind it to fixture2/internal/stemcache, so the five-class Cache/shard
+// hierarchy applies: Cache.closeMu before Cache.loadMu before Cache.tenantMu
+// before shard.mu before Cache.obsMu. The fixture pins tenantMu's slot in the
+// order — an arbitration epoch may inspect shards, but no shard path may wait
+// on an epoch.
+package stemcache
+
+import "sync"
+
+type shard struct {
+	mu sync.Mutex
+}
+
+// Cache mirrors the real package's five lock classes.
+type Cache struct {
+	closeMu  sync.Mutex
+	loadMu   sync.Mutex
+	tenantMu sync.Mutex
+	obsMu    sync.Mutex
+	shards   []shard
+}
+
+// goodEpoch is the sanctioned arbitration shape: tenantMu taken with nothing
+// held, shards inspected under it — no findings.
+func (c *Cache) goodEpoch() {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+	sh := &c.shards[0]
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// goodCloseFence drains epochs under the lifecycle lock, like the real
+// Close — no findings.
+func (c *Cache) goodCloseFence() {
+	c.closeMu.Lock()
+	c.tenantMu.Lock()
+	c.tenantMu.Unlock()
+	c.closeMu.Unlock()
+}
+
+// badShardEpoch starts an epoch while holding a shard lock: a shard
+// operation waiting on arbitration is the deadlock the rank forbids.
+func (c *Cache) badShardEpoch(sh *shard) {
+	sh.mu.Lock()
+	c.tenantMu.Lock()
+	c.tenantMu.Unlock()
+	sh.mu.Unlock()
+}
+
+// badLoadUnderEpoch takes the singleflight lock under tenantMu — loads rank
+// above epochs, never inside them.
+func (c *Cache) badLoadUnderEpoch() {
+	c.tenantMu.Lock()
+	c.loadMu.Lock()
+	c.loadMu.Unlock()
+	c.tenantMu.Unlock()
+}
+
+// arbitrate is a leaf that runs an epoch.
+func (c *Cache) arbitrate() {
+	c.tenantMu.Lock()
+	defer c.tenantMu.Unlock()
+}
+
+// badEpochFromShard calls into an epoch while a shard lock is held.
+func (c *Cache) badEpochFromShard(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c.arbitrate()
+}
+
+// goodObsUnderEpoch emits under tenantMu: obsMu is the innermost class, so
+// observation from an epoch is legal — no findings.
+func (c *Cache) goodObsUnderEpoch() {
+	c.tenantMu.Lock()
+	c.obsMu.Lock()
+	c.obsMu.Unlock()
+	c.tenantMu.Unlock()
+}

@@ -75,6 +75,13 @@ type Config struct {
 	// OnTrace, when non-nil, receives every completed trace sample
 	// synchronously on the operation's goroutine. Keep it cheap.
 	OnTrace func(TraceSample)
+	// Namespace scopes every operation to one tenant namespace on a
+	// multi-tenant server: the name rides each request's wire tenant field,
+	// and the server resolves it to a tenant id (auto-registering unknown
+	// names under the server's default tenant policy). "" (default) is the
+	// default namespace — frames carry no tenant field and behave exactly as
+	// a pre-tenant client. At most wire.MaxNamespaceLen bytes.
+	Namespace string
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +166,9 @@ type cconn struct {
 func New(cfg Config) (*Client, error) {
 	if cfg.Addr == "" {
 		return nil, errors.New("client: empty Addr")
+	}
+	if len(cfg.Namespace) > wire.MaxNamespaceLen {
+		return nil, fmt.Errorf("client: namespace %q exceeds %d bytes", cfg.Namespace, wire.MaxNamespaceLen)
 	}
 	c := &Client{cfg: cfg.withDefaults()}
 	if c.cfg.TraceEvery > 0 {
@@ -248,6 +258,9 @@ func (c *Client) roundTrip(cc *cconn, reqs []*wire.Request) ([]*wire.Response, e
 	for _, req := range reqs {
 		cc.nextID++
 		req.ID = cc.nextID
+		// Stamp the client's namespace on every outgoing request (idempotent
+		// across retry attempts, which reuse the request structs).
+		req.Namespace = c.cfg.Namespace
 		c.attachTrace(req)
 		var err error
 		if cc.wbuf, err = wire.AppendRequest(cc.wbuf, req, c.cfg.Limits); err != nil {

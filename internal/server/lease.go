@@ -39,6 +39,21 @@ type lease struct {
 	filling bool
 }
 
+// leaseKey qualifies a lease table key with the request's namespace, so the
+// same key loading in two tenants holds two independent leases — the wire
+// analogue of the cache's per-(tenant, key) singleflight. The default
+// namespace uses the bare key (no allocation). A NUL-bearing key could
+// collide with another tenant's join, which degrades to two requests
+// sharing one lease — the loser re-classifies and takes over when the fill
+// lands in the other namespace; cached data never crosses namespaces
+// because fills store through the filler's own tenant view.
+func leaseKey(req *wire.Request) string {
+	if req.Namespace == "" {
+		return req.Key
+	}
+	return req.Namespace + "\x00" + req.Key
+}
+
 // nextToken draws a fresh nonzero lease token (0 means "no lease held" in
 // StatusStale responses).
 func (s *Server) nextToken() uint64 {
@@ -107,16 +122,17 @@ func (s *Server) breakLease(key string, old *lease) (token uint64, ok bool) {
 // server shuts down. Parking holds this connection's goroutine, so
 // pipelined requests behind an OpLoad on the same connection stall — the
 // client keeps LOAD traffic on pooled connections for that reason.
-func (s *Server) handleLoad(req *wire.Request, resp *wire.Response) {
+func (s *Server) handleLoad(cache stemcache.TenantView[string, []byte], req *wire.Request, resp *wire.Response) {
 	if req.Flags&wire.FlagFill != 0 {
-		s.handleFill(req, resp)
+		s.handleFill(cache, req, resp)
 		return
 	}
 	s.loadReqs.Add(1)
 	s.met.loads.Inc()
+	lk := leaseKey(req)
 	waited := false
 	for {
-		v, state := s.cache.LookupLoad(req.Key)
+		v, state := cache.LookupLoad(req.Key)
 		switch state {
 		case stemcache.LoadHit:
 			resp.Value = v
@@ -129,11 +145,11 @@ func (s *Server) handleLoad(req *wire.Request, resp *wire.Response) {
 			s.met.staleServed.Inc()
 			resp.Status = wire.StatusStale
 			resp.Value = v
-			resp.Token = s.tryRefreshLease(req.Key)
+			resp.Token = s.tryRefreshLease(lk)
 			return
 		}
 		// Miss. First asker takes the lease; the rest park on it.
-		l, granted := s.acquireLease(req.Key)
+		l, granted := s.acquireLease(lk)
 		if granted {
 			resp.Status = wire.StatusLease
 			resp.Token = l.token
@@ -172,9 +188,10 @@ func (s *Server) handleLoad(req *wire.Request, resp *wire.Response) {
 // the store keeps takeover out of the validate-store window, and the value
 // is stored before the lease is released so a woken waiter's
 // re-classification finds it resident.
-func (s *Server) handleFill(req *wire.Request, resp *wire.Response) {
+func (s *Server) handleFill(cache stemcache.TenantView[string, []byte], req *wire.Request, resp *wire.Response) {
+	lk := leaseKey(req)
 	s.leaseMu.Lock()
-	cur, held := s.leases[req.Key]
+	cur, held := s.leases[lk]
 	if !held || cur.token != req.Token {
 		s.leaseMu.Unlock()
 		resp.Status = wire.StatusNotStored
@@ -184,13 +201,13 @@ func (s *Server) handleFill(req *wire.Request, resp *wire.Response) {
 	s.leaseMu.Unlock()
 
 	if req.Flags&wire.FlagNegative != 0 {
-		s.cache.SetNegative(req.Key)
+		cache.SetNegative(req.Key)
 	} else {
-		s.cache.SetLoaded(req.Key, req.Value)
+		cache.SetLoaded(req.Key, req.Value)
 	}
 
 	s.leaseMu.Lock()
-	delete(s.leases, req.Key)
+	delete(s.leases, lk)
 	s.leaseMu.Unlock()
 	close(cur.done)
 }

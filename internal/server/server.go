@@ -54,6 +54,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/stemcache"
+	"repro/internal/tenant"
 	"repro/internal/wire"
 )
 
@@ -106,6 +107,11 @@ type Config struct {
 	// the same timeline as demand and migration). Ignored unless
 	// SlowRequest is set.
 	Events obs.Observer
+	// TenantEpoch, when positive on a cache configured with a tenant
+	// registry, makes the server drive cache.ArbitrateTenants on that
+	// cadence — the serving-side epoch clock for cross-tenant capacity
+	// arbitration. 0 leaves epochs to the embedding program.
+	TenantEpoch time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +142,9 @@ type Server struct {
 	cache *stemcache.Cache[string, []byte]
 	cfg   Config
 	lim   wire.Limits
+	// reg is the cache's tenant registry (nil on an untenanted cache),
+	// cached so the per-request namespace resolution is one field read.
+	reg *tenant.Registry
 
 	// mu guards the fields below (conn registry + lifecycle). Rank: above
 	// conn.mu, never held while calling into the cache.
@@ -203,6 +212,7 @@ func New(cache *stemcache.Cache[string, []byte], cfg Config) (*Server, error) {
 		cache:  cache,
 		cfg:    cfg,
 		lim:    cfg.Limits,
+		reg:    cache.TenantRegistry(),
 		conns:  map[*conn]struct{}{},
 		sem:    make(chan struct{}, cfg.MaxConns),
 		leases: map[string]*lease{},
@@ -268,7 +278,28 @@ func (s *Server) Serve(ln net.Listener) error {
 
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
+	if s.cfg.TenantEpoch > 0 && s.reg != nil {
+		s.wg.Add(1)
+		go s.arbitrateLoop()
+	}
 	return nil
+}
+
+// arbitrateLoop drives tenant capacity arbitration epochs until Close. It
+// runs only when the server was configured with a TenantEpoch and the cache
+// carries a registry; joined by Close through the server WaitGroup.
+func (s *Server) arbitrateLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.TenantEpoch)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.cache.ArbitrateTenants()
+		}
+	}
 }
 
 // Addr returns the bound listen address, or "" before Serve.
@@ -429,6 +460,10 @@ type StatsSnapshot struct {
 	// singleflight, which wire traffic does not use).
 	Loads     uint64 `json:"loads"`
 	LoadDedup uint64 `json:"load_dedup"`
+	// Tenants is the per-tenant accounting block (hit rates, residency,
+	// capacity targets), present only on a cache configured with a tenant
+	// registry.
+	Tenants []stemcache.TenantStats `json:"tenants,omitempty"`
 }
 
 // statsJSON renders the STATS payload.
@@ -446,6 +481,7 @@ func (s *Server) statsJSON() ([]byte, error) {
 		ProtoErrors:   s.protoErrors.Load(),
 		Loads:         s.loadReqs.Load(),
 		LoadDedup:     s.loadDedups.Load(),
+		Tenants:       s.cache.TenantStats(),
 	}
 	return json.Marshal(snap)
 }
@@ -470,6 +506,20 @@ func (s *Server) demand() *wire.NodeDemand {
 	}
 }
 
+// resolveTenant maps a request's namespace to a tenant-scoped cache view.
+// The empty namespace is the default tenant; an unknown namespace
+// auto-registers (registry policy); a namespace arriving at an untenanted
+// server folds into the default namespace, mirroring the registry's own
+// overflow behavior. The fast path — no namespace, or a registered one — is
+// lock- and allocation-free, so namespaced GETs keep the hot path's zero
+// allocation budget.
+func (s *Server) resolveTenant(req *wire.Request) stemcache.TenantView[string, []byte] {
+	if req.Namespace == "" || s.reg == nil {
+		return s.cache.Tenant(tenant.DefaultID)
+	}
+	return s.cache.Tenant(s.reg.Resolve(req.Namespace))
+}
+
 // handle executes one decoded request against the cache and fills resp.
 // It runs on the connection's goroutine; the cache does its own locking.
 func (s *Server) handle(req *wire.Request, resp *wire.Response) {
@@ -477,12 +527,13 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	s.met.requests.Inc()
 	resp.Reset()
 	resp.Op, resp.ID, resp.Status = req.Op, req.ID, wire.StatusOK
+	cache := s.resolveTenant(req)
 
 	switch req.Op {
 	case wire.OpPing:
 		// Status OK is the whole answer.
 	case wire.OpGet:
-		if v, ok := s.cache.Get(req.Key); ok {
+		if v, ok := cache.Get(req.Key); ok {
 			resp.Value = v
 		} else {
 			resp.Status = wire.StatusNotFound
@@ -490,16 +541,16 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	case wire.OpSet, wire.OpSetTTL:
 		ttl := req.TTL // OpSet leaves it 0 → the cache's DefaultTTL path
 		if req.Flags&wire.FlagNX != 0 {
-			s.handleNX(req, resp, ttl)
+			s.handleNX(cache, req, resp, ttl)
 			break
 		}
 		if req.Op == wire.OpSetTTL {
-			s.cache.SetWithTTL(req.Key, req.Value, ttl)
+			cache.SetWithTTL(req.Key, req.Value, ttl)
 		} else {
-			s.cache.Set(req.Key, req.Value)
+			cache.Set(req.Key, req.Value)
 		}
 	case wire.OpDel:
-		if !s.cache.Delete(req.Key) {
+		if !cache.Delete(req.Key) {
 			resp.Status = wire.StatusNotFound
 		}
 	case wire.OpMGet:
@@ -507,7 +558,7 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		// backing arrays) so a steady MGET load allocates nothing here.
 		found, values := resp.Found, resp.Values
 		for _, k := range req.Keys {
-			v, ok := s.cache.Get(k)
+			v, ok := cache.Get(k)
 			values = append(values, v)
 			found = append(found, ok)
 		}
@@ -515,11 +566,11 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		s.met.batchKeys.Add(uint64(len(req.Keys)))
 	case wire.OpMSet:
 		for _, kv := range req.Pairs {
-			s.cache.Set(kv.Key, kv.Value)
+			cache.Set(kv.Key, kv.Value)
 		}
 		s.met.batchKeys.Add(uint64(len(req.Pairs)))
 	case wire.OpLoad:
-		s.handleLoad(req, resp)
+		s.handleLoad(cache, req, resp)
 	case wire.OpDemand:
 		resp.Demand = s.demand()
 	case wire.OpStats:
@@ -545,7 +596,7 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 // handle, the part the server controls; write waits on the client) reaches
 // the configured threshold. Runs on the connection goroutine after the
 // response was written.
-func (s *Server) observeRequest(op wire.Op, decode, handle, write time.Duration, tr *wire.TraceExt) {
+func (s *Server) observeRequest(op wire.Op, namespace string, decode, handle, write time.Duration, tr *wire.TraceExt) {
 	m := s.met.lat[op]
 	m.decode.Observe(uint64(max(decode.Microseconds(), 0)))
 	m.handle.Observe(uint64(max(handle.Microseconds(), 0)))
@@ -558,10 +609,13 @@ func (s *Server) observeRequest(op wire.Op, decode, handle, write time.Duration,
 		traceID = tr.ID
 	}
 	s.cfg.Events.Event(obs.Event{
-		Type:   obs.EvSlowRequest,
-		Tick:   s.requests.Load(),
-		Set:    -1,
-		Op:     strings.ToLower(op.String()),
+		Type: obs.EvSlowRequest,
+		Tick: s.requests.Load(),
+		Set:  -1,
+		Op:   strings.ToLower(op.String()),
+		// The decoded namespace aliases the connection's read buffer; clone
+		// before it escapes into the event stream. Only slow requests pay.
+		Tenant: strings.Clone(namespace),
 		Micros: uint64(max((decode + handle).Microseconds(), 0)),
 		Trace:  traceID,
 	})
@@ -569,13 +623,13 @@ func (s *Server) observeRequest(op wire.Op, decode, handle, write time.Duration,
 
 // handleNX is the set-if-absent path: stemcache.GetOrSet's loaded report
 // maps exactly onto StatusNotStored-with-resident-value vs StatusOK.
-func (s *Server) handleNX(req *wire.Request, resp *wire.Response, ttl time.Duration) {
+func (s *Server) handleNX(cache stemcache.TenantView[string, []byte], req *wire.Request, resp *wire.Response, ttl time.Duration) {
 	var actual []byte
 	var loaded bool
 	if req.Op == wire.OpSetTTL {
-		actual, loaded = s.cache.GetOrSetWithTTL(req.Key, req.Value, ttl)
+		actual, loaded = cache.GetOrSetWithTTL(req.Key, req.Value, ttl)
 	} else {
-		actual, loaded = s.cache.GetOrSet(req.Key, req.Value)
+		actual, loaded = cache.GetOrSet(req.Key, req.Value)
 	}
 	if loaded {
 		resp.Status = wire.StatusNotStored

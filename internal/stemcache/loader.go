@@ -24,6 +24,8 @@ import (
 	"context"
 	"errors"
 	"time"
+
+	"repro/internal/tenant"
 )
 
 // ErrNotFound is the loader contract for "this key does not exist at the
@@ -108,8 +110,16 @@ type flight[V any] struct {
 	err  error
 }
 
+// tkey scopes the singleflight and pending-refresh tables per tenant: equal
+// keys in different namespaces are different origin fetches.
+type tkey[K comparable] struct {
+	tid int
+	key K
+}
+
 // refreshJob is one queued stale-while-revalidate refresh.
 type refreshJob[K comparable, V any] struct {
+	tid    int
 	key    K
 	loader Loader[K, V]
 }
@@ -135,21 +145,26 @@ type refreshJob[K comparable, V any] struct {
 // is the one the loader sees, so cancelling it fails the load for every
 // sharer — the usual singleflight trade.
 func (c *Cache[K, V]) GetOrLoad(ctx context.Context, key K, loader Loader[K, V]) (V, error) {
+	return c.getOrLoadT(ctx, tenant.DefaultID, key, loader)
+}
+
+// getOrLoadT is GetOrLoad in tenant tid's namespace.
+func (c *Cache[K, V]) getOrLoadT(ctx context.Context, tid int, key K, loader Loader[K, V]) (V, error) {
 	var zero V
 	if loader == nil {
 		return zero, errors.New("stemcache: nil loader")
 	}
-	v, state := c.LookupLoad(key)
+	v, state := c.lookupLoadT(tid, key)
 	switch state {
 	case LoadHit:
 		return v, nil
 	case LoadNegative:
 		return zero, ErrNotFound
 	case LoadStale:
-		c.scheduleRefresh(key, loader)
+		c.scheduleRefresh(tid, key, loader)
 		return v, nil
 	}
-	return c.load(ctx, key, loader)
+	return c.load(ctx, tid, key, loader)
 }
 
 // LookupLoad is the load path's classifying read: like Get it counts one
@@ -160,8 +175,13 @@ func (c *Cache[K, V]) GetOrLoad(ctx context.Context, key K, loader Loader[K, V])
 // answer LOAD frames without a local loader; library callers usually want
 // GetOrLoad instead.
 func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
+	return c.lookupLoadT(tenant.DefaultID, key)
+}
+
+// lookupLoadT is LookupLoad in tenant tid's namespace.
+func (c *Cache[K, V]) lookupLoadT(tid int, key K) (V, LoadState) {
 	var zero V
-	h := c.hasher(key)
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -170,6 +190,7 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 	sh.tick++
 	sh.stats.Gets++
 	c.met.gets.Inc()
+	c.tGet(tid)
 
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
@@ -181,18 +202,21 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 			sh.stats.NegativeHits++
 			c.met.misses.Inc()
 			c.met.negativeHits.Inc()
+			c.tMiss(tid)
 			return zero, LoadNegative
 		case stale:
 			sh.stats.Hits++
 			sh.stats.StaleServed++
 			c.met.hits.Inc()
 			c.met.staleServed.Inc()
+			c.tHit(tid)
 			s.pol.OnHit(w)
 			c.onLocalHit(sh, shIdx, idx)
 			return e.val, LoadStale
 		default:
 			sh.stats.Hits++
 			c.met.hits.Inc()
+			c.tHit(tid)
 			s.pol.OnHit(w)
 			c.onLocalHit(sh, shIdx, idx)
 			return e.val, LoadHit
@@ -208,6 +232,7 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 				sh.stats.NegativeHits++
 				c.met.misses.Inc()
 				c.met.negativeHits.Inc()
+				c.tMiss(tid)
 				return zero, LoadNegative
 			case stale:
 				sh.stats.Hits++
@@ -216,6 +241,7 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 				c.met.hits.Inc()
 				c.met.secondaryHits.Inc()
 				c.met.staleServed.Inc()
+				c.tHit(tid)
 				p.pol.OnHit(w)
 				return e.val, LoadStale
 			default:
@@ -223,6 +249,7 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 				sh.stats.SecondaryHits++
 				c.met.hits.Inc()
 				c.met.secondaryHits.Inc()
+				c.tHit(tid)
 				p.pol.OnHit(w)
 				return e.val, LoadHit
 			}
@@ -230,17 +257,19 @@ func (c *Cache[K, V]) LookupLoad(key K) (V, LoadState) {
 	}
 	sh.stats.Misses++
 	c.met.misses.Inc()
-	c.consultShadow(sh, shIdx, idx, h)
+	c.tMiss(tid)
+	c.consultShadow(sh, shIdx, idx, h, tid)
 	return zero, LoadMiss
 }
 
 // load runs the singleflight miss path: one goroutine per key becomes the
 // leader and calls the loader; the rest wait on its flight and share the
 // outcome. No lock is held while the loader runs.
-func (c *Cache[K, V]) load(ctx context.Context, key K, loader Loader[K, V]) (V, error) {
+func (c *Cache[K, V]) load(ctx context.Context, tid int, key K, loader Loader[K, V]) (V, error) {
 	var zero V
+	fk := tkey[K]{tid: tid, key: key}
 	c.loadMu.Lock()
-	if f, ok := c.flights[key]; ok {
+	if f, ok := c.flights[fk]; ok {
 		c.loadMu.Unlock()
 		c.loadDedup.Add(1)
 		c.met.loadDedup.Inc()
@@ -252,7 +281,7 @@ func (c *Cache[K, V]) load(ctx context.Context, key K, loader Loader[K, V]) (V, 
 		}
 	}
 	f := &flight[V]{done: make(chan struct{})}
-	c.flights[key] = f
+	c.flights[fk] = f
 	c.loadMu.Unlock()
 
 	c.loads.Add(1)
@@ -266,17 +295,17 @@ func (c *Cache[K, V]) load(ctx context.Context, key K, loader Loader[K, V]) (V, 
 	}
 	switch {
 	case err == nil:
-		c.SetLoaded(key, v)
+		c.setLoadedT(tid, key, v)
 	case errors.Is(err, ErrNotFound):
 		v, err = zero, ErrNotFound
-		c.SetNegative(key)
+		c.setNegativeT(tid, key)
 	}
 	// Publish before unblocking waiters, and store into the cache before
 	// removing the flight: a goroutine that found the flight gone finds
 	// the value resident instead.
 	f.val, f.err = v, err
 	c.loadMu.Lock()
-	delete(c.flights, key)
+	delete(c.flights, fk)
 	c.loadMu.Unlock()
 	close(f.done)
 	return v, err
@@ -289,12 +318,17 @@ func (c *Cache[K, V]) load(ctx context.Context, key K, loader Loader[K, V]) (V, 
 // expiring. GetOrLoad calls this for every successful load; servers call it
 // directly when a remote client fills a lease.
 func (c *Cache[K, V]) SetLoaded(key K, value V) {
+	c.setLoadedT(tenant.DefaultID, key, value)
+}
+
+// setLoadedT is SetLoaded in tenant tid's namespace.
+func (c *Cache[K, V]) setLoadedT(tid int, key K, value V) {
 	ttl := c.cfg.LoadTTL
 	if ttl <= 0 {
 		ttl = c.cfg.DefaultTTL
 	}
 	ttl = c.jitterTTL(ttl)
-	h := c.hasher(key)
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -312,7 +346,7 @@ func (c *Cache[K, V]) SetLoaded(key K, value V) {
 	sh.tick++
 	sh.stats.Puts++
 	c.met.puts.Inc()
-	c.store(sh, shIdx, key, value, h, nowN, fresh, exp, false)
+	c.store(sh, shIdx, tid, key, value, h, nowN, fresh, exp, false)
 }
 
 // SetNegative installs a negative marker under key for NegativeTTL: until
@@ -320,11 +354,16 @@ func (c *Cache[K, V]) SetLoaded(key K, value V) {
 // any loader, and plain Get reports a miss. A no-op when NegativeTTL is
 // zero. A later Set or SetLoaded overwrites the marker; Delete removes it.
 func (c *Cache[K, V]) SetNegative(key K) {
+	c.setNegativeT(tenant.DefaultID, key)
+}
+
+// setNegativeT is SetNegative in tenant tid's namespace.
+func (c *Cache[K, V]) setNegativeT(tid int, key K) {
 	if c.cfg.NegativeTTL <= 0 {
 		return
 	}
 	var zero V
-	h := c.hasher(key)
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -333,7 +372,7 @@ func (c *Cache[K, V]) SetNegative(key K) {
 	sh.tick++
 	sh.stats.Puts++
 	c.met.puts.Inc()
-	c.store(sh, shIdx, key, zero, h, nowN, 0, nowN+int64(c.cfg.NegativeTTL), true)
+	c.store(sh, shIdx, tid, key, zero, h, nowN, 0, nowN+int64(c.cfg.NegativeTTL), true)
 }
 
 // jitterTTL shortens ttl by a uniform fraction in [0, TTLJitter), the
@@ -354,24 +393,25 @@ func (c *Cache[K, V]) jitterTTL(ttl time.Duration) time.Duration {
 // already queued or in flight. A saturated queue drops the job — the next
 // stale serve will retry — so the foreground path never blocks on the
 // refresh pool.
-func (c *Cache[K, V]) scheduleRefresh(key K, loader Loader[K, V]) {
+func (c *Cache[K, V]) scheduleRefresh(tid int, key K, loader Loader[K, V]) {
 	if c.refreshC == nil {
 		return
 	}
+	fk := tkey[K]{tid: tid, key: key}
 	c.loadMu.Lock()
 	defer c.loadMu.Unlock()
 	if c.loadClosed {
 		return
 	}
-	if _, inflight := c.flights[key]; inflight {
+	if _, inflight := c.flights[fk]; inflight {
 		return
 	}
-	if _, queued := c.pending[key]; queued {
+	if _, queued := c.pending[fk]; queued {
 		return
 	}
 	select {
-	case c.refreshC <- refreshJob[K, V]{key: key, loader: loader}:
-		c.pending[key] = struct{}{}
+	case c.refreshC <- refreshJob[K, V]{tid: tid, key: key, loader: loader}:
+		c.pending[fk] = struct{}{}
 	default:
 	}
 }
@@ -384,9 +424,9 @@ func (c *Cache[K, V]) scheduleRefresh(key K, loader Loader[K, V]) {
 func (c *Cache[K, V]) revalidateWorker(ctx context.Context) {
 	defer c.refreshWG.Done()
 	for job := range c.refreshC {
-		c.load(ctx, job.key, job.loader)
+		c.load(ctx, job.tid, job.key, job.loader)
 		c.loadMu.Lock()
-		delete(c.pending, job.key)
+		delete(c.pending, tkey[K]{tid: job.tid, key: job.key})
 		c.loadMu.Unlock()
 	}
 }

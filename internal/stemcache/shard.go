@@ -47,6 +47,10 @@ type entry[K comparable, V any] struct {
 	// miss itself is cached until exp (negative caching). The value is the
 	// zero V; plain Get reports a miss, the load path reports ErrNotFound.
 	neg bool
+	// ten is the owning tenant's registry id (0 = default namespace). It
+	// travels with the entry through spills so that eviction anywhere —
+	// local, cooperative, expiry — debits the right tenant's residency.
+	ten uint16
 }
 
 // kvSet is one cache set: Ways entries, a replacement policy, and the
@@ -133,9 +137,11 @@ func (c *Cache[K, V]) findCC(sh *shard[K, V], shIdx, gidx int, key K, h uint64, 
 // expireLocal collects the expired local entry at (idx, w).
 func (c *Cache[K, V]) expireLocal(sh *shard[K, V], idx, w int) {
 	s := &sh.sets[idx]
+	owner := s.entries[w].ten
 	s.entries[w] = entry[K, V]{}
 	s.pol.OnInvalidate(w)
 	sh.live--
+	c.tLiveDec(owner)
 	sh.stats.Expirations++
 	c.met.expired.Inc()
 }
@@ -144,10 +150,12 @@ func (c *Cache[K, V]) expireLocal(sh *shard[K, V], idx, w int) {
 // or expiry — and dissolves the association if it was the giver's last one.
 func (c *Cache[K, V]) dropCC(sh *shard[K, V], shIdx, gidx, w int) {
 	g := &sh.sets[gidx]
+	owner := g.entries[w].ten
 	g.entries[w] = entry[K, V]{}
 	g.pol.OnInvalidate(w)
 	g.foreign--
 	sh.live--
+	c.tLiveDec(owner)
 	if g.foreign == 0 && g.role == giver {
 		c.decouple(sh, shIdx, gidx)
 	}
@@ -156,13 +164,16 @@ func (c *Cache[K, V]) dropCC(sh *shard[K, V], shIdx, gidx, w int) {
 // consultShadow runs the miss path's demand update for set idx: a shadow
 // lookup for the missing key's signature, the SC_S/SC_T counter rules, a
 // policy swap when SC_T saturates, and giver-heap maintenance (paper
-// §4.3-4.4).
-func (c *Cache[K, V]) consultShadow(sh *shard[K, V], shIdx, idx int, h uint64) {
+// §4.3-4.4). tid is the tenant whose miss this is: a shadow hit is that
+// tenant's "one more entry would have hit" evidence, the signal the
+// cross-tenant arbiter aggregates.
+func (c *Cache[K, V]) consultShadow(sh *shard[K, V], shIdx, idx int, h uint64, tid int) {
 	s := &sh.sets[idx]
 	if s.mon.Shadow.LookupInvalidate(c.sigOf(h)) {
 		swap := s.mon.OnShadowHit(c.cgeom)
 		sh.stats.ShadowHits++
 		c.met.shadowHits.Inc()
+		c.tShadow(tid)
 		if c.observer != nil {
 			c.emit(obs.Event{
 				Type: obs.EvShadowHit, Tick: sh.tick, Set: c.gid(shIdx, idx),
@@ -269,9 +280,10 @@ func (c *Cache[K, V]) routeVictim(sh *shard[K, V], shIdx, idx int, v entry[K, V]
 		}
 		return
 	}
-	if s.role == taker && s.mon.ScS >= c.cgeom.MSB {
+	if s.role == taker && s.mon.ScS >= c.cgeom.MSB && c.spillAllowed(&v) {
 		// Spilling allowed only while the taker still demands capacity
-		// (§4.6/4.7) and the giver can still receive (§4.6).
+		// (§4.6/4.7), the giver can still receive (§4.6), and the victim's
+		// tenant has capacity grant left to spend (tenant.go).
 		g := &sh.sets[s.partner]
 		if g.mon.IsGiver(c.cgeom) {
 			c.receive(sh, shIdx, s.partner, v)
@@ -330,6 +342,7 @@ func (c *Cache[K, V]) receive(sh *shard[K, V], shIdx, gidx int, v entry[K, V]) {
 // miss on the same key becomes demand evidence.
 func (c *Cache[K, V]) evict(sh *shard[K, V], v entry[K, V]) {
 	sh.live--
+	c.tLiveDec(v.ten)
 	sh.stats.Evictions++
 	c.met.evictions.Inc()
 	owner := c.setOf(v.hash)

@@ -64,6 +64,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/selector"
 	"repro/internal/sim"
+	"repro/internal/tenant"
 )
 
 // Config parameterizes a Cache. The zero value is usable: every field has a
@@ -133,6 +134,18 @@ type Config struct {
 	// Default 4.
 	RevalidateWorkers int
 
+	// Tenants, when non-nil, enables multi-tenant namespacing: operations
+	// through Cache.Tenant views are salted per tenant (disjoint key spaces)
+	// and accounted per tenant, and ArbitrateTenants can move capacity
+	// targets between tenants along the SCDM demand gradient. Nil keeps the
+	// cache single-tenant with zero overhead. See tenant.go.
+	Tenants *tenant.Registry
+	// TenantPolicy selects how tenant capacity targets are enforced:
+	// TenantObserve (default; account only), TenantStatic (fixed
+	// weight-proportional partition) or TenantArbitrated (STEM-driven
+	// giver/taker transfers). Requires Tenants for the enforcing modes.
+	TenantPolicy TenantPolicy
+
 	// DisableCoupling turns off spatial management (no spilling); what
 	// remains is per-set LRU/BIP dueling.
 	DisableCoupling bool
@@ -187,6 +200,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("stemcache: TTLJitter must be in [0, 1), got %v", c.TTLJitter)
 	case c.RevalidateWorkers < 0:
 		return fmt.Errorf("stemcache: RevalidateWorkers must be >= 0, got %d", c.RevalidateWorkers)
+	case c.TenantPolicy > TenantArbitrated:
+		return fmt.Errorf("stemcache: unknown TenantPolicy %d", c.TenantPolicy)
+	case c.TenantPolicy != TenantObserve && c.Tenants == nil:
+		return fmt.Errorf("stemcache: TenantPolicy %v requires a tenant registry", c.TenantPolicy)
 	}
 	return nil
 }
@@ -252,8 +269,8 @@ type Cache[K comparable, V any] struct {
 	// rank sits between closeMu and shard.mu, though it is never actually
 	// held across a shard-lock acquisition.
 	loadMu     sync.Mutex
-	flights    map[K]*flight[V]
-	pending    map[K]struct{}
+	flights    map[tkey[K]]*flight[V]
+	pending    map[tkey[K]]struct{}
 	loadRNG    *sim.RNG
 	loadClosed bool
 	// The stale-while-revalidate worker pool: nil channel when StaleTTL
@@ -266,6 +283,13 @@ type Cache[K comparable, V any] struct {
 	// owned by any shard lock), hence atomic rather than sh.stats fields.
 	loads     atomic.Uint64
 	loadDedup atomic.Uint64
+
+	// Multi-tenant state (tenant.go): nil when no registry is configured.
+	// tenantMu guards the arbitration epoch baselines inside ten; its rank
+	// sits between loadMu and shard.mu, though ArbitrateTenants only reads
+	// atomics and never takes a shard lock while holding it.
+	tenantMu sync.Mutex
+	ten      *tenantState
 
 	closeMu sync.Mutex
 	closed  bool
@@ -325,9 +349,12 @@ func newCache[K comparable, V any](cfg Config, hasher func(K) uint64) *Cache[K, 
 		// The wall clock only decides TTL expiry, never eviction order, so
 		// Stats stay seed-deterministic; tests swap c.now for a fake clock.
 		now:     func() int64 { return time.Now().UnixNano() }, //lint:allow(determinism) TTL expiry boundary; eviction decisions never read this clock
-		flights: map[K]*flight[V]{},
-		pending: map[K]struct{}{},
+		flights: map[tkey[K]]*flight[V]{},
+		pending: map[tkey[K]]struct{}{},
 		loadRNG: sim.NewRNG(cfg.Seed ^ 0x10ad),
+	}
+	if cfg.Tenants != nil {
+		c.ten = newTenantState(cfg.Tenants, cfg.TenantPolicy, cfg.Seed)
 	}
 	if cfg.StaleTTL > 0 {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -370,8 +397,13 @@ func log2(v int) uint {
 // evicted registers as a shadow hit and feeds the set's demand counters —
 // exactly the evidence stream the simulator derives from its miss path.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
+	return c.getT(tenant.DefaultID, key)
+}
+
+// getT is Get in tenant tid's namespace (Get is getT of the default tenant).
+func (c *Cache[K, V]) getT(tid int, key K) (V, bool) {
 	var zero V
-	h := c.hasher(key)
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -383,6 +415,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	sh.tick++
 	sh.stats.Gets++
 	c.met.gets.Inc()
+	c.tGet(tid)
 
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
@@ -390,6 +423,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 		if e := &s.entries[w]; !stale && !e.neg {
 			sh.stats.Hits++
 			c.met.hits.Inc()
+			c.tHit(tid)
 			s.pol.OnHit(w)
 			c.onLocalHit(sh, shIdx, idx)
 			return e.val, true
@@ -400,6 +434,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 		// resident, so this is not shadow-directory demand evidence.
 		sh.stats.Misses++
 		c.met.misses.Inc()
+		c.tMiss(tid)
 		return zero, false
 	}
 	if s.role == taker {
@@ -410,6 +445,7 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 				sh.stats.SecondaryHits++
 				c.met.hits.Inc()
 				c.met.secondaryHits.Inc()
+				c.tHit(tid)
 				p.pol.OnHit(w)
 				// Cooperative hits update neither set's counters: they are
 				// not local-capacity evidence for either working set.
@@ -417,12 +453,14 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 			}
 			sh.stats.Misses++
 			c.met.misses.Inc()
+			c.tMiss(tid)
 			return zero, false
 		}
 	}
 	sh.stats.Misses++
 	c.met.misses.Inc()
-	c.consultShadow(sh, shIdx, idx, h)
+	c.tMiss(tid)
+	c.consultShadow(sh, shIdx, idx, h, tid)
 	return zero, false
 }
 
@@ -438,7 +476,12 @@ func (c *Cache[K, V]) Set(key K, value V) {
 // SetWithTTL is Set with an explicit time-to-live for this entry; ttl <= 0
 // means the entry never expires.
 func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
-	h := c.hasher(key)
+	c.setWithTTLT(tenant.DefaultID, key, value, ttl)
+}
+
+// setWithTTLT is SetWithTTL in tenant tid's namespace.
+func (c *Cache[K, V]) setWithTTLT(tid int, key K, value V, ttl time.Duration) {
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -451,7 +494,7 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 	sh.tick++
 	sh.stats.Puts++
 	c.met.puts.Inc()
-	c.store(sh, shIdx, key, value, h, nowN, 0, exp, false)
+	c.store(sh, shIdx, tid, key, value, h, nowN, 0, exp, false)
 }
 
 // store is the shared write path (caller holds sh.mu and has counted its
@@ -459,7 +502,7 @@ func (c *Cache[K, V]) SetWithTTL(key K, value V, ttl time.Duration) {
 // stale — or run the miss path and insert, with the STEM engine picking the
 // victim. fresh/neg carry the read-through semantics; a plain Set passes
 // fresh 0 and neg false, resetting any loader state the key had.
-func (c *Cache[K, V]) store(sh *shard[K, V], shIdx int, key K, value V, h uint64, nowN, fresh, exp int64, neg bool) {
+func (c *Cache[K, V]) store(sh *shard[K, V], shIdx, tid int, key K, value V, h uint64, nowN, fresh, exp int64, neg bool) {
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
 	if w, _ := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
@@ -483,14 +526,22 @@ func (c *Cache[K, V]) store(sh *shard[K, V], shIdx int, key K, value V, h uint64
 
 	// Miss: consult the shadow directory, then fill locally (the library
 	// analogue of the simulator's miss path).
-	c.consultShadow(sh, shIdx, idx, h)
+	c.consultShadow(sh, shIdx, idx, h, tid)
 
-	way := freeWay(s)
-	if way < 0 {
+	// An at-target tenant recycles its own footprint even while the set has
+	// free ways (quotaVictim); otherwise a free way is used, and only a full
+	// set runs the STEM victim path.
+	way := c.quotaVictim(s, tid)
+	if way >= 0 {
+		victim := s.entries[way]
+		s.entries[way].valid = false
+		s.pol.OnInvalidate(way)
+		c.routeVictim(sh, shIdx, idx, victim)
+	} else if way = freeWay(s); way < 0 {
 		if s.role == uncoupled && s.mon.IsTaker(c.cgeom) && !c.cfg.DisableCoupling {
 			c.tryCouple(sh, shIdx, idx)
 		}
-		way = s.pol.Victim()
+		way = c.victimFor(s, tid)
 		if way < 0 {
 			// invariant: a full set always has a victim — every policy's
 			// Victim returns a way once no free way exists.
@@ -501,9 +552,10 @@ func (c *Cache[K, V]) store(sh *shard[K, V], shIdx int, key K, value V, h uint64
 		s.pol.OnInvalidate(way)
 		c.routeVictim(sh, shIdx, idx, victim)
 	}
-	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, fresh: fresh, neg: neg, valid: true}
+	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, fresh: fresh, neg: neg, valid: true, ten: uint16(tid)}
 	s.pol.OnInsert(way)
 	sh.live++
+	c.tLiveInc(tid)
 }
 
 // GetOrSet returns the value resident under key, or stores value (with the
@@ -522,7 +574,12 @@ func (c *Cache[K, V]) GetOrSet(key K, value V) (actual V, loaded bool) {
 // ttl <= 0 means it never expires. The TTL of an already-resident entry is
 // left untouched.
 func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual V, loaded bool) {
-	h := c.hasher(key)
+	return c.getOrSetWithTTLT(tenant.DefaultID, key, value, ttl)
+}
+
+// getOrSetWithTTLT is GetOrSetWithTTL in tenant tid's namespace.
+func (c *Cache[K, V]) getOrSetWithTTLT(tid int, key K, value V, ttl time.Duration) (actual V, loaded bool) {
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -535,6 +592,7 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 	sh.tick++
 	sh.stats.Gets++
 	c.met.gets.Inc()
+	c.tGet(tid)
 
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
@@ -543,6 +601,7 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 		if !stale && !e.neg {
 			sh.stats.Hits++
 			c.met.hits.Inc()
+			c.tHit(tid)
 			s.pol.OnHit(w)
 			c.onLocalHit(sh, shIdx, idx)
 			return e.val, true
@@ -552,6 +611,7 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 		// the key may enter the set).
 		sh.stats.Misses++
 		c.met.misses.Inc()
+		c.tMiss(tid)
 		sh.stats.Puts++
 		c.met.puts.Inc()
 		e.val, e.exp, e.fresh, e.neg = value, exp, 0, false
@@ -567,11 +627,13 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 				sh.stats.SecondaryHits++
 				c.met.hits.Inc()
 				c.met.secondaryHits.Inc()
+				c.tHit(tid)
 				p.pol.OnHit(w)
 				return e.val, true
 			}
 			sh.stats.Misses++
 			c.met.misses.Inc()
+			c.tMiss(tid)
 			sh.stats.Puts++
 			c.met.puts.Inc()
 			e.val, e.exp, e.fresh, e.neg = value, exp, 0, false
@@ -582,16 +644,22 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 
 	sh.stats.Misses++
 	c.met.misses.Inc()
+	c.tMiss(tid)
 	sh.stats.Puts++
 	c.met.puts.Inc()
-	c.consultShadow(sh, shIdx, idx, h)
-
-	way := freeWay(s)
-	if way < 0 {
+	// Same insert discipline as store: quota recycle first, then free way,
+	// then the STEM victim path.
+	way := c.quotaVictim(s, tid)
+	if way >= 0 {
+		victim := s.entries[way]
+		s.entries[way].valid = false
+		s.pol.OnInvalidate(way)
+		c.routeVictim(sh, shIdx, idx, victim)
+	} else if way = freeWay(s); way < 0 {
 		if s.role == uncoupled && s.mon.IsTaker(c.cgeom) && !c.cfg.DisableCoupling {
 			c.tryCouple(sh, shIdx, idx)
 		}
-		way = s.pol.Victim()
+		way = c.victimFor(s, tid)
 		if way < 0 {
 			// invariant: a full set always has a victim — every policy's
 			// Victim returns a way once no free way exists.
@@ -602,9 +670,10 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 		s.pol.OnInvalidate(way)
 		c.routeVictim(sh, shIdx, idx, victim)
 	}
-	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, valid: true}
+	s.entries[way] = entry[K, V]{key: key, val: value, hash: h, exp: exp, valid: true, ten: uint16(tid)}
 	s.pol.OnInsert(way)
 	sh.live++
+	c.tLiveInc(tid)
 	return value, false
 }
 
@@ -614,7 +683,12 @@ func (c *Cache[K, V]) GetOrSetWithTTL(key K, value V, ttl time.Duration) (actual
 // cuts short a stale window or a cached absence. Deletion is not demand
 // evidence: the key's signature is not entered into the shadow directory.
 func (c *Cache[K, V]) Delete(key K) bool {
-	h := c.hasher(key)
+	return c.deleteT(tenant.DefaultID, key)
+}
+
+// deleteT is Delete in tenant tid's namespace.
+func (c *Cache[K, V]) deleteT(tid int, key K) bool {
+	h := c.thash(tid, key)
 	sh, shIdx := c.shardOf(h)
 
 	sh.mu.Lock()
@@ -624,9 +698,11 @@ func (c *Cache[K, V]) Delete(key K) bool {
 	idx := c.setOf(h)
 	s := &sh.sets[idx]
 	if w, _ := c.findLocal(sh, idx, key, h, nowN); w >= 0 {
+		owner := s.entries[w].ten
 		s.entries[w] = entry[K, V]{}
 		s.pol.OnInvalidate(w)
 		sh.live--
+		c.tLiveDec(owner)
 		sh.stats.Deletes++
 		c.met.deletes.Inc()
 		return true
@@ -755,6 +831,11 @@ func (c *Cache[K, V]) Close() {
 		}
 		sh.live = 0
 		sh.mu.Unlock()
+	}
+	if c.ten != nil {
+		for i := range c.ten.live {
+			c.ten.live[i].Store(0)
+		}
 	}
 }
 

@@ -1,0 +1,285 @@
+package tenant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRegistryDefaultTenant(t *testing.T) {
+	r := NewRegistry(Config{MinReserve: 8, Weight: 2})
+	if got := r.Len(); got != 1 {
+		t.Fatalf("fresh registry holds %d tenants, want 1 (the default)", got)
+	}
+	if id, ok := r.Lookup(""); !ok || id != DefaultID {
+		t.Fatalf("Lookup(\"\") = (%d, %v), want (%d, true)", id, ok, DefaultID)
+	}
+	if cfg := r.Config(DefaultID); cfg.MinReserve != 8 || cfg.Weight != 2 {
+		t.Fatalf("default config = %+v, want the constructor defaults", cfg)
+	}
+	if name := r.Name(DefaultID); name != "" {
+		t.Fatalf("default tenant name = %q, want empty", name)
+	}
+}
+
+func TestRegistryRegister(t *testing.T) {
+	r := NewRegistry(Config{})
+	id, err := r.Register(Config{Name: "web", MinReserve: 4, MaxQuota: 100, Weight: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("first registration got id %d, want 1", id)
+	}
+	if _, err := r.Register(Config{Name: "web"}); err == nil {
+		t.Fatal("duplicate registration did not error")
+	}
+	if _, err := r.Register(Config{Name: "bad", MinReserve: 10, MaxQuota: 5}); err == nil {
+		t.Fatal("MinReserve > MaxQuota did not error")
+	}
+	if _, err := r.Register(Config{Name: "bad", Weight: -1}); err == nil {
+		t.Fatal("negative weight did not error")
+	}
+	if cfg := r.Config(1); cfg.Name != "web" || cfg.Weight != 3 {
+		t.Fatalf("Config(1) = %+v", cfg)
+	}
+}
+
+func TestRegistryRegisterEmptyNameUpdatesDefault(t *testing.T) {
+	r := NewRegistry(Config{})
+	id, err := r.Register(Config{MinReserve: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != DefaultID {
+		t.Fatalf("empty-name registration got id %d, want %d", id, DefaultID)
+	}
+	if got := r.Config(DefaultID).MinReserve; got != 16 {
+		t.Fatalf("default MinReserve = %d after update, want 16", got)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("registry has %d tenants, want 1", got)
+	}
+	// Auto-registered namespaces inherit the updated defaults.
+	id = r.Resolve("auto")
+	if got := r.Config(id).MinReserve; got != 16 {
+		t.Fatalf("auto-registered MinReserve = %d, want the updated default 16", got)
+	}
+}
+
+func TestRegistryResolveAutoRegisters(t *testing.T) {
+	r := NewRegistry(Config{Weight: 1})
+	a := r.Resolve("alpha")
+	if a == DefaultID {
+		t.Fatal("Resolve of a new name returned the default id")
+	}
+	if again := r.Resolve("alpha"); again != a {
+		t.Fatalf("Resolve(\"alpha\") = %d then %d; ids must be stable", a, again)
+	}
+	b := r.Resolve("beta")
+	if b == a || b == DefaultID {
+		t.Fatalf("Resolve(\"beta\") = %d collides", b)
+	}
+	if name := r.Name(b); name != "beta" {
+		t.Fatalf("Name(%d) = %q, want beta", b, name)
+	}
+	// Oversized names fold into the default tenant instead of failing.
+	long := make([]byte, MaxNameLen+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if id := r.Resolve(string(long)); id != DefaultID {
+		t.Fatalf("oversized namespace resolved to %d, want default %d", id, DefaultID)
+	}
+}
+
+func TestRegistryFullFoldsToDefault(t *testing.T) {
+	r := NewRegistry(Config{})
+	for i := 1; i < MaxTenants; i++ {
+		if id := r.Resolve(fmt.Sprintf("t%03d", i)); id != i {
+			t.Fatalf("Resolve #%d got id %d", i, id)
+		}
+	}
+	if id := r.Resolve("overflow"); id != DefaultID {
+		t.Fatalf("overflow namespace resolved to %d, want default %d", id, DefaultID)
+	}
+	if _, err := r.Register(Config{Name: "overflow2"}); err == nil {
+		t.Fatal("Register past MaxTenants did not error")
+	}
+}
+
+func TestRegistryConcurrentResolve(t *testing.T) {
+	r := NewRegistry(Config{})
+	const workers = 8
+	ids := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ids[w] = r.Resolve("contended")
+				r.Resolve(fmt.Sprintf("own-%d", w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if ids[w] != ids[0] {
+			t.Fatalf("worker %d resolved %d, worker 0 resolved %d", w, ids[w], ids[0])
+		}
+	}
+}
+
+// demand builds a Demand with a plausible epoch shape.
+func demand(id, live, target int, gets, shadow uint64, cfg Config) Demand {
+	return Demand{ID: id, Live: live, Target: target, Gets: gets, ShadowHits: shadow, Cfg: cfg}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Demand
+		want Class
+	}{
+		{"starved-and-full", demand(0, 100, 100, 1000, 100, Config{}), Taker},
+		{"starved-but-underusing", demand(0, 10, 100, 1000, 100, Config{}), Neutral},
+		{"no-demand", demand(0, 100, 100, 1000, 0, Config{}), Giver},
+		{"mild-demand", demand(0, 100, 100, 1000, 5, Config{}), Neutral},
+		{"too-quiet", demand(0, 100, 100, 4, 4, Config{}), Neutral},
+	}
+	for _, c := range cases {
+		if got := Classify(c.d); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestArbitrateTransfersGiverSlack(t *testing.T) {
+	const capacity = 1000
+	ds := []Demand{
+		demand(0, 500, 500, 10_000, 1_000, Config{}),            // taker
+		demand(1, 500, 500, 10_000, 0, Config{MinReserve: 100}), // giver
+	}
+	out := Arbitrate(ds, capacity)
+	if out[0].Class != Taker || out[1].Class != Giver {
+		t.Fatalf("classes = %v/%v, want taker/giver", out[0].Class, out[1].Class)
+	}
+	if out[0].Target <= 500 {
+		t.Fatalf("taker target %d did not grow", out[0].Target)
+	}
+	if out[1].Target >= 500 {
+		t.Fatalf("giver target %d did not shrink", out[1].Target)
+	}
+	if sum := out[0].Target + out[1].Target; sum != capacity {
+		t.Fatalf("targets sum to %d, want %d (capacity conserved)", sum, capacity)
+	}
+}
+
+func TestArbitrateRespectsMinReserve(t *testing.T) {
+	const capacity = 1000
+	ds := []Demand{
+		demand(0, 900, 900, 10_000, 1_000, Config{}),
+		demand(1, 100, 100, 10_000, 0, Config{MinReserve: 100}),
+	}
+	// Run many epochs: the giver must never dip below its reserve.
+	for epoch := 0; epoch < 50; epoch++ {
+		out := Arbitrate(ds, capacity)
+		if out[1].Target < 100 {
+			t.Fatalf("epoch %d: giver target %d fell below MinReserve 100", epoch, out[1].Target)
+		}
+		if sum := out[0].Target + out[1].Target; sum != capacity {
+			t.Fatalf("epoch %d: targets sum to %d, want %d", epoch, sum, capacity)
+		}
+		ds[0].Target, ds[1].Target = out[0].Target, out[1].Target
+		ds[0].Live, ds[1].Live = out[0].Target, out[1].Target
+	}
+	if ds[1].Target != 100 {
+		t.Fatalf("giver converged to %d, want exactly its reserve 100", ds[1].Target)
+	}
+}
+
+func TestArbitrateNoGiversNoGrowth(t *testing.T) {
+	ds := []Demand{
+		demand(0, 500, 500, 10_000, 1_000, Config{}),
+		demand(1, 500, 500, 10_000, 500, Config{}),
+	}
+	out := Arbitrate(ds, 1000)
+	for i, o := range out {
+		if o.Target != ds[i].Target {
+			t.Fatalf("tenant %d target moved %d -> %d with no givers", i, ds[i].Target, o.Target)
+		}
+	}
+}
+
+func TestArbitrateRespectsMaxQuota(t *testing.T) {
+	ds := []Demand{
+		demand(0, 500, 500, 10_000, 1_000, Config{MaxQuota: 510}),
+		demand(1, 500, 500, 10_000, 0, Config{}),
+	}
+	out := Arbitrate(ds, 1000)
+	if out[0].Target > 510 {
+		t.Fatalf("taker target %d exceeds its quota 510", out[0].Target)
+	}
+	if sum := out[0].Target + out[1].Target; sum != 1000 {
+		t.Fatalf("targets sum to %d, want 1000", sum)
+	}
+}
+
+func TestArbitrateBoundsEpochStep(t *testing.T) {
+	ds := []Demand{
+		demand(0, 500, 500, 10_000, 1_000, Config{}),
+		demand(1, 500, 500, 10_000, 0, Config{}),
+	}
+	out := Arbitrate(ds, 1000)
+	// One epoch moves at most target/stepDiv from the giver.
+	if moved := 500 - out[1].Target; moved > 500/stepDiv {
+		t.Fatalf("one epoch moved %d entries, want <= %d", moved, 500/stepDiv)
+	}
+}
+
+func TestStaticTargets(t *testing.T) {
+	cfgs := []Config{
+		{Weight: 2},
+		{Weight: 1, MinReserve: 100},
+		{Weight: 1},
+	}
+	ts := StaticTargets(cfgs, 1000)
+	sum := 0
+	for _, v := range ts {
+		sum += v
+	}
+	if sum != 1000 {
+		t.Fatalf("static targets sum to %d, want 1000: %v", sum, ts)
+	}
+	if ts[1] < 100 {
+		t.Fatalf("tenant 1 target %d below its reserve", ts[1])
+	}
+	if ts[0] <= ts[2] {
+		t.Fatalf("weight-2 tenant got %d, weight-1 got %d; want proportional shares", ts[0], ts[2])
+	}
+	if got := StaticTargets(nil, 1000); len(got) != 0 {
+		t.Fatalf("StaticTargets(nil) = %v", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if j := Jain(nil); j != 1 {
+		t.Fatalf("Jain(nil) = %v, want 1", j)
+	}
+	if j := Jain([]float64{0, 0}); j != 1 {
+		t.Fatalf("Jain(zeros) = %v, want 1", j)
+	}
+	if j := Jain([]float64{0.5, 0.5, 0.5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("Jain(equal) = %v, want 1", j)
+	}
+	if j := Jain([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("Jain(one dominant of 4) = %v, want 0.25", j)
+	}
+	skewed := Jain([]float64{0.9, 0.1})
+	fair := Jain([]float64{0.5, 0.5})
+	if skewed >= fair {
+		t.Fatalf("Jain(skewed)=%v not below Jain(fair)=%v", skewed, fair)
+	}
+}

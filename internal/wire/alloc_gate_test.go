@@ -50,6 +50,8 @@ func TestHotPathZeroAllocs(t *testing.T) {
 	}{
 		{"get-encode", encodeCase(benchGetRequest())},
 		{"get-decode", decodeReqCase(benchGetRequest())},
+		{"namespaced-get-encode", encodeCase(benchNamespacedGetRequest())},
+		{"namespaced-get-decode", decodeReqCase(benchNamespacedGetRequest())},
 		{"get-resp-decode", decodeRespCase(benchGetResponse())},
 		{"mget-encode", encodeCase(benchMGetRequest())},
 		{"mget-decode", decodeReqCase(benchMGetRequest())},
@@ -71,7 +73,7 @@ func TestHotPathZeroAllocs(t *testing.T) {
 // parses, field for field, for every opcode the gate covers.
 func TestDecodeIntoMatchesCopyingDecode(t *testing.T) {
 	lim := Limits{}
-	reqs := []*Request{benchGetRequest(), benchMGetRequest()}
+	reqs := []*Request{benchGetRequest(), benchNamespacedGetRequest(), benchMGetRequest()}
 	for _, want := range reqs {
 		frame := mustAppendRequest(t, nil, want)
 		copied, n1, err := DecodeRequest(frame, lim)

@@ -18,6 +18,13 @@ func benchGetRequest() *Request {
 	return &Request{Op: OpGet, ID: 7, Key: "bench:key:0123456789"}
 }
 
+// benchNamespacedGetRequest is the single-key lookup frame with a tenant
+// namespace prefix — the multi-tenant hot path the gate must keep at 0
+// allocs/op alongside the plain GET.
+func benchNamespacedGetRequest() *Request {
+	return &Request{Op: OpGet, ID: 7, Key: "bench:key:0123456789", Namespace: "bench-tenant"}
+}
+
 // benchGetResponse is a representative hit reply.
 func benchGetResponse() *Response {
 	return &Response{Op: OpGet, ID: 7, Status: StatusOK, Value: make([]byte, 128)}

@@ -57,6 +57,12 @@ func decodeRequest(req *Request, data []byte, lim Limits, zeroCopy bool) (int, e
 			return 0, err
 		}
 	}
+	if fl&FlagTenant != 0 {
+		var err error
+		if req.Namespace, err = c.namespace(); err != nil {
+			return 0, err
+		}
+	}
 	if err := parseRequestPayload(req, &c, lim); err != nil {
 		return 0, err
 	}
@@ -287,6 +293,33 @@ func (c *cursor) demand() (*NodeDemand, error) {
 		}
 	}
 	return &d, nil
+}
+
+// namespace reads the uint8-length-prefixed namespace prefix of a FlagTenant
+// request. A flagged frame must carry a non-empty name of at most
+// MaxNamespaceLen bytes — an empty or oversized prefix is a protocol error,
+// so "default tenant" has exactly one encoding (no flag, no prefix). In
+// zero-copy mode the returned string aliases the frame buffer.
+func (c *cursor) namespace() (string, error) {
+	p, err := c.take(1)
+	if err != nil {
+		return "", frameErrf("truncated namespace prefix: no length byte")
+	}
+	n := int(p[0])
+	if n == 0 {
+		return "", frameErrf("empty namespace with FlagTenant set")
+	}
+	if n > MaxNamespaceLen {
+		return "", frameErrf("namespace of %d bytes exceeds %d", n, MaxNamespaceLen)
+	}
+	s, err := c.take(n)
+	if err != nil {
+		return "", err
+	}
+	if !c.zeroCopy {
+		return string(s), nil //lint:allow(hotpath) copying mode is the retaining decode API; the hot Into path takes the zero-copy branch
+	}
+	return unsafeString(s), nil
 }
 
 // traceReq reads the 16-byte request trace prefix. The size check up front

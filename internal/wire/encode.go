@@ -24,6 +24,20 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 		return buf[:start], fmt.Errorf("wire: FlagTrace set without a trace extension")
 	}
 
+	// The Namespace field drives the tenant bit the same way Trace drives
+	// FlagTrace: a non-empty namespace sets the flag and emits the prefix; a
+	// bare flag would desynchronize the stream and is rejected at the sender.
+	if req.Namespace != "" {
+		if len(req.Namespace) > MaxNamespaceLen {
+			return buf[:start], fmt.Errorf("wire: namespace of %d bytes exceeds %d", len(req.Namespace), MaxNamespaceLen)
+		}
+		flags |= FlagTenant
+		buf = append(buf, byte(len(req.Namespace)))
+		buf = append(buf, req.Namespace...)
+	} else if flags&FlagTenant != 0 {
+		return buf[:start], fmt.Errorf("wire: FlagTenant set without a namespace")
+	}
+
 	var err error
 	switch req.Op {
 	case OpPing, OpStats, OpDemand:

@@ -67,6 +67,21 @@ func FuzzWireDecode(f *testing.F) {
 	h = header(OpGet, uint8(StatusOK)|respFlagTrace, 7, traceRespLen+5)
 	f.Add(append(h[:], make([]byte, traceRespLen+5)...)) // traced response + value
 
+	// Namespace-prefix malformations: the flag promising a name the payload
+	// cannot deliver, a zero-length name, a length byte past MaxNamespaceLen,
+	// both extensions stacked but truncated mid-name, and the prefix on a
+	// batch opcode.
+	h = header(OpGet, FlagTenant, 7, 2)
+	f.Add(append(h[:], 5, 'w')) // length 5, one name byte
+	h = header(OpGet, FlagTenant, 7, 4)
+	f.Add(append(h[:], 0, 0, 1, 'k')) // zero-length namespace
+	h = header(OpGet, FlagTenant, 7, 2)
+	f.Add(append(h[:], MaxNamespaceLen+1, 'x')) // oversized length byte
+	h = header(OpGet, FlagTrace|FlagTenant, 7, traceReqLen+2)
+	f.Add(append(append(h[:], make([]byte, traceReqLen)...), 3, 'a')) // trace then cut name
+	h = header(OpMGet, FlagTenant, 7, 6)
+	f.Add(append(h[:], 2, 'n', 's', 0, 0, 1)) // namespaced MGET, count 0 + junk
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, n, err := DecodeRequest(data, lim)
 		if err == nil {
@@ -90,6 +105,12 @@ func FuzzWireDecode(f *testing.F) {
 			}
 			if (req.Trace != nil) != (req.Flags&FlagTrace != 0) {
 				t.Fatalf("trace/flag desync: flags %x trace %+v", req.Flags, req.Trace)
+			}
+			if req2.Namespace != req.Namespace {
+				t.Fatalf("namespace drifted: %q vs %q", req.Namespace, req2.Namespace)
+			}
+			if (req.Namespace != "") != (req.Flags&FlagTenant != 0) {
+				t.Fatalf("tenant/flag desync: flags %x namespace %q", req.Flags, req.Namespace)
 			}
 		} else if !errors.Is(err, ErrFrame) {
 			t.Fatalf("request decode error %v does not wrap ErrFrame", err)

@@ -29,6 +29,13 @@
 // byte's high bit — extended to 24 bytes with the server's queue and handle
 // timings (see TraceExt).
 //
+// A request with FlagTenant set carries a namespace prefix — a
+// uint8-length-prefixed name of 1..MaxNamespaceLen bytes — after the trace
+// extension (when present) and ahead of the opcode payload. The namespace
+// scopes the request's keys to one tenant; a request without the flag
+// belongs to the default tenant, so pre-tenant clients interoperate
+// unchanged. Responses carry no namespace: the request's scope answers it.
+//
 // The decoder is strict: a frame with a bad magic, unknown version or
 // opcode, a payload length beyond the configured limit, or a payload whose
 // inner lengths disagree with the outer length is rejected with an error —
@@ -155,7 +162,15 @@ const (
 	// absent, so the payload carries token + key only and the server caches
 	// the absence (a negative marker) instead of a value.
 	FlagNegative uint8 = 1 << 3
+	// FlagTenant marks a request carrying a namespace prefix: a
+	// uint8-length-prefixed tenant name after the trace extension (when
+	// present), ahead of the opcode payload. Absent flag = default tenant.
+	FlagTenant uint8 = 1 << 4
 )
+
+// MaxNamespaceLen caps a namespace name's byte length. It matches
+// tenant.MaxNameLen, so every name the wire accepts is registrable.
+const MaxNamespaceLen = 64
 
 // respFlagTrace marks a traced response. Responses have no flags byte —
 // byte 3 carries the status — so the trace bit rides the status byte's high
@@ -389,6 +404,13 @@ type Request struct {
 	// with FlagTrace set and the 16-byte trace prefix ahead of the opcode
 	// payload; decoding a FlagTrace frame populates it.
 	Trace *TraceExt
+	// Namespace scopes the request's keys to one tenant. A non-empty
+	// Namespace is encoded with FlagTenant set and the namespace prefix on
+	// the wire; empty means the default tenant (no flag, no prefix). In
+	// zero-copy decodes the string aliases the frame buffer — valid only
+	// until the buffer is reused — so a receiver that retains it must copy
+	// (the server's tenant registry clones on registration).
+	Namespace string
 }
 
 // Reset clears req for reuse while keeping the Keys and Pairs backing

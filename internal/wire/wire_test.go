@@ -34,6 +34,11 @@ func requestFixtures() []*Request {
 		{Op: OpLoad, ID: 18, Flags: FlagFill, Token: 0xFEEDFACECAFE, Key: "k", Value: []byte("origin")},
 		{Op: OpLoad, ID: 19, Flags: FlagFill | FlagNegative, Token: 7, Key: "ghost"},
 		{Op: OpLoad, ID: 20, Key: "traced", Trace: &TraceExt{ID: 3, SendMicros: 4}},
+		{Op: OpGet, ID: 21, Key: "alpha", Namespace: "web"},
+		{Op: OpSet, ID: 22, Key: "k", Value: []byte("v"), Namespace: strings.Repeat("n", MaxNamespaceLen)},
+		{Op: OpGet, ID: 23, Key: "both", Namespace: "jobs", Trace: &TraceExt{ID: 5, SendMicros: 6}},
+		{Op: OpMGet, ID: 24, Keys: []string{"a", "b"}, Namespace: "batch"},
+		{Op: OpLoad, ID: 25, Key: "load-key", Namespace: "web"},
 	}
 }
 
@@ -80,9 +85,12 @@ func responseFixtures() []*Response {
 // indistinguishable on the wire.
 func normReq(r *Request) {
 	// A non-nil Trace encodes with FlagTrace set, so the decoded form
-	// always carries the bit.
+	// always carries the bit; likewise a non-empty Namespace and FlagTenant.
 	if r.Trace != nil {
 		r.Flags |= FlagTrace
+	}
+	if r.Namespace != "" {
+		r.Flags |= FlagTenant
 	}
 	if len(r.Value) == 0 {
 		r.Value = nil
@@ -412,6 +420,80 @@ func TestTraceExtension(t *testing.T) {
 	}
 	if got := SaturateMicros(2 * time.Hour); got != 1<<32-1 {
 		t.Errorf("SaturateMicros(2h) = %d, want saturated", got)
+	}
+}
+
+// TestNamespaceField pins the tenant-prefix contract beyond the round-trip
+// fixtures: exact prefix size, ordering after the trace extension, and the
+// sender/receiver rejections that keep a flag and its field in sync.
+func TestNamespaceField(t *testing.T) {
+	lim := DefaultLimits()
+
+	// The prefix adds exactly 1+len(name) bytes.
+	plain, err := AppendRequest(nil, &Request{Op: OpGet, ID: 1, Key: "k"}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaced, err := AppendRequest(nil, &Request{Op: OpGet, ID: 1, Key: "k", Namespace: "web"}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(spaced) - len(plain); got != 1+len("web") {
+		t.Fatalf("namespace prefix is %d bytes, want %d", got, 1+len("web"))
+	}
+
+	// With both extensions present, the trace prefix comes first: the
+	// namespace length byte sits right after it.
+	both, err := AppendRequest(nil, &Request{Op: OpGet, ID: 1, Key: "k",
+		Namespace: "web", Trace: &TraceExt{ID: 1}}, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := both[HeaderLen+traceReqLen]; got != byte(len("web")) {
+		t.Fatalf("byte after trace prefix is %d, want the namespace length %d", got, len("web"))
+	}
+
+	// A bare FlagTenant or an oversized namespace is refused at the sender.
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Key: "k", Flags: FlagTenant}, lim); err == nil {
+		t.Fatal("FlagTenant without a namespace encoded")
+	}
+	long := strings.Repeat("n", MaxNamespaceLen+1)
+	if _, err := AppendRequest(nil, &Request{Op: OpGet, Key: "k", Namespace: long}, lim); err == nil {
+		t.Fatal("oversized namespace encoded")
+	}
+
+	mut := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), spaced...)
+		f(b)
+		return b
+	}
+	// A zero-length prefix under FlagTenant is a protocol error: the default
+	// tenant has exactly one encoding (no flag, no prefix).
+	empty := mut(func(b []byte) { b[HeaderLen] = 0 })
+	if _, _, err := DecodeRequest(empty, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("empty namespace accepted: %v", err)
+	}
+	// A length byte pointing past MaxNamespaceLen is rejected before any read.
+	over := mut(func(b []byte) { b[HeaderLen] = MaxNamespaceLen + 1 })
+	if _, _, err := DecodeRequest(over, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized namespace length accepted: %v", err)
+	}
+	// Truncations: cut inside the name, and cut before the length byte.
+	shortName := append([]byte(nil), spaced[:HeaderLen+2]...)
+	binary.BigEndian.PutUint32(shortName[8:12], 2)
+	if _, _, err := DecodeRequest(shortName, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated namespace accepted: %v", err)
+	}
+	noLen := append([]byte(nil), spaced[:HeaderLen]...)
+	binary.BigEndian.PutUint32(noLen[8:12], 0)
+	if _, _, err := DecodeRequest(noLen, lim); !errors.Is(err, ErrFrame) {
+		t.Fatalf("missing length byte accepted: %v", err)
+	}
+	// A flagless frame carrying prefix-shaped bytes fails key decoding or the
+	// exact-consumption check — the prefix is never skipped silently.
+	unflagged := mut(func(b []byte) { b[3] &^= FlagTenant })
+	if _, _, err := DecodeRequest(unflagged, lim); err == nil {
+		t.Fatal("unflagged frame with namespace bytes accepted")
 	}
 }
 
