@@ -13,6 +13,16 @@
 //	stemcluster -nodes 3 -static              # consistent hashing only, no rebalancing
 //	stemcluster -metrics :6060 -trace events.jsonl
 //
+// With -replication the membership tier comes up too: one agent per node
+// (synchronous replica write fan-out plus read-repair), a manager holding
+// the member table and giver-aware replica placement, and a heartbeat
+// failure detector that promotes replicas when a node dies. -join-after
+// and -kill-after/-kill-node script lifecycle events for experiments:
+//
+//	stemcluster -nodes 3 -replication 2 -heartbeat 250ms -suspect 3
+//	stemcluster -nodes 3 -replication 2 -kill-after 10s -kill-node 1
+//	stemcluster -nodes 3 -replication 2 -join-after 10s
+//
 // Drive it with the load generator, matching -seed (and -vnodes if set):
 //
 //	stemload -cluster "$(cat /tmp/addrs)" -seed 21 -dist hotspot-shift
@@ -30,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/membership"
 	"repro/internal/obs"
 	"repro/internal/stemcache"
 )
@@ -49,6 +60,13 @@ func main() {
 		giverFrac = flag.Float64("giver-frac", 0, "demand score at or below which a node is a giver (0 = default)")
 		static    = flag.Bool("static", false, "serve the static consistent-hash ring: no rebalancing loop")
 
+		replication = flag.Int("replication", 0, "copies per slot including the owner; 0 disables the membership tier")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "with -replication: failure-detector heartbeat interval")
+		suspect     = flag.Int("suspect", 0, "with -replication: consecutive missed heartbeats before a node is declared dead (0 = default)")
+		joinAfter   = flag.Duration("join-after", 0, "with -replication: start and join one more node after this delay (0 = never)")
+		killAfter   = flag.Duration("kill-after", 0, "with -replication: close -kill-node after this delay, leaving failover to the detector (0 = never)")
+		killNode    = flag.Int("kill-node", 1, "with -kill-after: the node to kill")
+
 		addrFile    = flag.String("addr-file", "", "write the comma-separated node addresses to this file")
 		metricsAddr = flag.String("metrics", "", `serve live metrics JSON on this address (e.g. ":6060")`)
 		tracePath   = flag.String("trace", "", `write node-demand and migration events as JSONL to this file ("-" for stdout)`)
@@ -60,6 +78,8 @@ func main() {
 		vnodes: *vnodes, seed: *seed,
 		epoch: *epoch, maxMoves: *maxMoves, takerFrac: *takerFrac, giverFrac: *giverFrac,
 		static: *static, addrFile: *addrFile,
+		replication: *replication, heartbeat: *heartbeat, suspect: *suspect,
+		joinAfter: *joinAfter, killAfter: *killAfter, killNode: *killNode,
 		metricsAddr: *metricsAddr, tracePath: *tracePath,
 	}, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "stemcluster:", err)
@@ -81,6 +101,13 @@ type runConfig struct {
 	takerFrac float64
 	giverFrac float64
 	static    bool
+
+	replication int
+	heartbeat   time.Duration
+	suspect     int
+	joinAfter   time.Duration
+	killAfter   time.Duration
+	killNode    int
 
 	addrFile    string
 	metricsAddr string
@@ -158,50 +185,141 @@ func run(cfg runConfig, stop <-chan struct{}) error {
 	if cfg.static {
 		mode = "static ring"
 	}
+	if cfg.replication > 0 {
+		mode += fmt.Sprintf(", membership rf=%d heartbeat=%s", cfg.replication, cfg.heartbeat)
+	}
 	fmt.Fprintf(os.Stderr, "stemcluster: %d nodes (%s), %d entries each, %s\n",
 		cfg.nodes, joined, nodes[0].Cache().Capacity(), mode)
 	if maddr := tool.MetricsAddr(); maddr != "" {
 		fmt.Fprintf(os.Stderr, "stemcluster: metrics at http://%s/metrics\n", maddr)
 	}
 
-	// The rebalancing loop: one goroutine, one epoch per tick (Epoch is not
-	// safe for concurrent use with itself).
+	// The membership tier: one agent per node (replica fan-out and
+	// read-repair hooks on its server), a manager holding the member table
+	// and replica placement, and the heartbeat failure detector.
+	lister := func(n int) ([]string, error) { return nodes[n].Keys(), nil }
+	var mgr *membership.Manager
+	var agents []*membership.Agent
+	if cfg.replication > 0 {
+		if cfg.heartbeat <= 0 {
+			return fmt.Errorf("need a positive -heartbeat with -replication")
+		}
+		if cfg.killAfter > 0 && (cfg.killNode < 0 || cfg.killNode >= cfg.nodes) {
+			return fmt.Errorf("-kill-node %d out of range [0, %d)", cfg.killNode, cfg.nodes)
+		}
+		for i, node := range nodes {
+			agents = append(agents, membership.NewAgent(i, cl.Ring(), node.Server(), cl.Template()))
+		}
+		defer func() {
+			for _, a := range agents {
+				a.Close()
+			}
+		}()
+		mgr, err = membership.New(cl, lister, addrs, membership.Config{
+			ReplicationFactor: cfg.replication,
+			SuspectAfter:      cfg.suspect,
+			Metrics:           reg,
+			Observer:          tracer,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := mgr.Bootstrap(); err != nil {
+			return err
+		}
+	}
+
+	// The supervisor loop: one goroutine owns every ring mutation —
+	// rebalancing epochs, membership heartbeats (failover), and the
+	// scripted join/kill events — so none of them race another.
 	done := make(chan struct{})
 	loopDone := make(chan struct{})
-	if cfg.static {
-		close(loopDone)
-	} else {
-		rcfg := cluster.RebalancerConfig{
+	var rb *cluster.Rebalancer
+	if !cfg.static {
+		rb, err = cluster.NewRebalancer(cl, lister, cluster.RebalancerConfig{
 			MaxMovesPerEpoch: cfg.maxMoves,
 			TakerFrac:        cfg.takerFrac,
 			GiverFrac:        cfg.giverFrac,
 			Metrics:          reg,
 			Observer:         tracer,
-		}
-		rb, err := cluster.NewRebalancer(cl,
-			func(n int) ([]string, error) { return nodes[n].Keys(), nil },
-			rcfg)
+		})
 		if err != nil {
 			return err
 		}
-		ticker := time.NewTicker(cfg.epoch)
+	}
+	if rb == nil && mgr == nil {
+		close(loopDone)
+	} else {
+		var epochC, beatC <-chan time.Time
+		if rb != nil {
+			ticker := time.NewTicker(cfg.epoch)
+			defer ticker.Stop()
+			epochC = ticker.C
+		}
+		var joinC, killC <-chan time.Time
+		if mgr != nil {
+			ticker := time.NewTicker(cfg.heartbeat)
+			defer ticker.Stop()
+			beatC = ticker.C
+			if cfg.joinAfter > 0 {
+				joinC = time.After(cfg.joinAfter)
+			}
+			if cfg.killAfter > 0 {
+				killC = time.After(cfg.killAfter)
+			}
+		}
 		go func() {
 			defer close(loopDone)
-			defer ticker.Stop()
 			for {
 				select {
 				case <-done:
 					return
-				case <-ticker.C:
-				}
-				report, err := rb.Epoch()
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: %v\n", report.Epoch, err)
-					continue
-				}
-				for _, mv := range report.Moves {
-					fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: slot %d node %d → %d (%d keys)\n",
-						report.Epoch, mv.Slot, mv.From, mv.To, mv.Keys)
+				case <-epochC:
+					report, err := rb.Epoch()
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: %v\n", report.Epoch, err)
+						continue
+					}
+					for _, mv := range report.Moves {
+						fmt.Fprintf(os.Stderr, "stemcluster: epoch %d: slot %d node %d → %d (%d keys)\n",
+							report.Epoch, mv.Slot, mv.From, mv.To, mv.Keys)
+					}
+				case <-beatC:
+					for _, rep := range mgr.Tick() {
+						fmt.Fprintf(os.Stderr, "stemcluster: view %d: node %d failed over, %d slots promoted, %d keys re-replicated\n",
+							rep.Epoch, rep.Node, len(rep.Moves), rep.ReplicaKeys)
+					}
+				case <-joinC:
+					joinC = nil
+					id := len(nodes)
+					node, err := cluster.StartNode(id, cluster.NodeConfig{
+						Cache: stemcache.Config{
+							Capacity: cfg.capacity,
+							Shards:   cfg.shards,
+							Ways:     cfg.ways,
+							Seed:     cluster.NodeSeed(cfg.seed, id),
+						},
+					})
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "stemcluster: join: %v\n", err)
+						continue
+					}
+					nodes = append(nodes, node)
+					agents = append(agents, membership.NewAgent(id, cl.Ring(), node.Server(), cl.Template()))
+					rep, err := mgr.Join(node.Addr())
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "stemcluster: join: %v\n", err)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "stemcluster: view %d: node %d joined at %s, %d slots handed off\n",
+						rep.Epoch, rep.Node, node.Addr(), len(rep.Moves))
+				case <-killC:
+					killC = nil
+					if err := nodes[cfg.killNode].Close(); err != nil {
+						fmt.Fprintf(os.Stderr, "stemcluster: kill node %d: %v\n", cfg.killNode, err)
+						continue
+					}
+					fmt.Fprintf(os.Stderr, "stemcluster: killed node %d; awaiting failover\n", cfg.killNode)
 				}
 			}
 		}()

@@ -67,3 +67,45 @@ func TestRunServesCluster(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 }
+
+// TestRunMembershipOrchestration boots the supervisor with the membership
+// tier plus a scripted kill and join, lets the failure detector fire, and
+// verifies the whole lifecycle shuts down cleanly — the orchestration-path
+// smoke for -replication/-kill-after/-join-after.
+func TestRunMembershipOrchestration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("orchestration smoke runs a live supervisor")
+	}
+	addrFile := filepath.Join(t.TempDir(), "addrs")
+	stop := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() {
+		errC <- run(runConfig{
+			nodes: 3, capacity: 512, seed: 21,
+			epoch:       time.Hour, // park the rebalancer; membership drives this run
+			addrFile:    addrFile,
+			replication: 2, heartbeat: 10 * time.Millisecond, suspect: 2,
+			killAfter: 100 * time.Millisecond, killNode: 1,
+			joinAfter: 200 * time.Millisecond,
+		}, stop)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second) //lint:allow(determinism) test-only startup timeout
+	for {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			break
+		}
+		if time.Now().After(deadline) { //lint:allow(determinism) test-only startup timeout
+			t.Fatal("addr file never appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Give the scripted kill, the detector's failover, and the scripted
+	// join time to run, then ask for a clean shutdown.
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	if err := <-errC; err != nil {
+		t.Fatalf("run with membership: %v", err)
+	}
+}

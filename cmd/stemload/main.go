@@ -95,8 +95,28 @@ func main() {
 
 		tenants   = flag.Bool("tenants", false, "run the multi-tenant capacity-arbitration scenario: three namespaces, one server per policy (self-hosted; see tenants.go)")
 		tenantOps = flag.Int("tenant-epoch-ops", 4096, "with -tenants: operations between arbitration epochs")
+
+		membershipRun = flag.Bool("membership", false, "run the kill-a-node and scale-out membership scenarios (self-hosted; see membership.go); with -json merges into an existing cluster bench document")
+		memNodes      = flag.Int("member-nodes", 3, "with -membership: starting cluster size")
+		replication   = flag.Int("replication", 2, "with -membership: copies per slot including the owner")
+		memKeys       = flag.Int("member-keys", 400, "with -membership: acked writes each scenario replays")
 	)
 	flag.Parse()
+
+	if *membershipRun {
+		if *addr != "" || *clusterEP != "" || *herd || *tenants {
+			fmt.Fprintln(os.Stderr, "stemload: -membership is self-hosted; it excludes -addr, -cluster, -herd and -tenants")
+			os.Exit(1)
+		}
+		if err := runMembership(memLoadConfig{
+			Nodes: *memNodes, ReplicationFactor: *replication,
+			VNodes: *vnodes, Keys: *memKeys, Capacity: *capacity, Seed: *seed,
+		}, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "stemload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tenants {
 		if *addr != "" || *clusterEP != "" || *herd {

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+// TestMembershipFailoverScenario pins the kill-a-node acceptance claims on
+// the scenario the bench ships: zero lost acknowledged writes through a
+// mid-run node death, and a post-failover hit rate within 5 percentage
+// points of the twin run that never loses a node.
+func TestMembershipFailoverScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership scenario drives loopback clusters")
+	}
+	cfg := memLoadConfig{Keys: 200, Capacity: 4096, Seed: 33}.withDefaults()
+	fo, err := failoverScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.LostWrites != 0 {
+		t.Fatalf("failover lost %d of %d acked writes", fo.LostWrites, fo.AckedWrites)
+	}
+	if fo.PromotedSlots == 0 {
+		t.Fatal("failover promoted no slots")
+	}
+	if fo.DeltaPP > 5 {
+		t.Fatalf("post-failover hit rate %.4f is %.2fpp below baseline %.4f (bound 5)",
+			fo.FailoverHitRate, fo.DeltaPP, fo.BaselineHitRate)
+	}
+}
+
+// TestMembershipScaleoutScenario pins the scale-out claims: the join moves
+// a bounded, non-empty slot set, drops no keys, and the aggregate hit rate
+// recovers to at least the static baseline.
+func TestMembershipScaleoutScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("membership scenario drives loopback clusters")
+	}
+	cfg := memLoadConfig{Keys: 200, Capacity: 4096, Seed: 33}.withDefaults()
+	so, err := scaleoutScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.SlotsMoved == 0 || so.SlotsMoved > so.MoveBound {
+		t.Fatalf("join moved %d slots, want 1..%d", so.SlotsMoved, so.MoveBound)
+	}
+	if so.LostKeys != 0 {
+		t.Fatalf("scale-out lost %d keys", so.LostKeys)
+	}
+	if so.ScaledHitRate < so.StaticHitRate {
+		t.Fatalf("scaled hit rate %.4f below static baseline %.4f",
+			so.ScaledHitRate, so.StaticHitRate)
+	}
+}

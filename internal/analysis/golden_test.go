@@ -26,6 +26,7 @@ var fixtureCases = []struct {
 	{name: "tenantfix", path: "fixture2/internal/stemcache"},
 	{name: "serverfix", path: "fixture/internal/server"},
 	{name: "clusterfix", path: "fixture/internal/cluster"},
+	{name: "memberfix", path: "fixture/internal/membership"},
 	{name: "rootfix", path: "rootfix"},
 	{name: "hotfix", path: "fixture/internal/hotfix"},
 	{name: "leakfix", path: "leakfix"},
@@ -94,6 +95,7 @@ func TestFixturesAreDirty(t *testing.T) {
 		"tenantfix":  "lockorder",
 		"serverfix":  "lockorder",
 		"clusterfix": "lockorder",
+		"memberfix":  "lockorder",
 		"rootfix":    "apidoc",
 		"hotfix":     "hotpath",
 		"leakfix":    "goleak",

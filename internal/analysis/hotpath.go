@@ -68,10 +68,13 @@ var wireHotTable = &hotTable{
 		"ReadRequestInto", "ReadResponseInto",
 	},
 	cold: map[string]bool{
-		"cursor.demand":    true, // DEMAND is the cluster's per-epoch stats op
-		"cursor.traceReq":  true, // sampled tracing extension, not per-op
-		"cursor.traceResp": true,
-		"frameErrf":        true, // error constructor: runs only on protocol violations
+		"cursor.demand":      true, // DEMAND is the cluster's per-epoch stats op
+		"cursor.traceReq":    true, // sampled tracing extension, not per-op
+		"cursor.traceResp":   true,
+		"cursor.members":     true, // membership pushes ride lifecycle events, not requests
+		"cursor.replicaSets": true,
+		"appendMembership":   true,
+		"frameErrf":          true, // error constructor: runs only on protocol violations
 	},
 }
 
@@ -81,11 +84,13 @@ var wireHotTable = &hotTable{
 var serverHotTable = &hotTable{
 	roots: []string{"conn.serve", "Server.handle"},
 	cold: map[string]bool{
-		"Server.handleLoad": true, // miss path: lease election allocates by design
-		"Server.statsJSON":  true, // operator stats snapshot
-		"Server.demand":     true, // per-epoch cluster stats op
-		"conn.readFailed":   true, // connection error rendering
-		"conn.finish":       true, // connection teardown
+		"Server.handleLoad":       true, // miss path: lease election allocates by design
+		"Server.statsJSON":        true, // operator stats snapshot
+		"Server.demand":           true, // per-epoch cluster stats op
+		"Server.handleMembership": true, // membership pushes ride lifecycle events
+		"Server.repairGet":        true, // miss path of repair-marked slots only
+		"conn.readFailed":         true, // connection error rendering
+		"conn.finish":             true, // connection teardown
 	},
 }
 

@@ -14,8 +14,10 @@ import (
 //     stemcache's Cache.closeMu before Cache.loadMu before Cache.tenantMu
 //     before shard.mu before
 //     Cache.obsMu, the network server's Server.mu before conn.mu before
-//     Server.leaseMu, and the cluster tier's
-//     Ring.mu before Node.mu before Rebalancer.obsMu (see lockRankFor).
+//     Server.leaseMu, the cluster tier's
+//     Ring.mu before Node.mu before Rebalancer.obsMu, and the membership
+//     tier's Detector.mu before Manager.mu before Agent.mu (see
+//     lockRankFor).
 //     Acquiring
 //     against that order (or acquiring the same lock twice) deadlocks, but
 //     only under a schedule the race detector may never see; the analyzer
@@ -32,7 +34,7 @@ import (
 //     preceding line. Misuse of public APIs must return errors instead.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
-	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→loadMu→tenantMu→shard.mu→obsMu, server's Server.mu→conn.mu→leaseMu, cluster's Ring.mu→Node.mu→Rebalancer.obsMu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
+	Doc:  "enforce the per-package lock hierarchies (stemcache's closeMu→loadMu→tenantMu→shard.mu→obsMu, server's Server.mu→conn.mu→leaseMu, cluster's Ring.mu→Node.mu→Rebalancer.obsMu, membership's Detector.mu→Manager.mu→Agent.mu), no re-entrant or loop-deferred locking, and `// invariant:` documentation on every panic",
 	Run:  runLockOrder,
 }
 
@@ -102,6 +104,23 @@ func isClusterPackage(path string) bool {
 	return path == "internal/cluster" || strings.HasSuffix(path, "/internal/cluster")
 }
 
+// membershipLockRank is the sanctioned acquisition order inside
+// internal/membership: Detector.mu (suspicion counters, held only around
+// counter arithmetic) before Manager.mu (the authoritative view) before
+// Agent.mu (a node's pushed view and peer table, the innermost class).
+// None may be held across a network call; the cluster tier's own hierarchy
+// sits below all three.
+var membershipLockRank = map[lockKey]int{
+	{typ: "Detector", field: "mu"}: 0,
+	{typ: "Manager", field: "mu"}:  1,
+	{typ: "Agent", field: "mu"}:    2,
+}
+
+// isMembershipPackage matches the real package and bound fixtures.
+func isMembershipPackage(path string) bool {
+	return path == "internal/membership" || strings.HasSuffix(path, "/internal/membership")
+}
+
 // lockRankFor selects the package's sanctioned lock hierarchy; a nil map
 // means the package has no ranked locks and only the universal checks
 // (re-entrancy, defer-in-loop, panic documentation) apply. The order string
@@ -114,6 +133,8 @@ func lockRankFor(path string) (map[lockKey]int, string) {
 		return serverLockRank, "Server.mu → conn.mu → leaseMu"
 	case isClusterPackage(path):
 		return clusterLockRank, "Ring.mu → Node.mu → Rebalancer.obsMu"
+	case isMembershipPackage(path):
+		return membershipLockRank, "Detector.mu → Manager.mu → Agent.mu"
 	}
 	return nil, ""
 }

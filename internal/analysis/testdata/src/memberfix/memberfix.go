@@ -1,0 +1,80 @@
+// Package membership is the lockorder-analyzer fixture for the membership
+// tier's hierarchy. The tests bind it to fixture/internal/membership, so
+// the membership lock ranks apply: Detector.mu before Manager.mu before
+// Agent.mu.
+package membership
+
+import "sync"
+
+// Detector mirrors the suspicion counters: the top-ranked lock.
+type Detector struct {
+	mu     sync.Mutex
+	missed []int
+}
+
+// Manager mirrors the authoritative view (middle rank).
+type Manager struct {
+	mu    sync.Mutex
+	epoch uint64
+	det   *Detector
+	agent *Agent
+}
+
+// Agent mirrors a node's pushed view and peer table (innermost rank).
+type Agent struct {
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// goodOrder acquires down the hierarchy — no findings.
+func (m *Manager) goodOrder() {
+	m.det.mu.Lock()
+	m.mu.Lock()
+	m.agent.mu.Lock()
+	m.agent.mu.Unlock()
+	m.mu.Unlock()
+	m.det.mu.Unlock()
+}
+
+// goodHandoff releases the detector's lock before taking the manager's,
+// like the real Tick path — no findings.
+func (m *Manager) goodHandoff() {
+	m.det.mu.Lock()
+	m.det.mu.Unlock()
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+// badOrder feeds the detector while holding the view lock: a Tick running
+// the other direction deadlocks.
+func (m *Manager) badOrder() {
+	m.mu.Lock()
+	m.det.mu.Lock()
+	m.det.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// badAgentOrder updates the manager's view from inside the agent's
+// critical section.
+func (m *Manager) badAgentOrder() {
+	m.agent.mu.Lock()
+	m.mu.Lock()
+	m.mu.Unlock()
+	m.agent.mu.Unlock()
+}
+
+// badReentrant applies a view while already holding the agent's lock.
+func (a *Agent) badReentrant() {
+	a.mu.Lock()
+	a.apply(2)
+	a.mu.Unlock()
+}
+
+// apply installs a view epoch under the agent's lock.
+func (a *Agent) apply(epoch uint64) {
+	a.mu.Lock()
+	if epoch > a.epoch {
+		a.epoch = epoch
+	}
+	a.mu.Unlock()
+}

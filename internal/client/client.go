@@ -82,6 +82,15 @@ type Config struct {
 	// default namespace — frames carry no tenant field and behave exactly as
 	// a pre-tenant client. At most wire.MaxNamespaceLen bytes.
 	Namespace string
+	// DemandEvery makes every DemandEvery-th request carry wire.FlagDemand,
+	// asking the server to piggyback its NodeDemand snapshot on the
+	// response — push-based demand dissemination riding existing traffic
+	// instead of a DEMAND polling loop. 0 (default) disables.
+	DemandEvery int
+	// OnDemand, when non-nil, receives every piggybacked demand snapshot
+	// (from DemandEvery sampling or an explicit Heartbeat) synchronously on
+	// the operation's goroutine. Keep it cheap.
+	OnDemand func(wire.NodeDemand)
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceEvery < 0 {
 		c.TraceEvery = 0
+	}
+	if c.DemandEvery < 0 {
+		c.DemandEvery = 0
 	}
 	return c
 }
@@ -144,6 +156,10 @@ type Client struct {
 	latTotal  *obs.LatencyHistogram
 	latServer *obs.LatencyHistogram
 	latNet    *obs.LatencyHistogram
+
+	// demandSeq picks every DemandEvery-th request for a piggybacked
+	// demand snapshot.
+	demandSeq atomic.Uint64
 
 	// refreshWG tracks background stale-refresh goroutines (load.go);
 	// Close waits for them so a refresh never outlives its client.
@@ -236,6 +252,12 @@ func (c *Client) put(cc *cconn) {
 	cc.nc.Close()
 }
 
+// IsTransient reports whether err is a connection-level failure that might
+// heal elsewhere — a dial or I/O error, as opposed to a protocol or server
+// error. The cluster routing client uses it to decide whether a failed
+// single-key operation is worth retrying against the slot's replica.
+func IsTransient(err error) bool { return transient(err) }
+
 // transient reports whether err may heal on a fresh connection: dial and
 // I/O errors yes, protocol and server errors no.
 func transient(err error) bool {
@@ -258,9 +280,18 @@ func (c *Client) roundTrip(cc *cconn, reqs []*wire.Request) ([]*wire.Response, e
 	for _, req := range reqs {
 		cc.nextID++
 		req.ID = cc.nextID
-		// Stamp the client's namespace on every outgoing request (idempotent
-		// across retry attempts, which reuse the request structs).
-		req.Namespace = c.cfg.Namespace
+		// Stamp the client's namespace on outgoing requests that carry none
+		// (idempotent across retry attempts, which reuse the request
+		// structs). A caller-set namespace — a replication fan-out
+		// preserving the originating tenant — wins over the config.
+		if req.Namespace == "" {
+			req.Namespace = c.cfg.Namespace
+		}
+		// Every DemandEvery-th request asks for a piggybacked demand
+		// snapshot (sticky across retries, like the namespace).
+		if c.cfg.DemandEvery > 0 && c.demandSeq.Add(1)%uint64(c.cfg.DemandEvery) == 0 {
+			req.Flags |= wire.FlagDemand
+		}
 		c.attachTrace(req)
 		var err error
 		if cc.wbuf, err = wire.AppendRequest(cc.wbuf, req, c.cfg.Limits); err != nil {
@@ -292,6 +323,9 @@ func (c *Client) roundTrip(cc *cconn, reqs []*wire.Request) ([]*wire.Response, e
 		}
 		if err := c.finishTrace(req, resp); err != nil {
 			return nil, err
+		}
+		if resp.Piggyback != nil && c.cfg.OnDemand != nil {
+			c.cfg.OnDemand(*resp.Piggyback)
 		}
 		resps[i] = resp
 	}
@@ -433,4 +467,58 @@ func (c *Client) Stats() ([]byte, error) {
 		return nil, err
 	}
 	return resp.Value, nil
+}
+
+// GetNS fetches key scoped to an explicit tenant namespace, overriding the
+// client's configured Namespace ("" falls back to it). The membership
+// agent's read repair uses this to query a slot's replicas in the
+// originating tenant's scope.
+func (c *Client) GetNS(namespace, key string) (value []byte, found bool, err error) {
+	resp, err := c.one(&wire.Request{Op: wire.OpGet, Key: key, Namespace: namespace})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Value, resp.Status == wire.StatusOK, nil
+}
+
+// Replicate applies one replicated store on the server without triggering
+// its replica fan-out (OpReplicate is terminal — replication cannot cycle).
+// ttl <= 0 uses the server's default TTL; namespace "" is the default
+// tenant (the client's configured Namespace applies if set).
+func (c *Client) Replicate(namespace, key string, value []byte, ttl time.Duration) error {
+	_, err := c.one(&wire.Request{Op: wire.OpReplicate, Key: key, Value: value, TTL: ttl, Namespace: namespace})
+	return err
+}
+
+// ReplicateDelete applies one replicated delete on the server (OpReplicate
+// with wire.FlagNegative; see Replicate).
+func (c *Client) ReplicateDelete(namespace, key string) error {
+	_, err := c.one(&wire.Request{Op: wire.OpReplicate, Flags: wire.FlagNegative, Key: key, Namespace: namespace})
+	return err
+}
+
+// PushMembership pushes a membership view to the server's agent. op must be
+// wire.OpJoin or wire.OpLeave — same schema, and the opcode records which
+// lifecycle event produced the view.
+func (c *Client) PushMembership(op wire.Op, epoch uint64, members []wire.Member, replicas []wire.ReplicaSet) error {
+	if op != wire.OpJoin && op != wire.OpLeave {
+		return fmt.Errorf("client: PushMembership with opcode %v", op)
+	}
+	_, err := c.one(&wire.Request{Op: op, Epoch: epoch, Members: members, Replicas: replicas})
+	return err
+}
+
+// Heartbeat pings the server with wire.FlagDemand set, returning the
+// piggybacked demand snapshot — one frame for liveness and demand gossip
+// both, which is how the failure detector keeps the demand cache warm on
+// otherwise idle nodes. The OnDemand callback (if any) also fires.
+func (c *Client) Heartbeat() (wire.NodeDemand, error) {
+	resp, err := c.one(&wire.Request{Op: wire.OpPing, Flags: wire.FlagDemand})
+	if err != nil {
+		return wire.NodeDemand{}, err
+	}
+	if resp.Piggyback == nil {
+		return wire.NodeDemand{}, fmt.Errorf("%w: FlagDemand response without snapshot", wire.ErrFrame)
+	}
+	return *resp.Piggyback, nil
 }

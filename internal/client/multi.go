@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/wire"
 )
@@ -22,9 +23,21 @@ import (
 // nothing for the failed ones) together with a *PartialError naming the
 // failed nodes. A cluster cache treats a dead node as a miss, not as a
 // reason to fail the whole batch.
+//
+// The node set can grow while operations are in flight (Add, for cluster
+// scale-out): the client slice is an immutable snapshot behind an atomic
+// pointer, so every operation sees a consistent set and Add never blocks
+// the data path.
 type Multi struct {
-	clients []*Client
+	// mu serializes Add and Close (the writers); readers go through the
+	// atomic snapshot without it.
+	mu      sync.Mutex
+	closed  bool
+	clients atomic.Pointer[[]*Client]
 }
+
+// snapshot returns the current immutable client slice.
+func (m *Multi) snapshot() []*Client { return *m.clients.Load() }
 
 // NodeError is one node's failure within a fanned-out batch.
 type NodeError struct {
@@ -64,28 +77,56 @@ func NewMulti(cfgs []Config) (*Multi, error) {
 	if len(cfgs) == 0 {
 		return nil, errors.New("client: NewMulti needs at least one config")
 	}
-	m := &Multi{clients: make([]*Client, len(cfgs))}
+	clients := make([]*Client, len(cfgs))
 	for i, cfg := range cfgs {
 		cl, err := New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("node %d: %w", i, err)
 		}
-		m.clients[i] = cl
+		clients[i] = cl
 	}
+	m := &Multi{}
+	m.clients.Store(&clients)
 	return m, nil
 }
 
+// Add appends a node (cluster scale-out) and returns its index. Operations
+// already in flight keep their pre-Add node view; new operations see the
+// grown set.
+func (m *Multi) Add(cfg Config) (int, error) {
+	cl, err := New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		cl.Close()
+		return 0, ErrClosed
+	}
+	old := m.snapshot()
+	grown := make([]*Client, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = cl
+	m.clients.Store(&grown)
+	return len(old), nil
+}
+
 // Len reports the node count.
-func (m *Multi) Len() int { return len(m.clients) }
+func (m *Multi) Len() int { return len(m.snapshot()) }
 
 // Node returns node i's Client (for single-key operations the caller routes
 // itself).
-func (m *Multi) Node(i int) *Client { return m.clients[i] }
+func (m *Multi) Node(i int) *Client { return m.snapshot()[i] }
 
 // Close releases every node's pooled connections. The first error wins.
 func (m *Multi) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	clients := m.snapshot()
+	m.mu.Unlock()
 	var first error
-	for _, cl := range m.clients {
+	for _, cl := range clients {
 		if err := cl.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -96,13 +137,13 @@ func (m *Multi) Close() error {
 // split groups item indices by owning node: pick(i) names the node for item
 // i. The returned plan maps node → indices in input order; order across
 // nodes is ascending node index, so the fan-out is deterministic for a
-// deterministic pick.
-func (m *Multi) split(n int, pick func(i int) int) (map[int][]int, error) {
+// deterministic pick. clients is the caller's node snapshot.
+func split(clients []*Client, n int, pick func(i int) int) (map[int][]int, error) {
 	plan := make(map[int][]int)
 	for i := 0; i < n; i++ {
 		node := pick(i)
-		if node < 0 || node >= len(m.clients) {
-			return nil, fmt.Errorf("client: pick(%d) routed to node %d of %d", i, node, len(m.clients))
+		if node < 0 || node >= len(clients) {
+			return nil, fmt.Errorf("client: pick(%d) routed to node %d of %d", i, node, len(clients))
 		}
 		plan[node] = append(plan[node], i)
 	}
@@ -130,7 +171,8 @@ func (m *Multi) MGet(keys []string, pick func(i int) int) (values [][]byte, foun
 	if len(keys) == 0 {
 		return values, found, nil
 	}
-	plan, err := m.split(len(keys), pick)
+	clients := m.snapshot()
+	plan, err := split(clients, len(keys), pick)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -146,7 +188,7 @@ func (m *Multi) MGet(keys []string, pick func(i int) int) (values [][]byte, foun
 		wg.Add(1)
 		go func(oi, node int, idx []int, sub []string) {
 			defer wg.Done()
-			vs, fs, err := m.clients[node].MGet(sub)
+			vs, fs, err := clients[node].MGet(sub)
 			if err != nil {
 				errs[oi] = err
 				return
@@ -170,7 +212,8 @@ func (m *Multi) MSet(pairs []wire.KV, pick func(i int) int) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	plan, err := m.split(len(pairs), pick)
+	clients := m.snapshot()
+	plan, err := split(clients, len(pairs), pick)
 	if err != nil {
 		return err
 	}
@@ -186,7 +229,7 @@ func (m *Multi) MSet(pairs []wire.KV, pick func(i int) int) error {
 		wg.Add(1)
 		go func(oi, node int, sub []wire.KV) {
 			defer wg.Done()
-			errs[oi] = m.clients[node].MSet(sub)
+			errs[oi] = clients[node].MSet(sub)
 		}(oi, node, sub)
 	}
 	wg.Wait()

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +31,11 @@ type Config struct {
 	// namespace does not shift ownership), and every node applies its own
 	// tenant accounting and capacity arbitration to the requests it serves.
 	Client client.Config
+	// DemandEvery, when > 0, asks every DemandEvery-th request per node to
+	// piggyback the node's demand snapshot on its response (wire.FlagDemand)
+	// and caches it — the push-based DEMAND dissemination the rebalancer
+	// and membership manager consume, with an explicit poll as fallback.
+	DemandEvery int
 	// Metrics, when non-nil, receives ring and routing gauges under
 	// "cluster.*".
 	Metrics *obs.Registry
@@ -42,18 +48,42 @@ type Config struct {
 // on: per-slot operation counts (the load signal) and per-node in-flight
 // gates (so a migration can drain a node before copying keys).
 //
-// Safe for concurrent use.
+// With a replica source installed (SetReplicaSource, fed by the membership
+// manager), single-key operations that fail transiently on a slot's owner
+// are retried against the slot's replicas before any error surfaces — the
+// client-side half of failover.
+//
+// Safe for concurrent use. The node set can grow (AddNode, for scale-out).
 type Client struct {
 	ring  *Ring
 	multi *client.Multi
 
 	// slotOps[s] counts operations routed to slot s since the last
-	// TakeSlotLoads — the rebalancer's per-epoch load signal.
+	// TakeSlotLoads — the rebalancer's per-epoch load signal. The slot set
+	// is fixed, so this never grows.
 	slotOps []atomic.Uint64
-	// gates[n] tracks node n's started/finished operations for DrainNode.
-	gates []gate
+	// handles is the per-node state (gate + pushed-demand cache) behind an
+	// immutable snapshot so AddNode never blocks the data path. The handle
+	// objects themselves are shared across snapshots.
+	handles atomic.Pointer[[]*nodeHandle]
+	// replicaSource, when set, maps a slot to its replica node ids (owner
+	// first). Installed by the membership manager.
+	replicaSource atomic.Pointer[func(slot int) []int]
 
-	ops *obs.Counter
+	// mu serializes AddNode (the only writer of handles).
+	mu sync.Mutex
+
+	tpl         client.Config
+	demandEvery int
+	reg         *obs.Registry
+	ops         *obs.Counter
+}
+
+// nodeHandle is one node's client-side state: the drain gate and the last
+// demand snapshot its responses piggybacked.
+type nodeHandle struct {
+	gate   gate
+	demand atomic.Pointer[wire.NodeDemand]
 }
 
 // gate is one node's in-flight accounting: an operation bumps started
@@ -75,37 +105,100 @@ func NewClient(cfg Config) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl := &Client{
+		ring:        ring,
+		slotOps:     make([]atomic.Uint64, ring.Slots()),
+		tpl:         cfg.Client,
+		demandEvery: cfg.DemandEvery,
+		reg:         cfg.Metrics,
+	}
+	handles := make([]*nodeHandle, len(cfg.Addrs))
 	cfgs := make([]client.Config, len(cfg.Addrs))
 	for i, addr := range cfg.Addrs {
-		c := cfg.Client
-		c.Addr = addr
-		cfgs[i] = c
+		handles[i] = &nodeHandle{}
+		cfgs[i] = cl.nodeConfig(addr, handles[i])
 	}
+	cl.handles.Store(&handles)
 	multi, err := client.NewMulti(cfgs)
 	if err != nil {
 		return nil, err
 	}
-	cl := &Client{
-		ring:    ring,
-		multi:   multi,
-		slotOps: make([]atomic.Uint64, ring.Slots()),
-		gates:   make([]gate, len(cfg.Addrs)),
-	}
+	cl.multi = multi
 	if reg := cfg.Metrics; reg != nil {
 		cl.ops = reg.Counter("cluster.client_ops")
 		reg.GaugeFunc("cluster.ring_version", func() float64 { return float64(ring.Version()) })
 		for n := 0; n < len(cfg.Addrs); n++ {
-			n := n
-			reg.GaugeFunc(fmt.Sprintf("cluster.node%d.slots", n), func() float64 {
-				return float64(len(ring.OwnedSlots(n)))
-			})
+			cl.registerNodeGauge(n)
 		}
 	}
 	return cl, nil
 }
 
+// nodeConfig derives one node's connection config from the template: the
+// address and, when demand push is on, the piggyback sampling plus the
+// OnDemand sink writing into the node's handle.
+func (c *Client) nodeConfig(addr string, h *nodeHandle) client.Config {
+	nc := c.tpl
+	nc.Addr = addr
+	if c.demandEvery > 0 {
+		nc.DemandEvery = c.demandEvery
+		nc.OnDemand = func(d wire.NodeDemand) { h.demand.Store(&d) }
+	}
+	return nc
+}
+
+// registerNodeGauge publishes node n's owned-slot count.
+func (c *Client) registerNodeGauge(n int) {
+	c.reg.GaugeFunc(fmt.Sprintf("cluster.node%d.slots", n), func() float64 {
+		return float64(len(c.ring.OwnedSlots(n)))
+	})
+}
+
+// AddNode appends a node to the client's set and the ring's node count
+// (scale-out) and returns its id. The new node owns no slots until the
+// membership manager or rebalancer moves some to it.
+func (c *Client) AddNode(addr string) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := &nodeHandle{}
+	id, err := c.multi.Add(c.nodeConfig(addr, h))
+	if err != nil {
+		return 0, err
+	}
+	old := *c.handles.Load()
+	grown := make([]*nodeHandle, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = h
+	c.handles.Store(&grown)
+	// The ring grows last so a Lookup never routes to a node the multi
+	// cannot reach yet.
+	if rid := c.ring.AddNode(); rid != id {
+		return 0, fmt.Errorf("cluster: ring/multi node id drift: %d vs %d", rid, id)
+	}
+	if c.reg != nil {
+		c.registerNodeGauge(id)
+	}
+	return id, nil
+}
+
+// SetReplicaSource installs (or with nil removes) the slot→replica mapping
+// single-key operations retry through. The membership manager installs its
+// ReplicasOf here.
+func (c *Client) SetReplicaSource(src func(slot int) []int) {
+	if src == nil {
+		c.replicaSource.Store(nil)
+		return
+	}
+	c.replicaSource.Store(&src)
+}
+
 // Ring exposes the client's ring (shared with the rebalancer).
 func (c *Client) Ring() *Ring { return c.ring }
+
+// Template returns the per-node connection template the client was built
+// with, so sibling tiers (the membership agents' peer connections) dial
+// with the same timeouts and retry policy.
+func (c *Client) Template() client.Config { return c.tpl }
 
 // Nodes returns the node count.
 func (c *Client) Nodes() int { return c.multi.Len() }
@@ -115,42 +208,103 @@ func (c *Client) Close() error { return c.multi.Close() }
 
 // route resolves key's owner, charges the slot's load counter, and opens
 // the node's gate. The caller must defer c.exit(node).
-func (c *Client) route(key string) (node int) {
-	node, slot := c.ring.Lookup(key)
+func (c *Client) route(key string) (node, slot int) {
+	node, slot = c.ring.Lookup(key)
 	c.slotOps[slot].Add(1)
-	c.gates[node].started.Add(1)
+	c.enter(node)
 	c.ops.Inc()
-	return node
+	return node, slot
 }
 
-func (c *Client) exit(node int) { c.gates[node].done.Add(1) }
+func (c *Client) enter(node int) { (*c.handles.Load())[node].gate.started.Add(1) }
+func (c *Client) exit(node int)  { (*c.handles.Load())[node].gate.done.Add(1) }
 
-// Get fetches key from its owning node.
+// replicasFor returns slot's replica nodes excluding owner, or nil when no
+// replica source is installed.
+func (c *Client) replicasFor(slot, owner int) []int {
+	srcp := c.replicaSource.Load()
+	if srcp == nil {
+		return nil
+	}
+	var out []int
+	for _, n := range (*srcp)(slot) {
+		if n != owner && n >= 0 && n < c.multi.Len() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// single runs op against key's owner and, on a transient failure, retries
+// it against the slot's replicas in placement order. When the owner and
+// every replica fail, the combined failures surface as a
+// *client.PartialError; a non-transient owner error surfaces as itself.
+func (c *Client) single(key string, op func(cl *client.Client) error) error {
+	node, slot := c.route(key)
+	err := op(c.multi.Node(node))
+	c.exit(node)
+	if err == nil || !client.IsTransient(err) {
+		return err
+	}
+	reps := c.replicasFor(slot, node)
+	if len(reps) == 0 {
+		return err
+	}
+	errs := []client.NodeError{{Node: node, Err: err}}
+	for _, rn := range reps {
+		c.enter(rn)
+		rerr := op(c.multi.Node(rn))
+		c.exit(rn)
+		if rerr == nil {
+			return nil
+		}
+		errs = append(errs, client.NodeError{Node: rn, Err: rerr})
+	}
+	return &client.PartialError{Errs: errs}
+}
+
+// Get fetches key from its owning node, falling back to the slot's
+// replicas when the owner is unreachable.
 func (c *Client) Get(key string) (value []byte, found bool, err error) {
-	node := c.route(key)
-	defer c.exit(node)
-	return c.multi.Node(node).Get(key)
+	err = c.single(key, func(cl *client.Client) error {
+		var e error
+		value, found, e = cl.Get(key)
+		return e
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return value, found, nil
 }
 
-// Set stores key on its owning node.
+// Set stores key on its owning node, falling back to the slot's replicas
+// when the owner is unreachable (the write stays inside the slot's replica
+// group, so failover still finds it).
 func (c *Client) Set(key string, value []byte) error {
-	node := c.route(key)
-	defer c.exit(node)
-	return c.multi.Node(node).Set(key, value)
+	return c.single(key, func(cl *client.Client) error {
+		return cl.Set(key, value)
+	})
 }
 
-// SetTTL stores key with an explicit TTL on its owning node.
+// SetTTL stores key with an explicit TTL on its owning node (replica
+// fallback as Set).
 func (c *Client) SetTTL(key string, value []byte, ttl time.Duration) error {
-	node := c.route(key)
-	defer c.exit(node)
-	return c.multi.Node(node).SetTTL(key, value, ttl)
+	return c.single(key, func(cl *client.Client) error {
+		return cl.SetTTL(key, value, ttl)
+	})
 }
 
-// Del removes key from its owning node.
+// Del removes key from its owning node (replica fallback as Set).
 func (c *Client) Del(key string) (found bool, err error) {
-	node := c.route(key)
-	defer c.exit(node)
-	return c.multi.Node(node).Del(key)
+	err = c.single(key, func(cl *client.Client) error {
+		var e error
+		found, e = cl.Del(key)
+		return e
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
 }
 
 // GetOrLoad reads key through its owning node's lease protocol
@@ -159,11 +313,19 @@ func (c *Client) Del(key string) (found bool, err error) {
 // origin fetches across the whole fleet — one origin fetch per miss,
 // cluster-wide. After a ring migration a key's old owner may hold a now
 // unreachable lease; it simply times out (server LeaseWait) with no effect
-// on the new owner.
-func (c *Client) GetOrLoad(ctx context.Context, key string, origin client.Origin) ([]byte, error) {
-	node := c.route(key)
-	defer c.exit(node)
-	return c.multi.Node(node).GetOrLoad(ctx, key, origin)
+// on the new owner. When the owner is unreachable the load runs through a
+// replica instead — fetch deduplication degrades to per-replica, never
+// breaks.
+func (c *Client) GetOrLoad(ctx context.Context, key string, origin client.Origin) (value []byte, err error) {
+	err = c.single(key, func(cl *client.Client) error {
+		var e error
+		value, e = cl.GetOrLoad(ctx, key, origin)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return value, nil
 }
 
 // routeBatch resolves owners for n keys via pick-by-index, charging slot
@@ -185,7 +347,7 @@ func (c *Client) routeBatch(n int, keyAt func(int) string) (nodes []int, involve
 		}
 	}
 	for _, node := range involved {
-		c.gates[node].started.Add(1)
+		c.enter(node)
 	}
 	c.ops.Inc()
 	return nodes, involved
@@ -232,9 +394,35 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Demand polls node's capacity-demand snapshot.
+// Demand polls node's capacity-demand snapshot (an explicit round trip;
+// see CachedDemand for the push-based path).
 func (c *Client) Demand(node int) (wire.NodeDemand, error) {
 	return c.multi.Node(node).Demand()
+}
+
+// CachedDemand returns node's last pushed demand snapshot (piggybacked on
+// a response or brought back by Heartbeat), or ok=false when none has
+// arrived yet.
+func (c *Client) CachedDemand(node int) (wire.NodeDemand, bool) {
+	d := (*c.handles.Load())[node].demand.Load()
+	if d == nil {
+		return wire.NodeDemand{}, false
+	}
+	return *d, true
+}
+
+// Heartbeat pings node and caches the demand snapshot the response carries
+// — the membership detector's probe, doubling as the demand-gossip
+// fallback for idle nodes that no request traffic reaches.
+func (c *Client) Heartbeat(node int) (wire.NodeDemand, error) {
+	c.enter(node)
+	defer c.exit(node)
+	d, err := c.multi.Node(node).Heartbeat()
+	if err != nil {
+		return wire.NodeDemand{}, err
+	}
+	(*c.handles.Load())[node].demand.Store(&d)
+	return d, nil
 }
 
 // Stats fetches node's STATS document (raw JSON, see server.StatsSnapshot).
@@ -256,8 +444,12 @@ func (c *Client) StatsAll() ([][]byte, error) {
 }
 
 // node exposes a raw per-node client to the rebalancer's migration path
-// (which must address old and new owners directly, bypassing the ring).
+// and the membership manager (which must address nodes directly, bypassing
+// the ring).
 func (c *Client) node(n int) *client.Client { return c.multi.Node(n) }
+
+// NodeClient is the exported form of node, for the membership manager.
+func (c *Client) NodeClient(n int) *client.Client { return c.multi.Node(n) }
 
 // TakeSlotLoads returns each slot's operation count since the previous
 // call, resetting the counters — one rebalancing epoch's load signal.
@@ -272,9 +464,9 @@ func (c *Client) TakeSlotLoads() []uint64 {
 // DrainNode waits until every operation routed to node before the call has
 // finished — the quiesce step before a migration copies a slot's keys.
 // Operations started after the call are not waited for (the lost-write
-// window is documented at Rebalancer.migrate).
+// window is documented at Client.MoveSlot).
 func (c *Client) DrainNode(node int) {
-	g := &c.gates[node]
+	g := &(*c.handles.Load())[node].gate
 	target := g.started.Load()
 	for g.done.Load() < target {
 		time.Sleep(200 * time.Microsecond)

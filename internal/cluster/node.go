@@ -85,6 +85,10 @@ func (n *Node) Addr() string { return n.srv.Addr() }
 // Cache exposes the node's cache (tests assert on its stats directly).
 func (n *Node) Cache() *stemcache.Cache[string, []byte] { return n.cache }
 
+// Server exposes the node's server — the membership agent installs its
+// hooks (replica fan-out, view pushes, read repair) through it.
+func (n *Node) Server() *server.Server { return n.srv }
+
 // Keys enumerates the node's resident keys — the rebalancer's KeyLister
 // for in-process clusters. See stemcache.AppendKeys for the consistency
 // contract.

@@ -9,12 +9,6 @@ import (
 	"repro/internal/wire"
 )
 
-// KeyLister enumerates a node's resident keys for a migration. In-process
-// clusters use Node.Keys; an external deployment would plug in a SCAN-like
-// listing. The listing may be racy with respect to concurrent writers —
-// migration filters it by slot and treats absent keys as already gone.
-type KeyLister func(node int) ([]string, error)
-
 // RebalancerConfig parameterizes a Rebalancer.
 type RebalancerConfig struct {
 	// MaxMovesPerEpoch bounds slot migrations per Epoch call — the
@@ -132,6 +126,12 @@ func (rb *Rebalancer) Epoch() (EpochReport, error) {
 	n := rb.cl.Nodes()
 	report.Demands = make([]wire.NodeDemand, n)
 	for i := 0; i < n; i++ {
+		// Prefer the push-based snapshot (piggybacked on responses or a
+		// heartbeat); poll only nodes nothing has been pushed from yet.
+		if d, ok := rb.cl.CachedDemand(i); ok {
+			report.Demands[i] = d
+			continue
+		}
 		d, err := rb.cl.Demand(i)
 		if err != nil {
 			return report, fmt.Errorf("cluster: demand poll of node %d: %w", i, err)
@@ -269,60 +269,12 @@ func (rb *Rebalancer) pickGiver(givers []nodeState, states []nodeState, slotLoad
 	return best
 }
 
-// migrate hands slot from node `from` to node `to`: drain from's in-flight
-// requests, copy the slot's resident keys (MGET old → MSET new, chunked),
-// flip ring ownership, then delete the keys from the old owner.
-//
-// The copy-then-flip-then-delete order means a write that lands on the old
-// owner between the copy and the flip is lost — the same at-least-once
-// cache semantics the client's retry path already has. What the order
-// guarantees is no read-miss storm: at every instant one node can serve
-// the slot's keys.
+// migrate hands slot from node `from` to node `to` via Client.MoveSlot
+// (drain → copy → flip → delete) and records the move's metrics and event.
 func (rb *Rebalancer) migrate(slot, from, to int) (Move, error) {
-	mv := Move{Slot: slot, From: from, To: to}
-	rb.cl.DrainNode(from)
-
-	all, err := rb.lister(from)
+	mv, err := rb.cl.MoveSlot(rb.lister, slot, from, to, rb.cfg.ChunkSize)
 	if err != nil {
-		return mv, fmt.Errorf("cluster: listing node %d for slot %d: %w", from, slot, err)
-	}
-	ring := rb.cl.Ring()
-	var keys []string
-	for _, k := range all {
-		if ring.SlotOfKey(k) == slot {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-
-	src, dst := rb.cl.node(from), rb.cl.node(to)
-	for off := 0; off < len(keys); off += rb.cfg.ChunkSize {
-		chunk := keys[off:min(off+rb.cfg.ChunkSize, len(keys))]
-		values, found, err := src.MGet(chunk)
-		if err != nil {
-			return mv, fmt.Errorf("cluster: copying slot %d off node %d: %w", slot, from, err)
-		}
-		pairs := make([]wire.KV, 0, len(chunk))
-		for i, k := range chunk {
-			if found[i] {
-				pairs = append(pairs, wire.KV{Key: k, Value: values[i]})
-			}
-		}
-		if len(pairs) > 0 {
-			if err := dst.MSet(pairs); err != nil {
-				return mv, fmt.Errorf("cluster: installing slot %d on node %d: %w", slot, to, err)
-			}
-		}
-		mv.Keys += len(pairs)
-	}
-
-	if err := ring.Move(slot, to); err != nil {
 		return mv, err
-	}
-	for _, k := range keys {
-		if _, err := src.Del(k); err != nil {
-			return mv, fmt.Errorf("cluster: clearing slot %d off node %d: %w", slot, from, err)
-		}
 	}
 
 	rb.migrations.Inc()

@@ -35,7 +35,6 @@ import (
 // All methods are safe for concurrent use. Ring.mu is the package's
 // top-ranked lock.
 type Ring struct {
-	nodes int
 	slots int
 	seed  uint64
 	// points is sorted ascending; lookup walks clockwise to the first point
@@ -45,9 +44,15 @@ type Ring struct {
 	// halves — the same hardware-hash family the shadow directory uses).
 	hi, lo *hashfn.Hash
 
-	// mu guards owner and version (rank 0: above Node.mu and obsMu).
-	mu      sync.RWMutex
-	owner   []int
+	// mu guards nodes, owner, epochs, and version (rank 0: above Node.mu
+	// and obsMu).
+	mu    sync.RWMutex
+	nodes int
+	owner []int
+	// epochs[s] counts slot s's ownership flips — strictly monotone per
+	// slot, so a stale view of "who owns s" is detectable by epoch compare
+	// (membership failover and client retry both lean on this).
+	epochs  []uint64
 	version uint64
 }
 
@@ -77,6 +82,7 @@ func NewRing(nodes, vnodes int, seed uint64) (*Ring, error) {
 	}
 	r.points = make([]ringPoint, r.slots)
 	r.owner = make([]int, r.slots)
+	r.epochs = make([]uint64, r.slots)
 	for s := 0; s < r.slots; s++ {
 		r.points[s] = ringPoint{point: r.pointOf(mix64(seed + uint64(s) + 1)), slot: s}
 		r.owner[s] = s % nodes
@@ -142,21 +148,53 @@ func (r *Ring) Lookup(key string) (node, slot int) {
 	return node, slot
 }
 
-// Move transfers slot's ownership to node and bumps the ring version. The
-// caller (the rebalancer) is responsible for having copied the slot's keys
-// first.
+// Move transfers slot's ownership to node, bumps the slot's epoch and the
+// ring version. The caller (the rebalancer or the membership manager) is
+// responsible for having copied the slot's keys first — except on failover,
+// where the old owner is dead and the keys come from the promoted replica.
 func (r *Ring) Move(slot, node int) error {
 	if slot < 0 || slot >= r.slots {
 		return fmt.Errorf("cluster: slot %d out of range [0, %d)", slot, r.slots)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if node < 0 || node >= r.nodes {
 		return fmt.Errorf("cluster: node %d out of range [0, %d)", node, r.nodes)
 	}
-	r.mu.Lock()
-	r.owner[slot] = node
+	if r.owner[slot] != node {
+		r.owner[slot] = node
+		r.epochs[slot]++
+	}
 	r.version++
-	r.mu.Unlock()
 	return nil
+}
+
+// AddNode grows the node set by one and returns the new node's id. The slot
+// set is fixed at construction, so the new node owns nothing until Move
+// assigns it slots — which is what keeps a join's movement bounded to the
+// slots explicitly handed over.
+func (r *Ring) AddNode() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nodes++
+	return r.nodes - 1
+}
+
+// SlotEpoch returns slot's ownership epoch (the number of times its owner
+// has changed). Strictly monotone per slot.
+func (r *Ring) SlotEpoch(slot int) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epochs[slot]
+}
+
+// Epochs returns a copy of the per-slot ownership-epoch table.
+func (r *Ring) Epochs() []uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]uint64, len(r.epochs))
+	copy(out, r.epochs)
+	return out
 }
 
 // OwnedSlots returns node's slots in ascending order.
@@ -181,8 +219,12 @@ func (r *Ring) Owners() []int {
 	return out
 }
 
-// Nodes returns the node count; Slots the total (fixed) slot count.
-func (r *Ring) Nodes() int { return r.nodes }
+// Nodes returns the node count (it can grow via AddNode).
+func (r *Ring) Nodes() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.nodes
+}
 
 // Slots returns the total slot count (nodes × vnodes).
 func (r *Ring) Slots() int { return r.slots }

@@ -1,0 +1,79 @@
+package membership
+
+import "sync"
+
+// Detector is a suspicion-counting failure detector: each node accumulates
+// consecutive missed heartbeats and is declared dead exactly once, when the
+// count crosses the threshold. A successful heartbeat resets the count — a
+// node must miss SuspectAfter probes in a row, so one dropped frame under
+// load never kills a live node.
+//
+// Safe for concurrent use. Detector.mu is the membership package's
+// top-ranked lock (held only around counter arithmetic, never across I/O).
+type Detector struct {
+	// mu guards missed and dead (rank 0: above Manager.mu and Agent.mu).
+	mu           sync.Mutex
+	suspectAfter int
+	missed       []int
+	dead         []bool
+}
+
+// NewDetector builds a detector for nodes members declaring death after
+// suspectAfter consecutive misses.
+func NewDetector(nodes, suspectAfter int) *Detector {
+	return &Detector{
+		suspectAfter: suspectAfter,
+		missed:       make([]int, nodes),
+		dead:         make([]bool, nodes),
+	}
+}
+
+// Grow extends the detector to cover n nodes (join path). Shrinking is not
+// a thing: departed nodes just stop being probed.
+func (d *Detector) Grow(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.missed) < n {
+		d.missed = append(d.missed, 0)
+		d.dead = append(d.dead, false)
+	}
+}
+
+// Report records one heartbeat outcome for node and reports whether this
+// exact report crossed the death threshold — true at most once per node, so
+// the caller can trigger failover without tracking edge state itself.
+func (d *Detector) Report(node int, ok bool) (died bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[node] {
+		return false
+	}
+	if ok {
+		d.missed[node] = 0
+		return false
+	}
+	d.missed[node]++
+	if d.missed[node] >= d.suspectAfter {
+		d.dead[node] = true
+		return true
+	}
+	return false
+}
+
+// Missed returns node's current consecutive-miss count (0 after death —
+// the counter's job is done).
+func (d *Detector) Missed(node int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dead[node] {
+		return 0
+	}
+	return d.missed[node]
+}
+
+// Dead reports whether node has been declared dead.
+func (d *Detector) Dead(node int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dead[node]
+}

@@ -52,24 +52,51 @@ const (
 	// client sent one (0 otherwise) — the join key that lets stemtrace read
 	// a latency spike against concurrent demand/migration events.
 	EvSlowRequest
+	// EvNodeJoin: a node joined the cluster and the membership manager
+	// handed it its fair share of slots. Field reuse: Tick is the view
+	// epoch, Set the new node's id, Life the number of slots moved to it.
+	EvNodeJoin
+	// EvNodeLeave: a node left gracefully; its slots were migrated away
+	// before the view changed. Tick is the view epoch, Set the departed
+	// node's id, Life the number of slots moved off it.
+	EvNodeLeave
+	// EvNodeDead: the failure detector declared a node dead. Tick is the
+	// view epoch, Set the dead node's id, Life the number of slots it
+	// owned at death (all promoted or reassigned).
+	EvNodeDead
+	// EvReplicaPromote: failover flipped a slot's ownership to one of its
+	// replicas — a pure flip, the data was already there. Tick is the view
+	// epoch, Set the slot id, ScS the dead owner, Partner the promoted
+	// replica.
+	EvReplicaPromote
+	// EvReplicaPlace: the manager placed a new replica copy of a slot and
+	// backfilled its data. Tick is the view epoch, Set the slot id, ScS
+	// the copy's source (the owner), Partner the new replica host, Life
+	// the number of keys copied.
+	EvReplicaPlace
 
 	// evLast is the highest defined event type; sizing and iteration over
 	// all event types use it so new events extend one place.
-	evLast = EvSlowRequest
+	evLast = EvReplicaPlace
 )
 
 var eventNames = map[EventType]string{
-	EvShadowHit:   "shadow_hit",
-	EvPolicySwap:  "policy_swap",
-	EvClassChange: "class_change",
-	EvCouple:      "couple",
-	EvDecouple:    "decouple",
-	EvSpill:       "spill",
-	EvReceive:     "receive",
-	EvSnapshot:    "snapshot",
-	EvNodeDemand:  "node_demand",
-	EvSlotMigrate: "slot_migrate",
-	EvSlowRequest: "slow_request",
+	EvShadowHit:      "shadow_hit",
+	EvPolicySwap:     "policy_swap",
+	EvClassChange:    "class_change",
+	EvCouple:         "couple",
+	EvDecouple:       "decouple",
+	EvSpill:          "spill",
+	EvReceive:        "receive",
+	EvSnapshot:       "snapshot",
+	EvNodeDemand:     "node_demand",
+	EvSlotMigrate:    "slot_migrate",
+	EvSlowRequest:    "slow_request",
+	EvNodeJoin:       "node_join",
+	EvNodeLeave:      "node_leave",
+	EvNodeDead:       "node_dead",
+	EvReplicaPromote: "replica_promote",
+	EvReplicaPlace:   "replica_place",
 }
 
 // String returns the JSONL wire name of the event type.

@@ -156,6 +156,13 @@ type Server struct {
 	wg  sync.WaitGroup // accept loop + connection handlers
 	sem chan struct{}  // max-conns gate
 
+	// hooks holds the cluster-integration points (replica fan-out,
+	// membership pushes, read repair), installed by SetHooks after the
+	// server starts — the membership agent needs the cluster's ring and
+	// peer addresses, which exist only once every node is listening. One
+	// atomic pointer keeps the set consistent per request.
+	hooks atomic.Pointer[Hooks]
+
 	// leaseMu guards leases — the per-key read-through fetch leases that
 	// deduplicate origin fetches across client processes. Rank: below
 	// Server.mu and conn.mu (handle runs with neither held); never held
@@ -528,6 +535,7 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	resp.Reset()
 	resp.Op, resp.ID, resp.Status = req.Op, req.ID, wire.StatusOK
 	cache := s.resolveTenant(req)
+	h := s.hooks.Load() // nil on a standalone server
 
 	switch req.Op {
 	case wire.OpPing:
@@ -535,13 +543,15 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	case wire.OpGet:
 		if v, ok := cache.Get(req.Key); ok {
 			resp.Value = v
+		} else if h != nil && h.ReadRepair != nil {
+			s.repairGet(h, cache, req, resp)
 		} else {
 			resp.Status = wire.StatusNotFound
 		}
 	case wire.OpSet, wire.OpSetTTL:
 		ttl := req.TTL // OpSet leaves it 0 → the cache's DefaultTTL path
 		if req.Flags&wire.FlagNX != 0 {
-			s.handleNX(cache, req, resp, ttl)
+			s.handleNX(h, cache, req, resp, ttl)
 			break
 		}
 		if req.Op == wire.OpSetTTL {
@@ -549,9 +559,17 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		} else {
 			cache.Set(req.Key, req.Value)
 		}
+		if h != nil && h.Replicator != nil {
+			h.Replicator.ReplicateSet(req.Namespace, req.Key, req.Value, ttl)
+		}
 	case wire.OpDel:
 		if !cache.Delete(req.Key) {
 			resp.Status = wire.StatusNotFound
+		}
+		// Propagate regardless of the local verdict: a replica may hold
+		// what this owner never saw (a write during a migration window).
+		if h != nil && h.Replicator != nil {
+			h.Replicator.ReplicateDelete(req.Namespace, req.Key)
 		}
 	case wire.OpMGet:
 		// Append into the reset Response's warm capacity (Reset keeps the
@@ -567,8 +585,24 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 	case wire.OpMSet:
 		for _, kv := range req.Pairs {
 			cache.Set(kv.Key, kv.Value)
+			if h != nil && h.Replicator != nil {
+				h.Replicator.ReplicateSet(req.Namespace, kv.Key, kv.Value, 0)
+			}
 		}
 		s.met.batchKeys.Add(uint64(len(req.Pairs)))
+	case wire.OpReplicate:
+		// Apply directly and never fan out again — replication cannot
+		// cycle. The decoder copied the operands (retaining opcode), so
+		// they are safe to hand to the cache.
+		if req.Flags&wire.FlagNegative != 0 {
+			cache.Delete(req.Key)
+		} else if req.TTL > 0 {
+			cache.SetWithTTL(req.Key, req.Value, req.TTL)
+		} else {
+			cache.Set(req.Key, req.Value)
+		}
+	case wire.OpJoin, wire.OpLeave:
+		s.handleMembership(h, req, resp)
 	case wire.OpLoad:
 		s.handleLoad(cache, req, resp)
 	case wire.OpDemand:
@@ -587,6 +621,11 @@ func (s *Server) handle(req *wire.Request, resp *wire.Response) {
 		resp.Status = wire.StatusErr
 		//lint:allow(hotpath) unreachable guard: the decoder rejects unknown opcodes before dispatch
 		resp.Value = []byte(fmt.Sprintf("unhandled opcode %v", req.Op))
+	}
+	// A FlagDemand request gets the node's demand snapshot piggybacked on
+	// whatever response the opcode produced — push-based dissemination.
+	if req.Flags&wire.FlagDemand != 0 {
+		resp.Piggyback = s.demand()
 	}
 	s.met.responses.Inc()
 }
@@ -623,7 +662,7 @@ func (s *Server) observeRequest(op wire.Op, namespace string, decode, handle, wr
 
 // handleNX is the set-if-absent path: stemcache.GetOrSet's loaded report
 // maps exactly onto StatusNotStored-with-resident-value vs StatusOK.
-func (s *Server) handleNX(cache stemcache.TenantView[string, []byte], req *wire.Request, resp *wire.Response, ttl time.Duration) {
+func (s *Server) handleNX(h *Hooks, cache stemcache.TenantView[string, []byte], req *wire.Request, resp *wire.Response, ttl time.Duration) {
 	var actual []byte
 	var loaded bool
 	if req.Op == wire.OpSetTTL {
@@ -634,5 +673,10 @@ func (s *Server) handleNX(cache stemcache.TenantView[string, []byte], req *wire.
 	if loaded {
 		resp.Status = wire.StatusNotStored
 		resp.Value = actual
+		return
+	}
+	// Stored: the write was applied, so it fans out like any other.
+	if h != nil && h.Replicator != nil {
+		h.Replicator.ReplicateSet(req.Namespace, req.Key, req.Value, ttl)
 	}
 }

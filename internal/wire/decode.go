@@ -149,8 +149,107 @@ func parseRequestPayload(req *Request, c *cursor, lim Limits) error {
 			pairs = append(pairs, KV{Key: k, Value: v})
 		}
 		req.Pairs = pairs
+	case OpJoin, OpLeave:
+		// Membership views are retained by the node's agent; always copy.
+		c.zeroCopy = false
+		if req.Epoch, err = c.u64(); err != nil {
+			return err
+		}
+		if req.Members, err = c.members(lim); err != nil {
+			return err
+		}
+		req.Replicas, err = c.replicaSets(lim)
+	case OpReplicate:
+		// Replicated writes go straight into the cache; always copy.
+		c.zeroCopy = false
+		if req.Flags&FlagNegative != 0 {
+			req.Key, err = c.key()
+			break
+		}
+		var ttl uint64
+		if ttl, err = c.u64(); err != nil {
+			return err
+		}
+		if ttl > 1<<62 {
+			return frameErrf("TTL %d overflows a duration", ttl)
+		}
+		req.TTL = time.Duration(ttl)
+		req.Key, req.Value, err = c.kv(lim)
 	}
 	return err
+}
+
+// members reads the OpJoin/OpLeave member table. Each member costs at least
+// id + state + addr-length bytes, so the count is capacity-checked before
+// any allocation.
+func (c *cursor) members(lim Limits) ([]Member, error) {
+	n, err := c.batchCount(lim.MaxBatch, 4+1+2)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	members := make([]Member, 0, n)
+	for i := 0; i < n; i++ {
+		var m Member
+		if m.ID, err = c.u32(); err != nil {
+			return nil, err
+		}
+		p, err := c.take(1)
+		if err != nil {
+			return nil, err
+		}
+		if p[0] >= uint8(memberStateMax) {
+			return nil, frameErrf("unknown member state %d", p[0])
+		}
+		m.State = MemberState(p[0])
+		if m.Addr, err = c.key(); err != nil {
+			return nil, err
+		}
+		members = append(members, m)
+	}
+	return members, nil
+}
+
+// replicaSets reads the OpJoin/OpLeave replica-assignment table. The outer
+// count and each slot's uint8 replica count are capacity-checked against
+// the bytes present before their allocations.
+func (c *cursor) replicaSets(lim Limits) ([]ReplicaSet, error) {
+	n, err := c.batchCount(lim.MaxBatch, 4+1)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	sets := make([]ReplicaSet, 0, n)
+	for i := 0; i < n; i++ {
+		var rs ReplicaSet
+		if rs.Slot, err = c.u32(); err != nil {
+			return nil, err
+		}
+		p, err := c.take(1)
+		if err != nil {
+			return nil, err
+		}
+		nr := int(p[0])
+		if nr > c.remaining()/4 {
+			return nil, frameErrf("replica count %d exceeds payload capacity", nr)
+		}
+		if nr > 0 {
+			rs.Replicas = make([]uint32, 0, nr)
+		}
+		for j := 0; j < nr; j++ {
+			r, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			rs.Replicas = append(rs.Replicas, r)
+		}
+		sets = append(sets, rs)
+	}
+	return sets, nil
 }
 
 // DecodeResponse parses one response frame from data, returning the
@@ -184,15 +283,16 @@ func decodeResponse(resp *Response, data []byte, lim Limits, zeroCopy bool) (int
 	if len(data)-HeaderLen < n {
 		return 0, frameErrf("truncated frame: payload wants %d bytes, have %d", n, len(data)-HeaderLen)
 	}
-	// The status byte's high bit flags a traced response; mask it off
-	// before validating the status proper.
+	// The status byte's high bits flag the trace and demand prefixes; mask
+	// them off before validating the status proper.
 	traced := st&respFlagTrace != 0
-	op, status := Op(opB), Status(st&^respFlagTrace)
+	piggybacked := st&respFlagDemand != 0
+	op, status := Op(opB), Status(st&^(respFlagTrace|respFlagDemand))
 	if !op.Valid() {
 		return 0, frameErrf("unknown opcode %d", opB)
 	}
 	if !status.Valid() {
-		return 0, frameErrf("unknown status %d", st&^respFlagTrace)
+		return 0, frameErrf("unknown status %d", st&^(respFlagTrace|respFlagDemand))
 	}
 	resp.Reset()
 	resp.Op = op
@@ -202,6 +302,12 @@ func decodeResponse(resp *Response, data []byte, lim Limits, zeroCopy bool) (int
 	if traced {
 		var err error
 		if resp.Trace, err = c.traceResp(); err != nil {
+			return 0, err
+		}
+	}
+	if piggybacked {
+		var err error
+		if resp.Piggyback, err = c.demand(); err != nil {
 			return 0, err
 		}
 	}
@@ -273,12 +379,13 @@ func parseResponsePayload(resp *Response, c *cursor, lim Limits) error {
 	return err
 }
 
-// demand reads the fixed 52-byte DEMAND payload (see appendDemand for the
-// field order). The size check up front turns every truncation into one
-// error instead of nine partial reads.
+// demand reads the fixed 52-byte demand block — the DEMAND payload, or the
+// piggybacked prefix of a respFlagDemand response (which is why it checks
+// remaining, not total, bytes). The size check up front turns every
+// truncation into one error instead of nine partial reads.
 func (c *cursor) demand() (*NodeDemand, error) {
-	if len(c.b) < nodeDemandLen {
-		return nil, frameErrf("truncated DEMAND payload: want %d bytes, have %d", nodeDemandLen, len(c.b))
+	if c.remaining() < nodeDemandLen {
+		return nil, frameErrf("truncated DEMAND payload: want %d bytes, have %d", nodeDemandLen, c.remaining())
 	}
 	var d NodeDemand
 	var err error

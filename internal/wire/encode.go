@@ -101,6 +101,22 @@ func AppendRequest(buf []byte, req *Request, lim Limits) ([]byte, error) {
 				break
 			}
 		}
+	case OpJoin, OpLeave:
+		buf, err = appendMembership(buf, req, lim)
+	case OpReplicate:
+		if flags&FlagNegative != 0 {
+			// Replicated delete: no TTL, no value.
+			if err = checkKey(req.Key); err == nil {
+				buf = appendKey(buf, req.Key)
+			}
+			break
+		}
+		var ttl uint64
+		if req.TTL > 0 {
+			ttl = uint64(req.TTL)
+		}
+		buf = appendU64(buf, ttl)
+		buf, err = appendKV(buf, req.Key, req.Value, lim)
 	default:
 		err = fmt.Errorf("wire: cannot encode opcode %v", req.Op)
 	}
@@ -126,11 +142,11 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 
 	// A traced response carries the echoed-and-extended trace prefix ahead
 	// of the opcode payload (even for StatusErr: a failing traced request
-	// still yields a latency sample). The flag rides the status byte's high
-	// bit, so the status itself must stay below it.
+	// still yields a latency sample). The flags ride the status byte's high
+	// bits, so the status itself must stay below them.
 	st := uint8(resp.Status)
-	if st&respFlagTrace != 0 {
-		return buf[:start], fmt.Errorf("wire: status %d collides with the response trace bit", st)
+	if st&(respFlagTrace|respFlagDemand) != 0 {
+		return buf[:start], fmt.Errorf("wire: status %d collides with the response trace/demand bits", st)
 	}
 	if resp.Trace != nil {
 		st |= respFlagTrace
@@ -139,13 +155,21 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 		buf = appendU32(buf, resp.Trace.QueueMicros)
 		buf = appendU32(buf, resp.Trace.HandleMicros)
 	}
+	// The piggybacked demand prefix follows the trace extension. It rides
+	// any opcode's response, including StatusErr — a failed op still knows
+	// the node's demand.
+	if resp.Piggyback != nil {
+		st |= respFlagDemand
+		buf = appendDemand(buf, resp.Piggyback)
+	}
 
 	var err error
 	switch {
 	case resp.Status == StatusErr:
 		// The message travels as a bare value regardless of opcode.
 		buf = appendValue(buf, resp.Value)
-	case resp.Op == OpPing || resp.Op == OpDel || resp.Op == OpMSet:
+	case resp.Op == OpPing || resp.Op == OpDel || resp.Op == OpMSet ||
+		resp.Op == OpJoin || resp.Op == OpLeave || resp.Op == OpReplicate:
 		// Empty payload; the status carries the whole answer.
 	case resp.Op == OpGet || resp.Op == OpSet || resp.Op == OpSetTTL || resp.Op == OpStats:
 		// A value travels only on the statuses that define one.
@@ -219,6 +243,43 @@ func AppendResponse(buf []byte, resp *Response, lim Limits) ([]byte, error) {
 	}
 	h := header(resp.Op, st, resp.ID, n)
 	copy(buf[start:], h[:])
+	return buf, nil
+}
+
+// appendMembership appends the OpJoin/OpLeave payload: epoch, member
+// table, then per-slot replica assignments. Replica lists use a uint8 count
+// — a replication factor past 256 is not a configuration, it is a typo.
+func appendMembership(buf []byte, req *Request, lim Limits) ([]byte, error) {
+	if len(req.Members) > lim.MaxBatch {
+		return buf, fmt.Errorf("wire: member table of %d exceeds %d", len(req.Members), lim.MaxBatch)
+	}
+	if len(req.Replicas) > lim.MaxBatch {
+		return buf, fmt.Errorf("wire: replica table of %d exceeds %d", len(req.Replicas), lim.MaxBatch)
+	}
+	buf = appendU64(buf, req.Epoch)
+	buf = appendU16(buf, uint16(len(req.Members)))
+	for _, m := range req.Members {
+		if m.State >= memberStateMax {
+			return buf, fmt.Errorf("wire: unknown member state %d", uint8(m.State))
+		}
+		if err := checkKey(m.Addr); err != nil {
+			return buf, err
+		}
+		buf = appendU32(buf, m.ID)
+		buf = append(buf, byte(m.State))
+		buf = appendKey(buf, m.Addr)
+	}
+	buf = appendU16(buf, uint16(len(req.Replicas)))
+	for _, rs := range req.Replicas {
+		if len(rs.Replicas) > 255 {
+			return buf, fmt.Errorf("wire: %d replicas for one slot exceed 255", len(rs.Replicas))
+		}
+		buf = appendU32(buf, rs.Slot)
+		buf = append(buf, byte(len(rs.Replicas)))
+		for _, r := range rs.Replicas {
+			buf = appendU32(buf, r)
+		}
+	}
 	return buf, nil
 }
 

@@ -67,6 +67,32 @@ func FuzzWireDecode(f *testing.F) {
 	h = header(OpGet, uint8(StatusOK)|respFlagTrace, 7, traceRespLen+5)
 	f.Add(append(h[:], make([]byte, traceRespLen+5)...)) // traced response + value
 
+	// Membership malformations: a truncated member table, an unknown member
+	// state, a replica count with no bytes behind it, and a member count
+	// past the batch limit.
+	h = header(OpJoin, 0, 7, 12)
+	f.Add(append(h[:], 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0)) // count 1, member cut mid-id
+	h = header(OpLeave, 0, 7, 17)
+	f.Add(append(h[:], 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 5, 9, 0, 0)) // state byte 9
+	h = header(OpJoin, 0, 7, 17)
+	f.Add(append(h[:], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 3, 0xFF)) // 255 replicas, no bytes
+	h = header(OpJoin, 0, 7, 10)
+	f.Add(append(h[:], 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF)) // member count 65535
+
+	// REPLICATE malformations: a negative replicate with trailing value
+	// bytes, and a TTL past the duration range.
+	h = header(OpReplicate, FlagNegative, 7, 7)
+	f.Add(append(h[:], 0, 1, 'k', 0, 0, 0, 0))
+	h = header(OpReplicate, 0, 7, 15)
+	f.Add(append(h[:], 0xFF, 0, 0, 0, 0, 0, 0, 0, 0, 1, 'k', 0, 0, 0, 0)) // TTL 2^63+
+
+	// Piggybacked-demand malformations: the demand bit over a truncated
+	// prefix, and stacked trace + demand prefixes cut mid-demand.
+	h = header(OpGet, uint8(StatusOK)|respFlagDemand, 7, nodeDemandLen-1)
+	f.Add(append(h[:], make([]byte, nodeDemandLen-1)...))
+	h = header(OpPing, uint8(StatusOK)|respFlagTrace|respFlagDemand, 7, traceRespLen+8)
+	f.Add(append(h[:], make([]byte, traceRespLen+8)...))
+
 	// Namespace-prefix malformations: the flag promising a name the payload
 	// cannot deliver, a zero-length name, a length byte past MaxNamespaceLen,
 	// both extensions stacked but truncated mid-name, and the prefix on a
@@ -95,8 +121,9 @@ func FuzzWireDecode(f *testing.F) {
 				t.Fatalf("re-encoded request does not decode: %v", err)
 			}
 			if req2.Op != req.Op || req2.ID != req.ID || req2.Key != req.Key ||
-				req2.Token != req.Token ||
-				len(req2.Keys) != len(req.Keys) || len(req2.Pairs) != len(req.Pairs) {
+				req2.Token != req.Token || req2.Epoch != req.Epoch ||
+				len(req2.Keys) != len(req.Keys) || len(req2.Pairs) != len(req.Pairs) ||
+				len(req2.Members) != len(req.Members) || len(req2.Replicas) != len(req.Replicas) {
 				t.Fatalf("request round trip drifted: %+v vs %+v", req, req2)
 			}
 			if (req.Trace == nil) != (req2.Trace == nil) ||
@@ -135,6 +162,11 @@ func FuzzWireDecode(f *testing.F) {
 			if resp.Demand != nil || resp2.Demand != nil {
 				if resp.Demand == nil || resp2.Demand == nil || *resp2.Demand != *resp.Demand {
 					t.Fatalf("demand round trip drifted: %+v vs %+v", resp.Demand, resp2.Demand)
+				}
+			}
+			if resp.Piggyback != nil || resp2.Piggyback != nil {
+				if resp.Piggyback == nil || resp2.Piggyback == nil || *resp2.Piggyback != *resp.Piggyback {
+					t.Fatalf("piggyback round trip drifted: %+v vs %+v", resp.Piggyback, resp2.Piggyback)
 				}
 			}
 			if (resp.Trace == nil) != (resp2.Trace == nil) ||

@@ -106,6 +106,23 @@ const (
 	// and releasing the lease; the server answers StatusOK on success or
 	// StatusNotStored when the token no longer matches the live lease.
 	OpLoad
+	// OpJoin pushes a membership view to a node after a join: the payload
+	// carries the membership epoch, the full member table, and the replica
+	// assignments for the slots the receiver owns. The node's membership
+	// agent reconciles peers and replica fan-out targets from it. The
+	// response is status-only (StatusErr when the node has no agent).
+	OpJoin
+	// OpLeave is OpJoin's counterpart for shrink events: the same
+	// epoch + member table + replica assignment payload, pushed after a
+	// graceful leave or a failure-detector death. Two opcodes — one schema —
+	// keep packet captures self-describing about which lifecycle event
+	// produced the view.
+	OpLeave
+	// OpReplicate applies one replicated write on a replica node: the
+	// payload carries TTL + key + value (key only under FlagNegative, which
+	// replicates a delete). The receiver applies it to its cache directly
+	// and never fans it out again, so replication cannot cycle.
+	OpReplicate
 
 	opMax // one past the last valid opcode
 )
@@ -133,6 +150,12 @@ func (o Op) String() string {
 		return "DEMAND"
 	case OpLoad:
 		return "LOAD"
+	case OpJoin:
+		return "JOIN"
+	case OpLeave:
+		return "LEAVE"
+	case OpReplicate:
+		return "REPLICATE"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -166,6 +189,12 @@ const (
 	// uint8-length-prefixed tenant name after the trace extension (when
 	// present), ahead of the opcode payload. Absent flag = default tenant.
 	FlagTenant uint8 = 1 << 4
+	// FlagDemand asks the server to piggyback its NodeDemand snapshot on
+	// the response (flagged by the status byte's bit 6, ahead of the opcode
+	// payload). It adds no request payload, so any opcode can carry it —
+	// this is how DEMAND dissemination rides existing response traffic
+	// instead of a polling sidecar, and how heartbeats double as gossip.
+	FlagDemand uint8 = 1 << 5
 )
 
 // MaxNamespaceLen caps a namespace name's byte length. It matches
@@ -177,6 +206,12 @@ const MaxNamespaceLen = 64
 // bit, which no Status value can reach (statusMax is tiny and the decoder
 // rejects unknown statuses). The decoder masks it off before validating.
 const respFlagTrace uint8 = 1 << 7
+
+// respFlagDemand marks a response carrying a piggybacked NodeDemand prefix
+// (the answer to a FlagDemand request). Like respFlagTrace it rides an
+// unreachable status-byte bit; the 52-byte demand prefix sits after the
+// trace extension (when present), ahead of the opcode payload.
+const respFlagDemand uint8 = 1 << 6
 
 // TraceExt is the optional per-request trace extension enabled by
 // FlagTrace. On requests only ID and SendMicros travel (16 bytes); on
@@ -329,6 +364,55 @@ type KV struct {
 	Value []byte
 }
 
+// MemberState is a member's lifecycle state in a pushed membership view.
+type MemberState uint8
+
+// Member lifecycle states. The wire rejects anything else, so a corrupted
+// state byte fails the frame instead of inventing a lifecycle.
+const (
+	// MemberAlive is a serving member: it owns slots, accepts replicas,
+	// and is heartbeated by the failure detector.
+	MemberAlive MemberState = iota
+	// MemberLeft is a gracefully departed member: its slots were migrated
+	// away before the push that carries this state.
+	MemberLeft
+	// MemberDead is a member the failure detector declared dead: its slots
+	// were failed over to replicas, possibly losing unreplicated entries.
+	MemberDead
+
+	memberStateMax
+)
+
+// String names the member state for logs and errors.
+func (s MemberState) String() string {
+	switch s {
+	case MemberAlive:
+		return "alive"
+	case MemberLeft:
+		return "left"
+	case MemberDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("MemberState(%d)", uint8(s))
+	}
+}
+
+// Member is one row of the member table pushed by OpJoin/OpLeave: a node's
+// cluster id, lifecycle state, and dialable address.
+type Member struct {
+	ID    uint32
+	State MemberState
+	Addr  string
+}
+
+// ReplicaSet assigns a slot's replica nodes, pushed by OpJoin/OpLeave. The
+// owner is not listed — the ring answers ownership; Replicas are the extra
+// copies the owner fans writes out to.
+type ReplicaSet struct {
+	Slot     uint32
+	Replicas []uint32
+}
+
 // NodeDemand is the DEMAND response payload: one node's aggregate
 // capacity-demand signal, derived from its cache's per-set SCDM monitors
 // (stemcache.Demand). The cluster rebalancer reads these to classify whole
@@ -411,6 +495,15 @@ type Request struct {
 	// until the buffer is reused — so a receiver that retains it must copy
 	// (the server's tenant registry clones on registration).
 	Namespace string
+	// Epoch is the membership epoch of an OpJoin/OpLeave push. Epochs are
+	// monotone per cluster, so an agent discards a view older than the one
+	// it holds (pushes can race).
+	Epoch uint64
+	// Members is the full member table of an OpJoin/OpLeave push.
+	Members []Member
+	// Replicas is the replica-assignment table of an OpJoin/OpLeave push,
+	// scoped to the slots the receiving node owns.
+	Replicas []ReplicaSet
 }
 
 // Reset clears req for reuse while keeping the Keys and Pairs backing
@@ -449,6 +542,11 @@ type Response struct {
 	// response — including StatusErr, so a failing traced request still
 	// yields a latency sample.
 	Trace *TraceExt
+	// Piggyback is the demand snapshot answering a FlagDemand request. It
+	// travels as a 52-byte payload prefix after the trace extension —
+	// flagged by the status byte's bit 6 — on any opcode's response, which
+	// is what makes demand dissemination ride existing traffic.
+	Piggyback *NodeDemand
 }
 
 // Reset clears resp for reuse while keeping the Found and Values backing

@@ -39,6 +39,26 @@ func requestFixtures() []*Request {
 		{Op: OpGet, ID: 23, Key: "both", Namespace: "jobs", Trace: &TraceExt{ID: 5, SendMicros: 6}},
 		{Op: OpMGet, ID: 24, Keys: []string{"a", "b"}, Namespace: "batch"},
 		{Op: OpLoad, ID: 25, Key: "load-key", Namespace: "web"},
+		{Op: OpJoin, ID: 26, Epoch: 7,
+			Members: []Member{
+				{ID: 0, State: MemberAlive, Addr: "127.0.0.1:4000"},
+				{ID: 1, State: MemberLeft, Addr: ""},
+				{ID: 2, State: MemberDead, Addr: "127.0.0.1:4002"},
+			},
+			Replicas: []ReplicaSet{
+				{Slot: 0, Replicas: []uint32{1, 2}},
+				{Slot: 63, Replicas: nil},
+			}},
+		{Op: OpLeave, ID: 27, Epoch: 1 << 40,
+			Members:  []Member{{ID: 9, State: MemberDead, Addr: "h:1"}},
+			Replicas: []ReplicaSet{{Slot: 5, Replicas: []uint32{0}}}},
+		{Op: OpJoin, ID: 28}, // empty tables, epoch 0
+		{Op: OpReplicate, ID: 29, Key: "rk", Value: []byte("rv"), TTL: 250 * time.Millisecond},
+		{Op: OpReplicate, ID: 30, Key: "rk2", Value: nil, TTL: 0},
+		{Op: OpReplicate, ID: 31, Flags: FlagNegative, Key: "gone"},
+		{Op: OpReplicate, ID: 32, Key: "nk", Value: []byte("nv"), Namespace: "web"},
+		{Op: OpGet, ID: 33, Key: "alpha", Flags: FlagDemand},
+		{Op: OpPing, ID: 34, Flags: FlagDemand, Trace: &TraceExt{ID: 8, SendMicros: 9}},
 	}
 }
 
@@ -77,6 +97,16 @@ func responseFixtures() []*Response {
 		{Op: OpLoad, ID: 24, Status: StatusErr, Value: []byte("draining")},
 		{Op: OpLoad, ID: 25, Status: StatusStale, Token: 9, Value: []byte("old"),
 			Trace: &TraceExt{ID: 2, SendMicros: 3, QueueMicros: 4, HandleMicros: 5}},
+		{Op: OpJoin, ID: 26, Status: StatusOK},
+		{Op: OpLeave, ID: 27, Status: StatusErr, Value: []byte("no membership agent")},
+		{Op: OpReplicate, ID: 28, Status: StatusOK},
+		{Op: OpGet, ID: 29, Status: StatusOK, Value: []byte("v"),
+			Piggyback: &NodeDemand{NodeID: 1, Sets: 64, TakerSets: 8, Live: 100, Capacity: 256}},
+		{Op: OpGet, ID: 30, Status: StatusNotFound,
+			Piggyback: &NodeDemand{NodeID: 2}},
+		{Op: OpPing, ID: 31, Status: StatusOK,
+			Piggyback: &NodeDemand{NodeID: 3, ScSSum: 12, ScSMax: 64},
+			Trace:     &TraceExt{ID: 6, SendMicros: 7, QueueMicros: 8, HandleMicros: 9}},
 	}
 }
 
@@ -104,6 +134,17 @@ func normReq(r *Request) {
 	for i := range r.Pairs {
 		if len(r.Pairs[i].Value) == 0 {
 			r.Pairs[i].Value = nil
+		}
+	}
+	if len(r.Members) == 0 {
+		r.Members = nil
+	}
+	if len(r.Replicas) == 0 {
+		r.Replicas = nil
+	}
+	for i := range r.Replicas {
+		if len(r.Replicas[i].Replicas) == 0 {
+			r.Replicas[i].Replicas = nil
 		}
 	}
 }
